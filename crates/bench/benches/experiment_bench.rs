@@ -1,0 +1,77 @@
+//! Criterion benchmarks of whole experiment points: one load/latency point,
+//! one fairness measurement, and one adversarial preemption run, all in quick
+//! configurations. These bound the cost of regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taqos_core::experiment::fairness::{hotspot_fairness, FairnessConfig, FairnessPolicy};
+use taqos_core::experiment::latency::{latency_point, SweepConfig, SweepPattern};
+use taqos_core::experiment::preemption::{
+    preemption_impact, AdversarialConfig, AdversarialWorkload,
+};
+use taqos_netsim::sim::OpenLoopConfig;
+use taqos_topology::column::ColumnTopology;
+
+fn quick_sweep_config() -> SweepConfig {
+    SweepConfig {
+        open_loop: OpenLoopConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain: 500,
+        },
+        ..SweepConfig::default()
+    }
+}
+
+fn bench_latency_point(c: &mut Criterion) {
+    let config = quick_sweep_config();
+    let mut group = c.benchmark_group("latency_point_3k_cycles");
+    group.sample_size(10);
+    for topology in [ColumnTopology::MeshX1, ColumnTopology::Mecs, ColumnTopology::Dps] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topology.name()),
+            &topology,
+            |b, &topology| {
+                b.iter(|| latency_point(topology, SweepPattern::UniformRandom, 0.05, &config))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fairness_point(c: &mut Criterion) {
+    let mut config = FairnessConfig::quick();
+    config.warmup = 500;
+    config.measure = 3_000;
+    let mut group = c.benchmark_group("hotspot_fairness_3k_cycles");
+    group.sample_size(10);
+    group.bench_function("dps_pvc", |b| {
+        b.iter(|| hotspot_fairness(ColumnTopology::Dps, FairnessPolicy::Pvc, &config))
+    });
+    group.finish();
+}
+
+fn bench_adversarial_run(c: &mut Criterion) {
+    let mut config = AdversarialConfig::quick();
+    config.budget_cycles = 3_000;
+    let mut group = c.benchmark_group("adversarial_workload1");
+    group.sample_size(10);
+    group.bench_function("mesh_x1", |b| {
+        b.iter(|| {
+            preemption_impact(
+                ColumnTopology::MeshX1,
+                AdversarialWorkload::Workload1,
+                &config,
+            )
+            .expect("completes")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_latency_point,
+    bench_fairness_point,
+    bench_adversarial_run
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the simulator itself: how fast one column
+//! topology simulates under load. Useful for tracking simulator performance
+//! regressions; the paper-figure harnesses live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taqos_core::shared_region::SharedRegionSim;
+use taqos_netsim::qos::QosPolicy;
+use taqos_qos::pvc::PvcPolicy;
+use taqos_topology::column::ColumnTopology;
+use taqos_traffic::injection::PacketSizeMix;
+use taqos_traffic::workloads;
+
+fn simulate_cycles(topology: ColumnTopology, cycles: u64) -> u64 {
+    let sim = SharedRegionSim::new(topology);
+    let generators = workloads::uniform_random(sim.column(), 0.08, PacketSizeMix::paper(), 1);
+    let policy: Box<dyn QosPolicy> = Box::new(PvcPolicy::equal_rates(sim.column().num_flows()));
+    let mut network = sim.build(policy, generators).expect("column builds");
+    network.run_for(cycles);
+    network.delivered_flits()
+}
+
+fn bench_topology_stepping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_simulation_2k_cycles");
+    group.sample_size(10);
+    for topology in ColumnTopology::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topology.name()),
+            &topology,
+            |b, &topology| b.iter(|| simulate_cycles(topology, 2_000)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_spec_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_spec_construction");
+    for topology in ColumnTopology::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(topology.name()),
+            &topology,
+            |b, &topology| {
+                b.iter(|| topology.build(&taqos_topology::column::ColumnConfig::paper()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_stepping, bench_spec_construction);
+criterion_main!(benches);

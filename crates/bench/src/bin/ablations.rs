@@ -1,0 +1,103 @@
+//! Ablation studies beyond the paper's figures: PVC frame length, the
+//! reserved (non-preemptable) quota, preemption itself, and virtual-channel
+//! provisioning.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin ablations -- [--topology dps] [--quick]
+//! ```
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::ablation::{
+    frame_length_sweep, reserved_quota_ablation, vc_count_sweep,
+};
+use taqos_netsim::sim::OpenLoopConfig;
+use taqos_topology::column::{ColumnConfig, ColumnTopology};
+
+fn parse_topology(name: &str) -> ColumnTopology {
+    ColumnTopology::all()
+        .into_iter()
+        .find(|t| t.name() == name)
+        .unwrap_or(ColumnTopology::Dps)
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let topology = parse_topology(args.value("topology").unwrap_or("dps"));
+    let quick = args.has_flag("quick");
+    let column = ColumnConfig::paper();
+
+    let (measure, budget) = if quick { (6_000, 6_000) } else { (50_000, 30_000) };
+
+    println!("Ablation studies on {} (paper configuration otherwise)", topology.name());
+    println!();
+
+    // 1. PVC frame length.
+    println!("PVC frame length (hotspot traffic):");
+    println!("{}", rule(60));
+    println!("{:<14} {:>22} {:>18}", "frame cycles", "max deviation %", "preempted %");
+    let frames = if quick {
+        vec![1_000, 10_000, 50_000]
+    } else {
+        vec![1_000, 5_000, 10_000, 50_000, 200_000]
+    };
+    for point in frame_length_sweep(topology, &frames, &column, measure, 0xF0) {
+        println!(
+            "{:<14} {} {}",
+            point.frame_len,
+            cell(point.max_deviation_pct, 22, 2),
+            cell(point.preempted_packet_fraction * 100.0, 18, 3)
+        );
+    }
+    println!();
+
+    // 2. Reserved quota and preemption.
+    println!("Reserved quota and preemption (adversarial Workload 1):");
+    println!("{}", rule(60));
+    match reserved_quota_ablation(topology, &column, budget, 0xF1) {
+        Ok(ablation) => {
+            println!(
+                "  preempted packets with reserved quota    : {:>7.2}%",
+                ablation.with_quota * 100.0
+            );
+            println!(
+                "  preempted packets without reserved quota : {:>7.2}%",
+                ablation.without_quota * 100.0
+            );
+            println!(
+                "  preempted packets without preemption     : {:>7.2}%",
+                ablation.without_preemption * 100.0
+            );
+            println!(
+                "  completion with / without quota          : {} / {} cycles",
+                ablation.completion_with_quota, ablation.completion_without_quota
+            );
+        }
+        Err(e) => println!("  ablation failed: {e}"),
+    }
+    println!();
+
+    // 3. Virtual-channel provisioning.
+    println!("Column-port virtual channels (uniform random at 8%):");
+    println!("{}", rule(60));
+    println!("{:<14} {:>18} {:>22}", "VCs per port", "avg latency", "accepted flits/cycle");
+    let counts = [2u8, 4, 6, 10, 14];
+    let open_loop = if quick {
+        OpenLoopConfig {
+            warmup: 1_000,
+            measure: 5_000,
+            drain: 1_000,
+        }
+    } else {
+        OpenLoopConfig::default()
+    };
+    for point in vc_count_sweep(topology, &counts, &column, 0.08, open_loop, 0xF2) {
+        println!(
+            "{:<14} {} {}",
+            point.network_vcs,
+            cell(point.avg_latency, 18, 1),
+            cell(point.accepted_flits_per_cycle, 22, 2)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 3: router area overhead by component.
+
+use taqos_bench::{cell, rule};
+use taqos_core::experiment::energy_area::area_report;
+use taqos_topology::column::ColumnConfig;
+
+fn main() {
+    let config = ColumnConfig::paper();
+    let report = area_report(&config);
+
+    println!("Figure 3: Router area overhead (mm^2, 32 nm)");
+    println!("{}", rule(86));
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12} {:>12}",
+        "topology", "row buffers*", "col buffers", "crossbar", "flow state", "total"
+    );
+    println!("{}", rule(86));
+    for entry in &report.entries {
+        let a = entry.area;
+        println!(
+            "{:<10} {} {} {} {} {}",
+            entry.topology.name(),
+            cell(a.row_buffers_mm2, 14, 4),
+            cell(a.column_buffers_mm2, 14, 4),
+            cell(a.crossbar_mm2, 12, 4),
+            cell(a.flow_state_mm2, 12, 4),
+            cell(a.total_mm2(), 12, 4),
+        );
+    }
+    println!("{}", rule(86));
+    println!("* row-input buffer capacity is identical across all topologies (the dotted");
+    println!("  line of the paper's figure).");
+}

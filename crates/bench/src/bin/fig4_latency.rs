@@ -1,0 +1,107 @@
+//! Regenerates Figure 4: average packet latency versus offered load on
+//! uniform-random and tornado traffic, for all five topologies.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin fig4_latency -- [--pattern uniform|tornado]
+//!     [--quick] [--max-rate 15] [--discards]
+//! ```
+//!
+//! `--discards` additionally prints the packet discard (preemption) rate at
+//! the highest simulated load, reproducing the saturation discard figures
+//! quoted in Section 5.2 of the paper.
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::latency::{latency_sweep, SweepConfig, SweepPattern};
+use taqos_netsim::sim::OpenLoopConfig;
+use taqos_topology::column::ColumnTopology;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let pattern = match args.value("pattern").unwrap_or("uniform") {
+        "tornado" => SweepPattern::Tornado,
+        _ => SweepPattern::UniformRandom,
+    };
+    let max_rate_pct: u32 = args.value_or("max-rate", 15);
+    let quick = args.has_flag("quick");
+
+    let mut config = SweepConfig::default();
+    if quick {
+        config.open_loop = OpenLoopConfig {
+            warmup: 2_000,
+            measure: 10_000,
+            drain: 3_000,
+        };
+    }
+    let rates: Vec<f64> = (1..=max_rate_pct).map(|p| f64::from(p) / 100.0).collect();
+    let topologies = ColumnTopology::all();
+
+    eprintln!(
+        "running {} sweep: {} topologies x {} load points ({} cycles each){}",
+        pattern.name(),
+        topologies.len(),
+        rates.len(),
+        config.open_loop.total_cycles(),
+        if quick { " [quick]" } else { "" }
+    );
+    let points = latency_sweep(pattern, &topologies, &rates, &config);
+
+    println!(
+        "Figure 4{}: average packet latency (cycles) vs injection rate, {} traffic",
+        match pattern {
+            SweepPattern::UniformRandom => "(a)",
+            SweepPattern::Tornado => "(b)",
+        },
+        pattern.name()
+    );
+    println!("{}", rule(80));
+    print!("{:<10}", "rate");
+    for topology in topologies {
+        print!("{:>14}", topology.name());
+    }
+    println!();
+    println!("{}", rule(80));
+    for &rate in &rates {
+        print!("{:<10}", format!("{:.0}%", rate * 100.0));
+        for topology in topologies {
+            let point = points
+                .iter()
+                .find(|p| p.topology == topology && (p.injection_rate - rate).abs() < 1e-9)
+                .expect("point simulated");
+            print!("{}", cell(point.avg_latency, 14, 1));
+        }
+        println!();
+    }
+    println!("{}", rule(80));
+
+    println!("Accepted throughput at the highest load (flits/cycle, whole column):");
+    for topology in topologies {
+        let point = points
+            .iter()
+            .filter(|p| p.topology == topology)
+            .last()
+            .expect("points exist");
+        println!(
+            "  {:<10} {}",
+            topology.name(),
+            cell(point.accepted_flits_per_cycle, 8, 2)
+        );
+    }
+
+    if args.has_flag("discards") {
+        println!("Packet discard (preemption) rate at the highest load:");
+        for topology in topologies {
+            let point = points
+                .iter()
+                .filter(|p| p.topology == topology)
+                .last()
+                .expect("points exist");
+            println!(
+                "  {:<10} {} %",
+                topology.name(),
+                cell(point.preempted_packet_fraction * 100.0, 7, 2)
+            );
+        }
+    }
+}

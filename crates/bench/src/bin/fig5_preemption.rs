@@ -1,0 +1,56 @@
+//! Regenerates Figure 5: the fraction of packets that experience a
+//! preemption and the fraction of hop traversals wasted, for the two
+//! adversarial workloads.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin fig5_preemption -- [--workload 1|2] [--quick]
+//! ```
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::preemption::{preemption_figure, AdversarialConfig, AdversarialWorkload};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let workload = match args.value_or("workload", 1u32) {
+        2 => AdversarialWorkload::Workload2,
+        _ => AdversarialWorkload::Workload1,
+    };
+    let config = if args.has_flag("quick") {
+        AdversarialConfig::quick()
+    } else {
+        AdversarialConfig::default()
+    };
+
+    eprintln!(
+        "running {} on 5 topologies ({} cycles of offered traffic per source)",
+        workload.name(),
+        config.budget_cycles
+    );
+    let results = preemption_figure(workload, &config).expect("adversarial workloads complete");
+
+    println!(
+        "Figure 5{}: preemption behaviour under {}",
+        match workload {
+            AdversarialWorkload::Workload1 => "(a)",
+            AdversarialWorkload::Workload2 => "(b)",
+        },
+        workload.name()
+    );
+    println!("{}", rule(64));
+    println!(
+        "{:<10} {:>20} {:>20}",
+        "topology", "preempted packets %", "replayed hops %"
+    );
+    println!("{}", rule(64));
+    for result in &results {
+        println!(
+            "{:<10} {} {}",
+            result.topology.name(),
+            cell(result.preempted_packet_fraction * 100.0, 20, 2),
+            cell(result.wasted_hop_fraction * 100.0, 20, 2),
+        );
+    }
+    println!("{}", rule(64));
+}

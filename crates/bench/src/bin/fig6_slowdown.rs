@@ -1,0 +1,61 @@
+//! Regenerates Figure 6: slowdown relative to preemption-free per-flow
+//! queuing and deviation from the max-min-fair expected throughput, for the
+//! two adversarial workloads.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin fig6_slowdown -- [--workload 1|2] [--quick]
+//! ```
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::preemption::{preemption_figure, AdversarialConfig, AdversarialWorkload};
+
+fn main() {
+    let args = CliArgs::from_env();
+    let workload = match args.value_or("workload", 1u32) {
+        2 => AdversarialWorkload::Workload2,
+        _ => AdversarialWorkload::Workload1,
+    };
+    let config = if args.has_flag("quick") {
+        AdversarialConfig::quick()
+    } else {
+        AdversarialConfig::default()
+    };
+
+    eprintln!(
+        "running {} on 5 topologies (PVC + per-flow-queued baseline)",
+        workload.name()
+    );
+    let results = preemption_figure(workload, &config).expect("adversarial workloads complete");
+
+    println!(
+        "Figure 6{}: slowdown due to preemptions and deviation from expected throughput ({})",
+        match workload {
+            AdversarialWorkload::Workload1 => "(a)",
+            AdversarialWorkload::Workload2 => "(b)",
+        },
+        workload.name()
+    );
+    println!("{}", rule(92));
+    println!(
+        "{:<10} {:>14} {:>16} {:>16} {:>16} {:>14}",
+        "topology", "slowdown %", "avg deviation %", "min deviation %", "max deviation %", "completion"
+    );
+    println!("{}", rule(92));
+    for result in &results {
+        println!(
+            "{:<10} {} {} {} {} {:>14}",
+            result.topology.name(),
+            cell(result.slowdown * 100.0, 14, 2),
+            cell(result.avg_deviation * 100.0, 16, 2),
+            cell(result.min_deviation * 100.0, 16, 2),
+            cell(result.max_deviation * 100.0, 16, 2),
+            result.completion_cycles,
+        );
+    }
+    println!("{}", rule(92));
+    println!("slowdown is measured against preemption-free execution in the same topology");
+    println!("with ideal per-flow queuing; deviations are per-source extremes across the");
+    println!("active flows relative to their max-min fair share.");
+}

@@ -1,0 +1,52 @@
+//! Regenerates Figure 7: router energy per flit by hop type and component.
+
+use taqos_bench::{cell, rule};
+use taqos_core::experiment::energy_area::energy_report;
+use taqos_topology::column::ColumnConfig;
+
+fn main() {
+    let config = ColumnConfig::paper();
+    let report = energy_report(&config);
+
+    println!("Figure 7: Router energy per flit (pJ, 32 nm / 0.9 V)");
+    println!("{}", rule(78));
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>12} {:>12}",
+        "topology", "hop type", "buffers", "crossbar", "flow table", "total"
+    );
+    println!("{}", rule(78));
+    for entry in &report.entries {
+        for (category, energy) in &entry.per_category {
+            println!(
+                "{:<10} {:<14} {} {} {} {}",
+                entry.topology.name(),
+                category.label(),
+                cell(energy.buffers_pj, 12, 2),
+                cell(energy.crossbar_pj, 12, 2),
+                cell(energy.flow_table_pj, 12, 2),
+                cell(energy.total_pj(), 12, 2),
+            );
+        }
+        println!("{}", rule(78));
+    }
+
+    // Headline comparisons quoted in the paper's text.
+    let dps = report
+        .three_hop_total(taqos_topology::ColumnTopology::Dps)
+        .expect("DPS present");
+    let mesh_x1 = report
+        .three_hop_total(taqos_topology::ColumnTopology::MeshX1)
+        .expect("mesh x1 present");
+    let mesh_x4 = report
+        .three_hop_total(taqos_topology::ColumnTopology::MeshX4)
+        .expect("mesh x4 present");
+    let mecs = report
+        .three_hop_total(taqos_topology::ColumnTopology::Mecs)
+        .expect("MECS present");
+    println!(
+        "3-hop route: DPS saves {} % vs mesh_x1, {} % vs mesh_x4; MECS/DPS ratio {}",
+        cell(100.0 * (1.0 - dps / mesh_x1), 6, 1),
+        cell(100.0 * (1.0 - dps / mesh_x4), 6, 1),
+        cell(mecs / dps, 5, 2),
+    );
+}

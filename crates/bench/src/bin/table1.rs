@@ -1,0 +1,50 @@
+//! Regenerates Table 1: the simulated shared-region configurations.
+
+use taqos_bench::rule;
+use taqos_topology::column::{ColumnConfig, ColumnTopology};
+use taqos_topology::properties::bisection_bandwidth_bytes;
+
+fn main() {
+    let config = ColumnConfig::paper();
+    println!("Table 1: Shared region topology details");
+    println!("{}", rule(78));
+    println!(
+        "Network        : {} nodes (one column), {}-byte links, 1-cycle wire delay,",
+        config.nodes, config.flit_bytes
+    );
+    println!("                 DOR routing, virtual cut-through flow control");
+    println!("QOS            : Preemptive Virtual Clock (50K-cycle frame)");
+    println!("Benchmarks     : hotspot, uniform random, tornado; 1- and 4-flit packets");
+    println!(
+        "Injectors      : {} per node ({} terminal + {} row inputs), {} flows total",
+        config.injectors_per_node(),
+        1,
+        config.row_inputs_east + config.row_inputs_west,
+        config.num_flows()
+    );
+    println!("{}", rule(78));
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>14} {:>16}",
+        "topology", "VCs/port", "flits/VC", "VA latency", "pipeline", "bisection B/cyc"
+    );
+    println!("{}", rule(78));
+    for topology in ColumnTopology::all() {
+        let p = topology.params();
+        let pipeline = match topology {
+            ColumnTopology::Mecs => "VA-l,VA-g,XT",
+            ColumnTopology::Dps => "VA,XT (+1c mid)",
+            _ => "VA,XT",
+        };
+        println!(
+            "{:<10} {:>8} {:>10} {:>12} {:>14} {:>16}",
+            topology.name(),
+            p.network_vcs,
+            p.vc_depth_flits,
+            p.va_latency,
+            pipeline,
+            bisection_bandwidth_bytes(topology, &config)
+        );
+    }
+    println!("{}", rule(78));
+    println!("common         : 1 injection VC, 2 ejection VCs, 1 reserved VC per network port");
+}

@@ -1,0 +1,121 @@
+//! # taqos-bench — benchmark harness for the paper's tables and figures
+//!
+//! One binary per table/figure regenerates the corresponding rows or series:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1`          | Table 1 — simulated configurations |
+//! | `fig3_area`       | Figure 3 — router area overhead |
+//! | `fig4_latency`    | Figure 4 — latency/throughput on uniform random & tornado |
+//! | `table2_fairness` | Table 2 — relative throughput under the hotspot |
+//! | `fig5_preemption` | Figure 5 — preempted packets & replayed hops |
+//! | `fig6_slowdown`   | Figure 6 — slowdown & throughput deviation |
+//! | `fig7_energy`     | Figure 7 — router energy per flit by hop type |
+//!
+//! Every binary accepts `--quick` to run a shortened configuration (smaller
+//! warm-up and measurement windows) and prints plain-text tables to stdout.
+//! The Criterion benches (`router_bench`, `experiment_bench`) measure the
+//! simulator's own performance.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// Minimal command-line option parser for the harness binaries: recognises
+/// `--flag` switches and `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct CliArgs {
+    flags: Vec<String>,
+    values: BTreeMap<String, String>,
+}
+
+impl CliArgs {
+    /// Parses the given iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut parsed = CliArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                continue;
+            };
+            let takes_value = iter
+                .peek()
+                .map(|next| !next.starts_with("--"))
+                .unwrap_or(false);
+            if takes_value {
+                let value = iter.next().expect("peeked value exists");
+                parsed.values.insert(name.to_string(), value);
+            } else {
+                parsed.flags.push(name.to_string());
+            }
+        }
+        parsed
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether `--name` was passed as a switch.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of `--name value`, if present.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name value` parsed as the requested type, or the
+    /// provided default.
+    pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.value(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Formats a floating point value with a fixed number of decimals, right
+/// aligned in a column of the given width.
+pub fn cell(value: f64, width: usize, decimals: usize) -> String {
+    format!("{value:>width$.decimals$}")
+}
+
+/// Prints a horizontal rule of the given width.
+pub fn rule(width: usize) -> String {
+    "-".repeat(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CliArgs {
+        CliArgs::parse(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_values() {
+        let a = args(&["--quick", "--pattern", "tornado", "--workload", "2"]);
+        assert!(a.has_flag("quick"));
+        assert!(!a.has_flag("slow"));
+        assert_eq!(a.value("pattern"), Some("tornado"));
+        assert_eq!(a.value_or("workload", 1u32), 2);
+        assert_eq!(a.value_or("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn trailing_flag_is_not_a_value() {
+        let a = args(&["--pattern", "--quick"]);
+        assert!(a.has_flag("pattern"));
+        assert!(a.has_flag("quick"));
+        assert_eq!(a.value("pattern"), None);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(cell(3.14159, 8, 2), "    3.14");
+        assert_eq!(rule(4), "----");
+    }
+}

@@ -1,0 +1,289 @@
+//! Operating-system / hypervisor support for topology-aware QOS.
+//!
+//! The architecture keeps hardware cost low by delegating three services to
+//! the operating system (hypervisor):
+//!
+//! 1. **Friendly co-scheduling** — only threads of the same application or
+//!    virtual machine run on a given node, so the row links shared by a
+//!    node's four terminals never carry traffic of different tenants;
+//! 2. **Convex domain allocation** — the nodes of an application are a convex
+//!    region, so intra-domain cache traffic never leaves the domain;
+//! 3. **Rate programming** — per-flow service rates (or priorities) are
+//!    written to memory-mapped registers of the QOS-enabled routers and
+//!    shared resources, reflecting each tenant's service-level agreement.
+
+use crate::chip::chip::{ChipError, TopologyAwareChip};
+use crate::chip::domain::DomainId;
+use serde::{Deserialize, Serialize};
+use taqos_qos::rates::RateAllocation;
+use taqos_topology::column::ColumnConfig;
+use taqos_topology::grid::Coord;
+
+/// Description of a virtual machine (or application) to be launched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Name of the tenant.
+    pub name: String,
+    /// Number of threads the tenant runs.
+    pub threads: usize,
+    /// Relative service weight from the tenant's service-level agreement.
+    pub weight: u32,
+}
+
+impl VmSpec {
+    /// Creates a VM description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM has no threads or a zero weight.
+    pub fn new(name: impl Into<String>, threads: usize, weight: u32) -> Self {
+        assert!(threads > 0, "a VM needs at least one thread");
+        assert!(weight > 0, "a VM needs a positive weight");
+        VmSpec {
+            name: name.into(),
+            threads,
+            weight,
+        }
+    }
+}
+
+/// Thread placement of one launched VM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Tenant name.
+    pub vm: String,
+    /// Domain allocated to the tenant.
+    pub domain: DomainId,
+    /// Threads assigned to each node of the domain.
+    pub threads_per_node: Vec<(Coord, usize)>,
+    /// Service weight of the tenant.
+    pub weight: u32,
+}
+
+impl Placement {
+    /// Total threads placed.
+    pub fn total_threads(&self) -> usize {
+        self.threads_per_node.iter().map(|(_, t)| t).sum()
+    }
+}
+
+/// The hypervisor: owns the chip, launches and retires VMs, and programs the
+/// per-flow rates of the shared regions.
+#[derive(Debug, Clone)]
+pub struct Hypervisor {
+    chip: TopologyAwareChip,
+    placements: Vec<Placement>,
+}
+
+impl Hypervisor {
+    /// Creates a hypervisor managing `chip`.
+    pub fn new(chip: TopologyAwareChip) -> Self {
+        Hypervisor {
+            chip,
+            placements: Vec::new(),
+        }
+    }
+
+    /// The managed chip.
+    pub fn chip(&self) -> &TopologyAwareChip {
+        &self.chip
+    }
+
+    /// Current VM placements.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Launches a VM: allocates a convex (rectangular) domain large enough
+    /// for its threads at four threads per node, and records the thread
+    /// placement with friendly co-scheduling (no node is shared between VMs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no suitable free region exists.
+    pub fn launch_vm(&mut self, spec: &VmSpec) -> Result<DomainId, ChipError> {
+        let concentration = usize::from(self.chip.grid().concentration);
+        let nodes_needed = spec.threads.div_ceil(concentration).max(1);
+        let (width, height) = rectangle_for(nodes_needed, self.chip.grid().width);
+        let domain = self
+            .chip
+            .allocate_rectangle(spec.name.clone(), width, height, spec.weight)?;
+        let nodes: Vec<Coord> = self
+            .chip
+            .domain(domain)
+            .expect("freshly allocated domain exists")
+            .nodes
+            .iter()
+            .copied()
+            .collect();
+        let mut remaining = spec.threads;
+        let mut threads_per_node = Vec::new();
+        for node in nodes {
+            if remaining == 0 {
+                break;
+            }
+            let here = remaining.min(concentration);
+            threads_per_node.push((node, here));
+            remaining -= here;
+        }
+        self.placements.push(Placement {
+            vm: spec.name.clone(),
+            domain,
+            threads_per_node,
+            weight: spec.weight,
+        });
+        Ok(domain)
+    }
+
+    /// Shuts a VM down, releasing its domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the domain is unknown.
+    pub fn shutdown_vm(&mut self, domain: DomainId) -> Result<(), ChipError> {
+        self.chip.release_domain(domain)?;
+        self.placements.retain(|p| p.domain != domain);
+        Ok(())
+    }
+
+    /// Whether friendly co-scheduling holds: no node hosts threads of more
+    /// than one VM. True by construction, verified for testing.
+    pub fn co_scheduling_respected(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        for placement in &self.placements {
+            for (node, _) in &placement.threads_per_node {
+                if !seen.insert(*node) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Programs the per-flow service rates of one shared column.
+    ///
+    /// Each node of the column serves the chip row with the same index; the
+    /// row inputs of that column node carry the memory traffic of the VMs
+    /// placed in that row. Every injector of a column node therefore receives
+    /// a rate proportional to the total service weight of the VMs present in
+    /// its row (plus a small base weight so unallocated rows are not starved),
+    /// normalised over the whole column.
+    ///
+    /// The returned allocation indexes flows exactly as
+    /// [`ColumnConfig::flow_of`] does, so it can be handed directly to
+    /// [`taqos_qos::pvc::PvcPolicy::new`].
+    pub fn program_column_rates(&self, column: &ColumnConfig) -> RateAllocation {
+        let injectors = column.injectors_per_node();
+        let mut row_weight = vec![1.0f64; column.nodes];
+        for placement in &self.placements {
+            if let Some(domain) = self.chip.domain(placement.domain) {
+                for row in domain.rows() {
+                    let row = usize::from(row);
+                    if row < column.nodes {
+                        row_weight[row] += f64::from(placement.weight);
+                    }
+                }
+            }
+        }
+        let total: f64 = row_weight.iter().sum::<f64>() * injectors as f64;
+        let mut rates = vec![0.0; column.num_flows()];
+        for node in 0..column.nodes {
+            for injector in 0..injectors {
+                let flow = column.flow_of(node, injector).index();
+                rates[flow] = row_weight[node] / total;
+            }
+        }
+        RateAllocation::from_rates(rates)
+    }
+}
+
+/// Chooses the squarest rectangle with at least `nodes` cells that fits the
+/// grid width.
+fn rectangle_for(nodes: usize, max_width: u16) -> (u16, u16) {
+    let mut width = (nodes as f64).sqrt().ceil() as u16;
+    width = width.clamp(1, max_width);
+    let height = nodes.div_ceil(usize::from(width)) as u16;
+    (width, height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taqos_netsim::FlowId;
+
+    #[test]
+    fn launching_vms_packs_threads_four_per_node() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let id = hv.launch_vm(&VmSpec::new("web", 10, 3)).unwrap();
+        let placement = hv
+            .placements()
+            .iter()
+            .find(|p| p.domain == id)
+            .expect("placement recorded");
+        assert_eq!(placement.total_threads(), 10);
+        // 10 threads need 3 nodes at 4-way concentration.
+        assert_eq!(placement.threads_per_node.len(), 3);
+        assert!(placement.threads_per_node.iter().all(|(_, t)| *t <= 4));
+        assert!(hv.co_scheduling_respected());
+    }
+
+    #[test]
+    fn multiple_vms_never_share_a_node() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        hv.launch_vm(&VmSpec::new("web", 16, 2)).unwrap();
+        hv.launch_vm(&VmSpec::new("db", 16, 4)).unwrap();
+        hv.launch_vm(&VmSpec::new("batch", 8, 1)).unwrap();
+        assert!(hv.co_scheduling_respected());
+        assert_eq!(hv.placements().len(), 3);
+    }
+
+    #[test]
+    fn shutdown_releases_the_domain() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let free = hv.chip().free_nodes();
+        let id = hv.launch_vm(&VmSpec::new("web", 16, 2)).unwrap();
+        assert!(hv.chip().free_nodes() < free);
+        hv.shutdown_vm(id).unwrap();
+        assert_eq!(hv.chip().free_nodes(), free);
+        assert!(hv.placements().is_empty());
+    }
+
+    #[test]
+    fn programmed_rates_reflect_vm_weights() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        // A heavy VM in the top rows and a light one further down.
+        hv.launch_vm(&VmSpec::new("premium", 16, 8)).unwrap();
+        hv.launch_vm(&VmSpec::new("basic", 16, 1)).unwrap();
+        let column = ColumnConfig::paper();
+        let rates = hv.program_column_rates(&column);
+        assert_eq!(rates.len(), 64);
+        let sum: f64 = rates.rates().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rates must normalise, got {sum}");
+        // The premium VM occupies rows 0-1; its row injectors get more
+        // bandwidth than the rows of the basic VM.
+        let premium_flow = column.flow_of(0, 1);
+        let idle_flow = column.flow_of(7, 1);
+        assert!(rates.rate(premium_flow) > rates.rate(idle_flow));
+    }
+
+    #[test]
+    fn rectangle_sizing_is_compact() {
+        assert_eq!(rectangle_for(1, 8), (1, 1));
+        assert_eq!(rectangle_for(4, 8), (2, 2));
+        assert_eq!(rectangle_for(5, 8), (3, 2));
+        assert_eq!(rectangle_for(16, 8), (4, 4));
+        // Width is clamped to the grid.
+        assert_eq!(rectangle_for(30, 4), (4, 8));
+    }
+
+    #[test]
+    fn rates_for_idle_chip_are_equal() {
+        let hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let column = ColumnConfig::paper();
+        let rates = hv.program_column_rates(&column);
+        let first = rates.rate(FlowId(0));
+        for flow in 0..64 {
+            assert!((rates.rate(FlowId(flow)) - first).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Shared-region simulation facade.
+//!
+//! A [`SharedRegionSim`] bundles a column topology, the column configuration,
+//! and the mechanical simulation constants, and builds ready-to-run
+//! [`Network`] instances for any combination of QOS policy and traffic. This
+//! is the entry point used by the examples and by every experiment.
+
+use taqos_netsim::error::SimError;
+use taqos_netsim::network::Network;
+use taqos_netsim::packet::PacketGenerator;
+use taqos_netsim::qos::QosPolicy;
+use taqos_netsim::sim::{run_closed, run_open_loop, OpenLoopConfig};
+use taqos_netsim::stats::NetStats;
+use taqos_netsim::{Cycle, SimConfig};
+use taqos_qos::pvc::PvcPolicy;
+use taqos_topology::column::{ColumnConfig, ColumnTopology};
+
+/// A configured shared-region (column) simulation.
+#[derive(Debug, Clone)]
+pub struct SharedRegionSim {
+    topology: ColumnTopology,
+    column: ColumnConfig,
+    sim: SimConfig,
+}
+
+impl SharedRegionSim {
+    /// Creates a simulation of `topology` with the paper's column
+    /// configuration.
+    pub fn new(topology: ColumnTopology) -> Self {
+        SharedRegionSim {
+            topology,
+            column: ColumnConfig::paper(),
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// Uses a custom column configuration.
+    pub fn with_column(mut self, column: ColumnConfig) -> Self {
+        self.column = column;
+        self
+    }
+
+    /// Uses custom simulation constants.
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The column topology being simulated.
+    pub fn topology(&self) -> ColumnTopology {
+        self.topology
+    }
+
+    /// The column configuration.
+    pub fn column(&self) -> &ColumnConfig {
+        &self.column
+    }
+
+    /// The default QOS policy of the paper: Preemptive Virtual Clock with
+    /// equal rates for every injector of the column.
+    pub fn default_policy(&self) -> PvcPolicy {
+        PvcPolicy::equal_rates(self.column.num_flows())
+    }
+
+    /// Builds a [`Network`] with the given policy and one generator per
+    /// injector (in source order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the generator count does not match the number of
+    /// injectors (the generated topology itself is always valid).
+    pub fn build(
+        &self,
+        policy: Box<dyn QosPolicy>,
+        generators: Vec<Box<dyn PacketGenerator>>,
+    ) -> Result<Network, SimError> {
+        let spec = self.topology.build(&self.column);
+        Network::new(spec, policy, generators, self.sim)
+    }
+
+    /// Builds and runs an open-loop experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build`].
+    pub fn run_open(
+        &self,
+        policy: Box<dyn QosPolicy>,
+        generators: Vec<Box<dyn PacketGenerator>>,
+        config: OpenLoopConfig,
+    ) -> Result<NetStats, SimError> {
+        let network = self.build(policy, generators)?;
+        Ok(run_open_loop(network, config))
+    }
+
+    /// Builds and runs a closed (fixed) workload to completion, measuring
+    /// per-flow throughput during the first `measure_window` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and reports a timeout if the workload
+    /// does not complete within `max_cycles`.
+    pub fn run_closed(
+        &self,
+        policy: Box<dyn QosPolicy>,
+        generators: Vec<Box<dyn PacketGenerator>>,
+        measure_window: Option<Cycle>,
+        max_cycles: Cycle,
+    ) -> Result<NetStats, SimError> {
+        let mut network = self.build(policy, generators)?;
+        if let Some(window) = measure_window {
+            network.stats_mut().measure_start = Some(0);
+            network.stats_mut().measure_end = Some(window);
+        }
+        run_closed(network, max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taqos_netsim::qos::FifoPolicy;
+    use taqos_traffic::injection::PacketSizeMix;
+    use taqos_traffic::workloads;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let sim = SharedRegionSim::new(ColumnTopology::Dps);
+        assert_eq!(sim.topology(), ColumnTopology::Dps);
+        assert_eq!(sim.column().nodes, 8);
+        assert_eq!(sim.column().num_flows(), 64);
+        assert_eq!(sim.default_policy().frame_len(), Some(50_000));
+    }
+
+    #[test]
+    fn open_loop_run_delivers_traffic() {
+        let sim = SharedRegionSim::new(ColumnTopology::MeshX1)
+            .with_column(ColumnConfig::paper());
+        let generators =
+            workloads::uniform_random(sim.column(), 0.02, PacketSizeMix::paper(), 1);
+        let stats = sim
+            .run_open(
+                Box::new(FifoPolicy::new()),
+                generators,
+                OpenLoopConfig {
+                    warmup: 200,
+                    measure: 1_000,
+                    drain: 300,
+                },
+            )
+            .expect("run succeeds");
+        assert!(stats.delivered_packets > 0);
+        assert!(stats.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn closed_run_completes_and_reports_completion_cycle() {
+        let sim = SharedRegionSim::new(ColumnTopology::Dps);
+        let generators = workloads::workload1(
+            sim.column(),
+            &workloads::WORKLOAD1_RATES,
+            PacketSizeMix::requests_only(),
+            taqos_netsim::NodeId(0),
+            2_000,
+            3,
+        );
+        let policy = Box::new(sim.default_policy());
+        let stats = sim
+            .run_closed(policy, generators, Some(2_000), 200_000)
+            .expect("workload completes");
+        assert!(stats.completion_cycle.is_some());
+        assert_eq!(stats.generated_packets, stats.delivered_packets);
+    }
+
+    #[test]
+    fn mismatched_generator_count_is_rejected() {
+        let sim = SharedRegionSim::new(ColumnTopology::Mecs);
+        let result = sim.build(Box::new(FifoPolicy::new()), Vec::new());
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Mechanical constants of the simulated network.
+
+use crate::ids::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Fixed mechanical parameters of the simulation (independent of topology and
+/// QOS policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Maximum number of granted-but-unfinished transfers queued per output
+    /// port. A small queue lets back-to-back packets stream without pipeline
+    /// bubbles while keeping arbitration decisions timely.
+    pub grant_queue_depth: usize,
+    /// Credit return latency in cycles (freed VC to upstream output port).
+    pub credit_delay: Cycle,
+    /// Fixed component of the ACK network latency.
+    pub ack_latency_base: Cycle,
+    /// Per-hop component of the ACK network latency.
+    pub ack_latency_per_hop: Cycle,
+}
+
+impl SimConfig {
+    /// ACK/NACK latency for a packet whose source is `hops` hops from the
+    /// point of delivery or discard.
+    pub fn ack_latency(&self, hops: u32) -> Cycle {
+        self.ack_latency_base + self.ack_latency_per_hop * Cycle::from(hops)
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            grant_queue_depth: 3,
+            credit_delay: 1,
+            ack_latency_base: 4,
+            ack_latency_per_hop: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = SimConfig::default();
+        assert!(cfg.grant_queue_depth >= 1);
+        assert!(cfg.credit_delay >= 1);
+        assert_eq!(cfg.ack_latency(0), cfg.ack_latency_base);
+        assert_eq!(cfg.ack_latency(3), cfg.ack_latency_base + 3);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types of the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`crate::spec::NetworkSpec`] is structurally
+/// inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    message: String,
+}
+
+impl SpecError {
+    /// Creates a new specification error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        SpecError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of the inconsistency.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid network specification: {}", self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+/// Error returned by the simulation driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The network specification failed validation.
+    Spec(SpecError),
+    /// A closed-loop simulation did not finish within the configured cycle
+    /// budget (likely livelock or an unreachable destination).
+    Timeout {
+        /// Number of cycles simulated before giving up.
+        cycles: u64,
+        /// Number of packets still live in the network at timeout.
+        live_packets: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Spec(e) => write!(f, "{e}"),
+            SimError::Timeout {
+                cycles,
+                live_packets,
+            } => write!(
+                f,
+                "simulation did not complete within {cycles} cycles ({live_packets} packets still live)"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Spec(e) => Some(e),
+            SimError::Timeout { .. } => None,
+        }
+    }
+}
+
+impl From<SpecError> for SimError {
+    fn from(e: SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_error_displays_message() {
+        let e = SpecError::new("router 3 has no input ports");
+        assert!(e.to_string().contains("router 3"));
+        assert_eq!(e.message(), "router 3 has no input ports");
+    }
+
+    #[test]
+    fn sim_error_wraps_spec_error() {
+        let e: SimError = SpecError::new("boom").into();
+        assert!(e.to_string().contains("boom"));
+        assert!(matches!(e, SimError::Spec(_)));
+    }
+
+    #[test]
+    fn timeout_error_reports_counts() {
+        let e = SimError::Timeout {
+            cycles: 1000,
+            live_packets: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("1000"));
+        assert!(msg.contains('3'));
+    }
+}

@@ -1,0 +1,215 @@
+//! Timed event queue used for flit deliveries, credit returns, ACK/NACK
+//! messages, and preemption probes.
+//!
+//! All delays in the simulated network are small constants (wire delays,
+//! credit return latency, ACK network latency), so a binary heap keyed by the
+//! due cycle with a monotonically increasing sequence number for stable
+//! ordering is sufficient and keeps the simulator deterministic.
+
+use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled for a future cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A flit matures at a router input VC.
+    FlitToRouter {
+        /// Destination router index.
+        router: usize,
+        /// Destination input port.
+        in_port: InPortId,
+        /// Destination VC.
+        vc: VcId,
+        /// Packet the flit belongs to.
+        packet: PacketId,
+        /// Flow of the packet.
+        flow: FlowId,
+        /// Packet length in flits.
+        len: u8,
+        /// Whether this is the head flit.
+        is_head: bool,
+        /// Whether this is the tail flit.
+        is_tail: bool,
+    },
+    /// A flit matures at an ejection sink slot.
+    FlitToSink {
+        /// Destination sink index.
+        sink: usize,
+        /// Destination slot.
+        slot: VcId,
+        /// Packet the flit belongs to.
+        packet: PacketId,
+        /// Whether this is the head flit.
+        is_head: bool,
+        /// Whether this is the tail flit.
+        is_tail: bool,
+    },
+    /// A credit (freed VC) returns to an upstream router output port.
+    CreditToRouter {
+        /// Upstream router index.
+        router: usize,
+        /// Output port at the upstream router.
+        out_port: usize,
+        /// Target index within the output port.
+        target_idx: usize,
+        /// Freed VC.
+        vc: VcId,
+        /// Whether the freed VC was a reserved VC.
+        reserved_vc: bool,
+    },
+    /// A credit (freed injection VC) returns to a source.
+    CreditToSource {
+        /// Source index.
+        source: usize,
+        /// Freed injection VC.
+        vc: VcId,
+    },
+    /// Positive acknowledgement: the packet was delivered.
+    Ack {
+        /// Source index.
+        source: usize,
+        /// Delivered packet.
+        packet: PacketId,
+    },
+    /// Negative acknowledgement: the packet was discarded by a preemption and
+    /// must be retransmitted.
+    Nack {
+        /// Source index.
+        source: usize,
+        /// Discarded packet.
+        packet: PacketId,
+    },
+    /// A preemption probe: an upstream packet with higher dynamic priority is
+    /// blocked and asks the router holding the contended buffers to discard a
+    /// lower-priority resident packet.
+    PreemptionProbe {
+        /// Router holding the contended input port.
+        router: usize,
+        /// Contended input port.
+        in_port: InPortId,
+        /// Flow of the blocked (contending) packet.
+        contender: FlowId,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TimedEvent {
+    due: Cycle,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for TimedEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: the BinaryHeap is a max-heap but we want the
+        // earliest event first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for TimedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic future-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<TimedEvent>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to fire at cycle `due`.
+    pub fn schedule(&mut self, due: Cycle, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(TimedEvent { due, seq, event });
+    }
+
+    /// Pops all events due at or before `now`, in scheduling order.
+    pub fn drain_due(&mut self, now: Cycle) -> Vec<Event> {
+        let mut due = Vec::new();
+        while let Some(head) = self.heap.peek() {
+            if head.due > now {
+                break;
+            }
+            due.push(self.heap.pop().expect("peeked event exists").event);
+        }
+        due
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The cycle of the earliest scheduled event, if any.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.due)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(source: usize) -> Event {
+        Event::Ack {
+            source,
+            packet: PacketId(source as u64),
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(10, ack(0));
+        q.schedule(5, ack(1));
+        q.schedule(7, ack(2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_due(), Some(5));
+
+        let due = q.drain_due(7);
+        assert_eq!(due, vec![ack(1), ack(2)]);
+        assert_eq!(q.len(), 1);
+
+        let due = q.drain_due(20);
+        assert_eq!(due, vec![ack(0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_events_preserve_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(3, ack(i));
+        }
+        let due = q.drain_due(3);
+        let expected: Vec<Event> = (0..10).map(ack).collect();
+        assert_eq!(due, expected);
+    }
+
+    #[test]
+    fn nothing_due_before_time() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ack(0));
+        assert!(q.drain_due(99).is_empty());
+        assert_eq!(q.len(), 1);
+    }
+}

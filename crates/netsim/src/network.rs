@@ -1,0 +1,1191 @@
+//! The cycle-stepped network simulator.
+//!
+//! [`Network`] instantiates runtime state from a [`NetworkSpec`], a
+//! [`QosPolicy`] and one traffic generator per source, and advances the whole
+//! network one cycle at a time. Each cycle proceeds through the following
+//! phases:
+//!
+//! 1. frame rollover (QOS bandwidth counters are flushed),
+//! 2. delivery of matured events (flit arrivals, credit returns, ACK/NACK
+//!    messages, preemption probes),
+//! 3. traffic generation and injection at the sources,
+//! 4. route computation for newly arrived packet heads,
+//! 5. virtual-channel allocation (arbitration) and preemption probing,
+//! 6. flit launches from granted transfers onto the channels.
+//!
+//! The model implements credit-based virtual cut-through flow control: a
+//! packet is granted an output only when a whole-packet buffer (virtual
+//! channel) is available downstream; credits are returned when the downstream
+//! VC is released. Preemptive QOS policies may discard lower-priority
+//! resident packets to resolve priority inversion; discarded packets are
+//! NACKed over a dedicated ACK network and retransmitted by their source.
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
+use crate::packet::{Packet, PacketGenerator, PacketStore};
+use crate::port::{Feeder, TargetCreditState, Transfer};
+use crate::qos::{QosPolicy, RouterQos};
+use crate::router::{compute_route, resolve_target_idx, RouterState};
+use crate::sink::SinkState;
+use crate::source::{InjectionTransfer, SourceState};
+use crate::spec::{NetworkSpec, TargetEndpoint};
+use crate::stats::NetStats;
+use crate::vc::VcState;
+
+/// A fully instantiated, steppable network simulation.
+pub struct Network {
+    spec: NetworkSpec,
+    config: SimConfig,
+    policy: Box<dyn QosPolicy>,
+    routers: Vec<RouterState>,
+    sources: Vec<SourceState>,
+    sinks: Vec<SinkState>,
+    qos: Vec<Box<dyn RouterQos>>,
+    packets: PacketStore,
+    events: EventQueue,
+    stats: NetStats,
+    /// Feeder output port of each sink (router, out_port, target_idx).
+    sink_feeders: Vec<Option<(usize, usize, usize)>>,
+    /// Source index serving each flow.
+    flow_to_source: Vec<usize>,
+    frame_len: Option<Cycle>,
+    now: Cycle,
+}
+
+impl Network {
+    /// Builds a simulation from a network specification, a QOS policy, and
+    /// one traffic generator per source (in source order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the specification fails validation or the number
+    /// of generators does not match the number of sources.
+    pub fn new(
+        spec: NetworkSpec,
+        policy: Box<dyn QosPolicy>,
+        generators: Vec<Box<dyn PacketGenerator>>,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        spec.validate()?;
+        if generators.len() != spec.sources.len() {
+            return Err(SimError::Spec(crate::error::SpecError::new(format!(
+                "{} generators supplied for {} sources",
+                generators.len(),
+                spec.sources.len()
+            ))));
+        }
+        let mut flows: Vec<usize> = spec.sources.iter().map(|s| s.flow.index()).collect();
+        flows.sort_unstable();
+        if flows != (0..spec.sources.len()).collect::<Vec<_>>() {
+            return Err(SimError::Spec(crate::error::SpecError::new(
+                "source flow identifiers must be dense (0..num_sources)",
+            )));
+        }
+
+        let unlimited = policy.unlimited_buffering();
+        let mut routers: Vec<RouterState> =
+            spec.routers.iter().map(RouterState::from_spec).collect();
+
+        // Fill per-target credit state and feeder back-pointers.
+        let mut sink_feeders: Vec<Option<(usize, usize, usize)>> = vec![None; spec.sinks.len()];
+        for (ri, rspec) in spec.routers.iter().enumerate() {
+            for (oi, ospec) in rspec.outputs.iter().enumerate() {
+                for (ti, target) in ospec.targets.iter().enumerate() {
+                    let credit = match target.endpoint {
+                        TargetEndpoint::Router { router, in_port } => {
+                            let dspec = &spec.routers[router].inputs[in_port.0];
+                            TargetCreditState::new(
+                                dspec.vcs.count - dspec.vcs.reserved,
+                                dspec.vcs.reserved,
+                                unlimited,
+                            )
+                        }
+                        TargetEndpoint::Sink { sink } => {
+                            sink_feeders[sink] = Some((ri, oi, ti));
+                            TargetCreditState::new(spec.sinks[sink].slots, 0, false)
+                        }
+                    };
+                    routers[ri].outputs[oi].targets.push(credit);
+                }
+            }
+        }
+        // Feeders of router input ports.
+        for (ri, rspec) in spec.routers.iter().enumerate() {
+            for (oi, ospec) in rspec.outputs.iter().enumerate() {
+                for (ti, target) in ospec.targets.iter().enumerate() {
+                    if let TargetEndpoint::Router { router, in_port } = target.endpoint {
+                        let slot = &mut routers[router].inputs[in_port.0].feeder;
+                        assert!(
+                            slot.is_none(),
+                            "input port {} of router {router} has two feeders",
+                            in_port.0
+                        );
+                        *slot = Some(Feeder::RouterOutput {
+                            router: ri,
+                            out_port: oi,
+                            target_idx: ti,
+                        });
+                    }
+                }
+            }
+        }
+        for (si, sspec) in spec.sources.iter().enumerate() {
+            let slot = &mut routers[sspec.router].inputs[sspec.in_port.0].feeder;
+            assert!(
+                slot.is_none(),
+                "injection port of source {} already has a feeder",
+                sspec.name
+            );
+            *slot = Some(Feeder::Source { source: si });
+        }
+
+        let qos: Vec<Box<dyn RouterQos>> = spec
+            .routers
+            .iter()
+            .map(|r| policy.router_qos(r, spec.num_flows()))
+            .collect();
+
+        let mut flow_to_source = vec![0usize; spec.sources.len()];
+        let sources: Vec<SourceState> = spec
+            .sources
+            .iter()
+            .zip(generators)
+            .enumerate()
+            .map(|(si, (sspec, generator))| {
+                flow_to_source[sspec.flow.index()] = si;
+                let vcs = spec.routers[sspec.router].inputs[sspec.in_port.0].vcs.count;
+                SourceState::new(sspec, generator, vcs)
+            })
+            .collect();
+
+        let sinks: Vec<SinkState> = spec.sinks.iter().map(SinkState::from_spec).collect();
+        let stats = NetStats::new(spec.num_flows());
+        let frame_len = policy.frame_len();
+
+        Ok(Network {
+            spec,
+            config,
+            policy,
+            routers,
+            sources,
+            sinks,
+            qos,
+            packets: PacketStore::new(),
+            events: EventQueue::new(),
+            stats,
+            sink_feeders,
+            flow_to_source,
+            frame_len,
+            now: 0,
+        })
+    }
+
+    /// Current simulation time in cycles.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The network specification this simulation was built from.
+    pub fn spec(&self) -> &NetworkSpec {
+        &self.spec
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics (used by drivers to set the measurement
+    /// window).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// Whether every source is drained and no packet is live anywhere in the
+    /// network — i.e. a closed (fixed) workload has completed.
+    pub fn is_quiescent(&self) -> bool {
+        self.sources.iter().all(|s| s.is_drained()) && self.packets.is_empty()
+    }
+
+    /// Number of packets currently live (queued, in flight, or awaiting ACK).
+    pub fn live_packets(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Total flits delivered to sinks so far.
+    pub fn delivered_flits(&self) -> u64 {
+        self.sinks.iter().map(|s| s.delivered_flits).sum()
+    }
+
+    /// Consumes the network and returns the final statistics, with per-source
+    /// counters folded in.
+    pub fn into_stats(mut self) -> NetStats {
+        for source in &self.sources {
+            let fs = &mut self.stats.flows[source.flow.index()];
+            fs.generated_packets = source.generated_packets;
+            fs.generated_flits = source.generated_flits;
+            fs.injected_packets = source.injected_packets;
+            fs.retransmissions = source.retransmitted_packets;
+        }
+        self.stats.generated_packets = self.sources.iter().map(|s| s.generated_packets).sum();
+        self.stats.cycles = self.now;
+        self.stats
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        self.phase_frame_rollover();
+        self.phase_events();
+        self.phase_sources();
+        self.phase_routing();
+        self.phase_allocation();
+        self.phase_launch();
+    }
+
+    /// Advances the simulation by `cycles` cycles.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn phase_frame_rollover(&mut self) {
+        if let Some(frame) = self.frame_len {
+            if frame > 0 && self.now % frame == 0 {
+                for qos in &mut self.qos {
+                    qos.on_frame_rollover();
+                }
+                for source in &mut self.sources {
+                    source.on_frame_rollover();
+                }
+            }
+        }
+    }
+
+    fn phase_events(&mut self) {
+        let due = self.events.drain_due(self.now);
+        for event in due {
+            self.apply_event(event);
+        }
+    }
+
+    fn apply_event(&mut self, event: Event) {
+        match event {
+            Event::FlitToRouter {
+                router,
+                in_port,
+                vc,
+                packet,
+                flow: _,
+                len,
+                is_head,
+                is_tail: _,
+            } => {
+                let port = &mut self.routers[router].inputs[in_port.0];
+                while port.vcs.len() <= vc.index() {
+                    port.vcs.push(VcState::new(false));
+                }
+                let state = &mut port.vcs[vc.index()];
+                if is_head {
+                    state.accept_head(packet, len, self.now);
+                } else {
+                    state.accept_body(packet);
+                }
+                self.stats.energy.buffer_writes += 1;
+            }
+            Event::FlitToSink {
+                sink,
+                slot,
+                packet,
+                is_head,
+                is_tail,
+            } => {
+                if is_head {
+                    self.sinks[sink].accept_head(slot, packet);
+                } else {
+                    self.sinks[sink].accept_body(slot, packet);
+                }
+                if is_tail {
+                    self.complete_delivery(sink, slot);
+                }
+            }
+            Event::CreditToRouter {
+                router,
+                out_port,
+                target_idx,
+                vc,
+                reserved_vc,
+            } => {
+                self.routers[router].outputs[out_port].targets[target_idx].refund(vc, reserved_vc);
+            }
+            Event::CreditToSource { source, vc } => {
+                self.sources[source].free_vcs.push(vc);
+            }
+            Event::Ack { source, packet } => {
+                self.sources[source].acknowledge(packet);
+                self.packets.remove(packet);
+            }
+            Event::Nack { source, packet } => {
+                if let Some(pkt) = self.packets.get_mut(packet) {
+                    pkt.retransmissions += 1;
+                }
+                self.sources[source].retransmit(packet);
+            }
+            Event::PreemptionProbe {
+                router,
+                in_port,
+                contender,
+            } => {
+                self.handle_preemption_probe(router, in_port, contender);
+            }
+        }
+    }
+
+    fn complete_delivery(&mut self, sink: usize, slot: VcId) {
+        let packet_id = self.sinks[sink].complete(slot);
+        let packet = self
+            .packets
+            .get(packet_id)
+            .expect("delivered packet must be live")
+            .clone();
+        let hops = packet.column_hops();
+        self.stats
+            .record_delivery(packet.flow, packet.len_flits, hops, packet.birth, self.now);
+        // Free the sink slot credit at the feeding ejection port.
+        if let Some((router, out_port, target_idx)) = self.sink_feeders[sink] {
+            self.events.schedule(
+                self.now + self.config.credit_delay,
+                Event::CreditToRouter {
+                    router,
+                    out_port,
+                    target_idx,
+                    vc: slot,
+                    reserved_vc: false,
+                },
+            );
+        }
+        // Acknowledge delivery to the source over the ACK network.
+        let source = self.flow_to_source[packet.flow.index()];
+        self.events.schedule(
+            self.now + self.config.ack_latency(hops),
+            Event::Ack {
+                source,
+                packet: packet_id,
+            },
+        );
+    }
+
+    fn phase_sources(&mut self) {
+        let now = self.now;
+        for si in 0..self.sources.len() {
+            // 1. Traffic generation.
+            let generated = {
+                let source = &mut self.sources[si];
+                if source.generator.exhausted() {
+                    None
+                } else {
+                    source.generator.generate(now)
+                }
+            };
+            if let Some(gen) = generated {
+                let id = self.packets.allocate_id();
+                let source = &mut self.sources[si];
+                let packet = Packet::new(
+                    id,
+                    source.flow,
+                    source.node,
+                    gen.dst,
+                    gen.len_flits,
+                    gen.class,
+                    now,
+                );
+                source.enqueue_generated(&packet);
+                self.packets.insert(packet);
+            }
+
+            // 2. Start a new injection if possible.
+            if self.sources[si].can_start_injection() {
+                let source = &mut self.sources[si];
+                let packet_id = source.queue.pop_front().expect("queue checked non-empty");
+                let vc = source.free_vcs.pop().expect("credit checked available");
+                let flow = source.flow;
+                let quota = self.policy.reserved_quota(flow);
+                let packet = self
+                    .packets
+                    .get_mut(packet_id)
+                    .expect("queued packet must be live");
+                if packet.injected_at.is_none() {
+                    packet.injected_at = Some(now);
+                    source.injected_packets += 1;
+                }
+                let len = packet.len_flits;
+                packet.reserved = match quota {
+                    Some(q) if source.reserved_used_this_frame + u64::from(len) <= q => {
+                        source.reserved_used_this_frame += u64::from(len);
+                        true
+                    }
+                    _ => false,
+                };
+                source.window.insert(packet_id);
+                source.active = Some(InjectionTransfer {
+                    packet: packet_id,
+                    len,
+                    vc,
+                    flits_sent: 0,
+                });
+            }
+
+            // 3. Stream one flit of the active injection into the router.
+            let source = &mut self.sources[si];
+            if let Some(transfer) = &mut source.active {
+                let router = &mut self.routers[source.router];
+                let port = &mut router.inputs[source.in_port.0];
+                let vc_state = &mut port.vcs[transfer.vc.index()];
+                if transfer.flits_sent == 0 {
+                    vc_state.accept_head(transfer.packet, transfer.len, now);
+                } else {
+                    vc_state.accept_body(transfer.packet);
+                }
+                transfer.flits_sent += 1;
+                self.stats.energy.buffer_writes += 1;
+                if transfer.flits_sent >= transfer.len {
+                    source.active = None;
+                }
+            }
+        }
+    }
+
+    fn phase_routing(&mut self) {
+        for (ri, router) in self.routers.iter_mut().enumerate() {
+            let rspec = &self.spec.routers[ri];
+            for (pi, port) in router.inputs.iter_mut().enumerate() {
+                let pspec = &rspec.inputs[pi];
+                for vc in &mut port.vcs {
+                    if vc.packet.is_some() && vc.route.is_none() && vc.flits_arrived > 0 {
+                        let packet = self
+                            .packets
+                            .get(vc.packet.expect("checked occupied"))
+                            .expect("buffered packet must be live");
+                        let out =
+                            compute_route(rspec, pspec, packet.dst, &mut router.route_rr_cursor);
+                        vc.route = Some(out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_allocation(&mut self) {
+        let preemption = self.policy.preemption_enabled();
+        for ri in 0..self.routers.len() {
+            let rspec = &self.spec.routers[ri];
+            let router = &mut self.routers[ri];
+            let qos = &mut self.qos[ri];
+            let num_outputs = router.outputs.len();
+            for oi in 0..num_outputs {
+                if !router.outputs[oi].can_grant(self.config.grant_queue_depth) {
+                    continue;
+                }
+                // Gather requests for this output port.
+                struct Request {
+                    in_port: usize,
+                    vc: usize,
+                    packet: PacketId,
+                    flow: FlowId,
+                    len: u8,
+                    reserved: bool,
+                    target_idx: usize,
+                    passthrough: bool,
+                    priority: u64,
+                    has_credit: bool,
+                }
+                let mut requests: Vec<Request> = Vec::new();
+                for (pi, port) in router.inputs.iter().enumerate() {
+                    let pspec = &rspec.inputs[pi];
+                    for (vi, vc) in port.vcs.iter().enumerate() {
+                        if !vc.wants_allocation() || vc.route != Some(crate::ids::OutPortId(oi)) {
+                            continue;
+                        }
+                        let packet_id = vc.packet.expect("allocating VC holds a packet");
+                        let packet = self
+                            .packets
+                            .get(packet_id)
+                            .expect("buffered packet must be live");
+                        let target_idx = resolve_target_idx(&rspec.outputs[oi], packet.dst);
+                        let has_credit =
+                            router.outputs[oi].targets[target_idx].has_credit(packet.reserved);
+                        requests.push(Request {
+                            in_port: pi,
+                            vc: vi,
+                            packet: packet_id,
+                            flow: packet.flow,
+                            len: packet.len_flits,
+                            reserved: packet.reserved,
+                            target_idx,
+                            passthrough: pspec.passthrough,
+                            priority: qos.priority(packet.flow),
+                            has_credit,
+                        });
+                    }
+                }
+                if requests.is_empty() {
+                    continue;
+                }
+                // Pass-through merge points (DPS intermediate hops) arbitrate
+                // with the same rate-scaled priorities as everywhere else: in
+                // hardware the priority travels with the packet (PVC's
+                // priority reuse), so no flow-state query is needed there and
+                // none is charged to the energy counters.
+                let n = requests.len();
+                let rr = router.outputs[oi].rr_cursor;
+                let winner_idx = requests
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.has_credit)
+                    .min_by_key(|(idx, r)| (r.priority, (idx + n - rr % n.max(1)) % n.max(1)))
+                    .map(|(idx, _)| idx);
+
+                if let Some(widx) = winner_idx {
+                    let req = &requests[widx];
+                    let out_state = &mut router.outputs[oi];
+                    let (to_vc, to_vc_reserved) = out_state.targets[req.target_idx]
+                        .claim(req.reserved)
+                        .expect("credit was checked");
+                    let ospec = &rspec.outputs[oi];
+                    let target = &ospec.targets[req.target_idx];
+                    let router_latency = if req.passthrough {
+                        1
+                    } else {
+                        rspec.va_latency + rspec.xt_latency
+                    };
+                    out_state.granted.push(Transfer {
+                        packet: req.packet,
+                        flow: req.flow,
+                        len: req.len,
+                        from_port: InPortId(req.in_port),
+                        from_vc: VcId(req.vc as u16),
+                        target_idx: req.target_idx,
+                        endpoint: target.endpoint,
+                        to_vc,
+                        to_vc_reserved,
+                        flits_launched: 0,
+                        launch_start: self.now + Cycle::from(router_latency),
+                        wire_delay: target.wire_delay,
+                        passthrough: req.passthrough,
+                    });
+                    out_state.rr_cursor = widx + 1;
+                    router.inputs[req.in_port].vcs[req.vc].granted = true;
+                    // Flow-state bookkeeping. Pass-through hops skip the
+                    // energy cost of the query/update but still account the
+                    // bandwidth so preemption decisions stay meaningful.
+                    qos.on_packet_forwarded(req.flow, u32::from(req.len));
+                    if !req.passthrough {
+                        self.stats.energy.flow_table_queries += 1;
+                        self.stats.energy.flow_table_updates += 1;
+                    }
+                } else if preemption {
+                    // Everyone is blocked on buffer space: probe the most
+                    // deserving blocked request's target for a lower-priority
+                    // victim (priority inversion resolution).
+                    if let Some(req) = requests
+                        .iter()
+                        .filter(|r| !r.has_credit)
+                        .min_by_key(|r| r.priority)
+                    {
+                        let ospec = &rspec.outputs[oi];
+                        let target = &ospec.targets[req.target_idx];
+                        if let TargetEndpoint::Router { router, in_port } = target.endpoint {
+                            self.events.schedule(
+                                self.now + 1,
+                                Event::PreemptionProbe {
+                                    router,
+                                    in_port,
+                                    contender: req.flow,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_launch(&mut self) {
+        let now = self.now;
+        for ri in 0..self.routers.len() {
+            let rspec = &self.spec.routers[ri];
+            let router = &mut self.routers[ri];
+            // Crossbar input groups already used this cycle (bitmask).
+            let mut xbar_used: u64 = 0;
+            for oi in 0..router.outputs.len() {
+                let out_state = &mut router.outputs[oi];
+                if out_state.granted.is_empty() || out_state.link_free_at > now {
+                    continue;
+                }
+                let transfer = &out_state.granted[0];
+                if transfer.launch_start > now {
+                    continue;
+                }
+                let from_port = transfer.from_port.0;
+                let from_vc = transfer.from_vc.index();
+                let passthrough = transfer.passthrough;
+                let group = rspec.inputs[from_port].xbar_group;
+                if !passthrough && (xbar_used >> group) & 1 == 1 {
+                    continue;
+                }
+                let sendable = router.inputs[from_port].vcs[from_vc].sendable_flits();
+                if sendable == 0 {
+                    continue;
+                }
+
+                // Launch one flit.
+                let transfer = &mut out_state.granted[0];
+                let flit_idx = transfer.flits_launched;
+                let is_head = flit_idx == 0;
+                let is_tail = flit_idx + 1 == transfer.len;
+                transfer.flits_launched += 1;
+                out_state.link_free_at = now + 1;
+                out_state.flits_launched_total += 1;
+                router.inputs[from_port].vcs[from_vc].flits_sent += 1;
+
+                self.stats.energy.buffer_reads += 1;
+                self.stats.energy.link_flit_hops += u64::from(transfer.wire_delay);
+                if !passthrough {
+                    xbar_used |= 1 << group;
+                    self.stats.energy.xbar_flits += 1;
+                }
+
+                let due = now + Cycle::from(transfer.wire_delay);
+                match transfer.endpoint {
+                    TargetEndpoint::Router { router, in_port } => {
+                        self.events.schedule(
+                            due,
+                            Event::FlitToRouter {
+                                router,
+                                in_port,
+                                vc: transfer.to_vc,
+                                packet: transfer.packet,
+                                flow: transfer.flow,
+                                len: transfer.len,
+                                is_head,
+                                is_tail,
+                            },
+                        );
+                    }
+                    TargetEndpoint::Sink { sink } => {
+                        self.events.schedule(
+                            due,
+                            Event::FlitToSink {
+                                sink,
+                                slot: transfer.to_vc,
+                                packet: transfer.packet,
+                                is_head,
+                                is_tail,
+                            },
+                        );
+                    }
+                }
+
+                // Transfer complete: free the upstream VC and return its
+                // credit to whoever feeds it.
+                if out_state.granted[0].is_complete() {
+                    out_state.granted.remove(0);
+                    let vc_state = &mut router.inputs[from_port].vcs[from_vc];
+                    let was_reserved_vc = vc_state.reserved_vc;
+                    vc_state.release();
+                    match router.inputs[from_port].feeder {
+                        Some(Feeder::RouterOutput {
+                            router: fr,
+                            out_port: fo,
+                            target_idx: ft,
+                        }) => {
+                            self.events.schedule(
+                                now + self.config.credit_delay,
+                                Event::CreditToRouter {
+                                    router: fr,
+                                    out_port: fo,
+                                    target_idx: ft,
+                                    vc: VcId(from_vc as u16),
+                                    reserved_vc: was_reserved_vc,
+                                },
+                            );
+                        }
+                        Some(Feeder::Source { source }) => {
+                            self.events.schedule(
+                                now + self.config.credit_delay,
+                                Event::CreditToSource {
+                                    source,
+                                    vc: VcId(from_vc as u16),
+                                },
+                            );
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_preemption_probe(&mut self, router: usize, in_port: InPortId, contender: FlowId) {
+        let node = self.routers[router].node;
+        let candidates: Vec<(PacketId, FlowId, bool)> = {
+            let port = &self.routers[router].inputs[in_port.0];
+            port.resident_idle_packets()
+                .into_iter()
+                .filter_map(|(_, pid)| {
+                    self.packets
+                        .get(pid)
+                        .map(|p| (pid, p.flow, p.reserved))
+                })
+                .collect()
+        };
+        if candidates.is_empty() {
+            return;
+        }
+        let Some(victim_id) = self.qos[router].select_victim(contender, &candidates) else {
+            return;
+        };
+        // Locate and flush the victim VC.
+        let port = &mut self.routers[router].inputs[in_port.0];
+        let Some(vc_idx) = port
+            .vcs
+            .iter()
+            .position(|vc| vc.packet == Some(victim_id) && vc.is_resident_idle())
+        else {
+            return;
+        };
+        let was_reserved_vc = port.vcs[vc_idx].reserved_vc;
+        port.vcs[vc_idx].release();
+        let feeder = port.feeder;
+
+        let victim = self
+            .packets
+            .get(victim_id)
+            .expect("victim packet must be live")
+            .clone();
+        let wasted_hops = victim.src.column_distance(node);
+        self.stats.record_preemption(victim.flow, wasted_hops);
+
+        // Return the freed buffer to the upstream channel so the contender
+        // can claim it.
+        match feeder {
+            Some(Feeder::RouterOutput {
+                router: fr,
+                out_port: fo,
+                target_idx: ft,
+            }) => {
+                self.events.schedule(
+                    self.now + self.config.credit_delay,
+                    Event::CreditToRouter {
+                        router: fr,
+                        out_port: fo,
+                        target_idx: ft,
+                        vc: VcId(vc_idx as u16),
+                        reserved_vc: was_reserved_vc,
+                    },
+                );
+            }
+            Some(Feeder::Source { source }) => {
+                self.events.schedule(
+                    self.now + self.config.credit_delay,
+                    Event::CreditToSource {
+                        source,
+                        vc: VcId(vc_idx as u16),
+                    },
+                );
+            }
+            None => {}
+        }
+
+        // NACK the victim's source over the ACK network; it will retransmit.
+        let source = self.flow_to_source[victim.flow.index()];
+        self.events.schedule(
+            self.now + self.config.ack_latency(wasted_hops),
+            Event::Nack {
+                source,
+                packet: victim_id,
+            },
+        );
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.spec.name)
+            .field("policy", &self.policy.name())
+            .field("now", &self.now)
+            .field("routers", &self.routers.len())
+            .field("sources", &self.sources.len())
+            .field("sinks", &self.sinks.len())
+            .field("live_packets", &self.packets.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Direction, NodeId, OutPortId};
+    use crate::packet::{GeneratedPacket, PacketGenerator};
+    use crate::qos::FifoPolicy;
+    use crate::spec::{
+        InputPortSpec, OutputPortSpec, RouterSpec, SinkSpec, SourceSpec, TargetSpec, VcConfig,
+    };
+    use std::collections::BTreeMap;
+
+    /// Generator producing a fixed number of single-flit packets, one every
+    /// `gap` cycles.
+    struct BurstGenerator {
+        dst: NodeId,
+        remaining: u32,
+        gap: u64,
+        len: u8,
+    }
+
+    impl PacketGenerator for BurstGenerator {
+        fn generate(&mut self, now: Cycle) -> Option<GeneratedPacket> {
+            if self.remaining == 0 || now % self.gap != 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            Some(GeneratedPacket {
+                dst: self.dst,
+                len_flits: self.len,
+                class: crate::packet::PacketClass::Request,
+            })
+        }
+
+        fn exhausted(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    /// Two-router chain: source at node 0 sends to the sink at node 1.
+    fn chain_spec_with(injection_vcs: u8) -> NetworkSpec {
+        let r0 = RouterSpec {
+            node: NodeId(0),
+            inputs: vec![InputPortSpec::injection(
+                "term",
+                VcConfig::new(injection_vcs, 4),
+                0,
+            )],
+            outputs: vec![OutputPortSpec::network(
+                "south",
+                Direction::South,
+                0,
+                vec![TargetSpec::single(
+                    TargetEndpoint::Router {
+                        router: 1,
+                        in_port: InPortId(0),
+                    },
+                    1,
+                )],
+            )],
+            route_table: BTreeMap::from([(NodeId(1), vec![OutPortId(0)])]),
+            va_latency: 1,
+            xt_latency: 1,
+        };
+        let r1 = RouterSpec {
+            node: NodeId(1),
+            inputs: vec![InputPortSpec::network(
+                "north",
+                NodeId(0),
+                Direction::South,
+                0,
+                VcConfig::new(2, 4),
+                0,
+            )],
+            outputs: vec![OutputPortSpec::ejection("eject", 0, 0)],
+            route_table: BTreeMap::from([(NodeId(1), vec![OutPortId(0)])]),
+            va_latency: 1,
+            xt_latency: 1,
+        };
+        NetworkSpec {
+            name: "chain".to_string(),
+            routers: vec![r0, r1],
+            sources: vec![SourceSpec {
+                flow: FlowId(0),
+                node: NodeId(0),
+                router: 0,
+                in_port: InPortId(0),
+                name: "n0.term".to_string(),
+                window: 8,
+            }],
+            sinks: vec![SinkSpec {
+                node: NodeId(1),
+                name: "n1.sink".to_string(),
+                slots: 2,
+            }],
+            flit_bytes: 16,
+        }
+    }
+
+    fn chain_spec() -> NetworkSpec {
+        chain_spec_with(1)
+    }
+
+    fn build_chain(count: u32, gap: u64, len: u8) -> Network {
+        build_chain_with(chain_spec(), count, gap, len)
+    }
+
+    fn build_chain_with(spec: NetworkSpec, count: u32, gap: u64, len: u8) -> Network {
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![Box::new(BurstGenerator {
+            dst: NodeId(1),
+            remaining: count,
+            gap,
+            len,
+        })];
+        Network::new(
+            spec,
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("chain network builds")
+    }
+
+    #[test]
+    fn single_packet_is_delivered_with_expected_latency() {
+        let mut net = build_chain(1, 1, 1);
+        for _ in 0..100 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent(), "packet should be delivered and acked");
+        let stats = net.into_stats();
+        assert_eq!(stats.delivered_packets, 1);
+        assert_eq!(stats.delivered_flits, 1);
+        assert_eq!(stats.latency_samples, 1);
+        // Birth -> injection (1 cycle) -> router 0 pipeline (2) -> wire (1)
+        // -> router 1 pipeline (2) -> ejection. The exact constant is not the
+        // point; it must be small and deterministic.
+        assert!(stats.avg_latency() >= 5.0);
+        assert!(stats.avg_latency() <= 12.0, "latency {}", stats.avg_latency());
+        assert_eq!(stats.useful_hops, 1);
+        assert_eq!(stats.preemption_events, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut net = build_chain(50, 3, 2);
+            for _ in 0..2_000 {
+                net.step();
+                if net.is_quiescent() {
+                    break;
+                }
+            }
+            let stats = net.into_stats();
+            (stats.delivered_packets, stats.latency_sum, stats.cycles)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_packets_of_a_burst_are_delivered() {
+        let mut net = build_chain(200, 1, 1);
+        for _ in 0..5_000 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent(), "burst should drain");
+        let stats = net.into_stats();
+        assert_eq!(stats.delivered_packets, 200);
+        assert_eq!(stats.generated_packets, 200);
+        assert_eq!(stats.flows[0].delivered_packets, 200);
+    }
+
+    #[test]
+    fn multi_flit_packets_account_all_flits() {
+        let mut net = build_chain(10, 5, 4);
+        for _ in 0..2_000 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent());
+        let stats = net.into_stats();
+        assert_eq!(stats.delivered_packets, 10);
+        assert_eq!(stats.delivered_flits, 40);
+        // Every flit is written once at the injection port, once at the
+        // downstream router; read twice (once per launch).
+        assert_eq!(stats.energy.buffer_writes, 80);
+        assert_eq!(stats.energy.buffer_reads, 80);
+        assert_eq!(stats.energy.xbar_flits, 80);
+    }
+
+    /// Three-router spec where router 0 drives a MECS-style multidrop channel
+    /// whose two targets are routers 1 and 2 (wire delays 1 and 2); each
+    /// downstream router ejects into its own sink.
+    fn multidrop_spec() -> NetworkSpec {
+        let vcs = VcConfig::new(4, 4);
+        let downstream = |node: u16| RouterSpec {
+            node: NodeId(node),
+            inputs: vec![InputPortSpec::network(
+                "from_n0",
+                NodeId(0),
+                Direction::South,
+                0,
+                vcs,
+                0,
+            )],
+            outputs: vec![OutputPortSpec::ejection("eject", (node - 1) as usize, 0)],
+            route_table: BTreeMap::from([(NodeId(node), vec![OutPortId(0)])]),
+            va_latency: 2,
+            xt_latency: 1,
+        };
+        let r0 = RouterSpec {
+            node: NodeId(0),
+            inputs: vec![InputPortSpec::injection("term", VcConfig::new(2, 4), 0)],
+            outputs: vec![OutputPortSpec::network(
+                "mecs_south",
+                Direction::South,
+                0,
+                vec![
+                    TargetSpec::covering(
+                        TargetEndpoint::Router {
+                            router: 1,
+                            in_port: InPortId(0),
+                        },
+                        1,
+                        vec![NodeId(1)],
+                    ),
+                    TargetSpec::covering(
+                        TargetEndpoint::Router {
+                            router: 2,
+                            in_port: InPortId(0),
+                        },
+                        2,
+                        vec![NodeId(2)],
+                    ),
+                ],
+            )],
+            route_table: BTreeMap::from([
+                (NodeId(1), vec![OutPortId(0)]),
+                (NodeId(2), vec![OutPortId(0)]),
+            ]),
+            va_latency: 2,
+            xt_latency: 1,
+        };
+        NetworkSpec {
+            name: "multidrop".to_string(),
+            routers: vec![r0, downstream(1), downstream(2)],
+            sources: vec![SourceSpec {
+                flow: FlowId(0),
+                node: NodeId(0),
+                router: 0,
+                in_port: InPortId(0),
+                name: "n0.term".to_string(),
+                window: 8,
+            }],
+            sinks: vec![
+                SinkSpec {
+                    node: NodeId(1),
+                    name: "n1.sink".to_string(),
+                    slots: 2,
+                },
+                SinkSpec {
+                    node: NodeId(2),
+                    name: "n2.sink".to_string(),
+                    slots: 2,
+                },
+            ],
+            flit_bytes: 16,
+        }
+    }
+
+    /// Generator alternating between two fixed destinations.
+    struct AlternatingGenerator {
+        destinations: Vec<NodeId>,
+        remaining: u32,
+        next: usize,
+    }
+
+    impl PacketGenerator for AlternatingGenerator {
+        fn generate(&mut self, _now: Cycle) -> Option<GeneratedPacket> {
+            if self.remaining == 0 {
+                return None;
+            }
+            self.remaining -= 1;
+            let dst = self.destinations[self.next % self.destinations.len()];
+            self.next += 1;
+            Some(GeneratedPacket {
+                dst,
+                len_flits: 1,
+                class: crate::packet::PacketClass::Request,
+            })
+        }
+
+        fn exhausted(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    #[test]
+    fn multidrop_channels_deliver_to_the_right_drop_off_point() {
+        // A MECS-style point-to-multipoint channel must steer each packet to
+        // the target covering its destination, sharing one physical channel.
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![Box::new(AlternatingGenerator {
+            destinations: vec![NodeId(1), NodeId(2)],
+            remaining: 40,
+            next: 0,
+        })];
+        let mut net = Network::new(
+            multidrop_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("multidrop network builds");
+        for _ in 0..3_000 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent(), "all packets should be delivered");
+        let stats = net.into_stats();
+        assert_eq!(stats.delivered_packets, 40);
+        // Both destinations received their half of the traffic: each packet
+        // travelled exactly one hop (to node 1) or two hop-equivalents (to
+        // node 2), so total useful hops are 20*1 + 20*2.
+        assert_eq!(stats.useful_hops, 60);
+        // The farther drop-off point pays the longer wire: total link
+        // flit-hops are 20*1 + 20*2 as well.
+        assert_eq!(stats.energy.link_flit_hops, 60);
+    }
+
+    #[test]
+    fn throughput_saturates_near_link_rate() {
+        // Offered load far exceeds the single-channel capacity. With two
+        // injection VCs and long packets the channel pipelines back-to-back
+        // transfers, so accepted throughput must approach (and never exceed)
+        // one flit per cycle.
+        let mut net = build_chain_with(chain_spec_with(2), 10_000, 1, 4);
+        net.run_for(3_000);
+        let delivered = net.delivered_flits();
+        assert!(delivered > 2_300, "delivered only {delivered} flits");
+        assert!(delivered <= 3_000);
+    }
+
+    #[test]
+    fn single_injection_vc_serialises_injection() {
+        // With a single injection VC a short packet occupies the VC for the
+        // full pipeline plus credit turnaround, limiting accepted throughput
+        // to roughly one packet every three cycles.
+        let mut net = build_chain(10_000, 1, 1);
+        net.run_for(3_000);
+        let delivered = net.delivered_flits();
+        assert!(delivered > 800, "delivered only {delivered} flits");
+        assert!(delivered < 1_500, "delivered {delivered} flits");
+    }
+}

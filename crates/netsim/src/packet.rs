@@ -1,0 +1,300 @@
+//! Packets, packet classes, and the traffic-generation interface.
+//!
+//! The simulator models traffic at packet granularity with explicit flit
+//! counts. Virtual cut-through flow control transfers whole packets once a
+//! virtual channel has been acquired, so individual flits are represented by
+//! counters rather than separate objects.
+
+use crate::ids::{Cycle, FlowId, NodeId, PacketId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Traffic class of a packet.
+///
+/// The paper's evaluation uses two packet sizes corresponding to request and
+/// reply traffic; input buffers are not specialised by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketClass {
+    /// Short (single-flit) request, e.g. a read request travelling to a
+    /// memory controller.
+    Request,
+    /// Long (multi-flit) reply, e.g. a cache line returning from a memory
+    /// controller.
+    Reply,
+}
+
+impl PacketClass {
+    /// Default packet length in flits for this class with 16-byte links.
+    pub fn default_len_flits(self) -> u8 {
+        match self {
+            PacketClass::Request => 1,
+            PacketClass::Reply => 4,
+        }
+    }
+}
+
+/// A packet travelling through the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique identifier within one simulation run.
+    pub id: PacketId,
+    /// Flow (injector) this packet belongs to.
+    pub flow: FlowId,
+    /// Source node (the router at which the packet is injected).
+    pub src: NodeId,
+    /// Destination node (the router whose terminal consumes the packet).
+    pub dst: NodeId,
+    /// Packet length in flits (1..=4 in the paper's configuration).
+    pub len_flits: u8,
+    /// Traffic class.
+    pub class: PacketClass,
+    /// Cycle at which the packet was generated at the source queue.
+    pub birth: Cycle,
+    /// Cycle at which the packet's head flit first entered the network
+    /// (injection virtual channel), if it has been injected.
+    pub injected_at: Option<Cycle>,
+    /// Whether the packet was sent within its flow's reserved (rate-compliant)
+    /// quota for the current frame; reserved packets are never preempted and
+    /// may use the reserved virtual channel at each network port.
+    pub reserved: bool,
+    /// Number of times this packet has been retransmitted after a preemption.
+    pub retransmissions: u32,
+}
+
+impl Packet {
+    /// Creates a new packet. The packet starts un-injected and non-reserved.
+    pub fn new(
+        id: PacketId,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        len_flits: u8,
+        class: PacketClass,
+        birth: Cycle,
+    ) -> Self {
+        Packet {
+            id,
+            flow,
+            src,
+            dst,
+            len_flits,
+            class,
+            birth,
+            injected_at: None,
+            reserved: false,
+            retransmissions: 0,
+        }
+    }
+
+    /// Hop distance of this packet's route along a one-dimensional column.
+    pub fn column_hops(&self) -> u32 {
+        self.src.column_distance(self.dst)
+    }
+}
+
+/// A packet requested by a traffic generator, before it is assigned an
+/// identifier and bound to a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedPacket {
+    /// Destination node of the packet.
+    pub dst: NodeId,
+    /// Packet length in flits.
+    pub len_flits: u8,
+    /// Traffic class of the packet.
+    pub class: PacketClass,
+}
+
+impl GeneratedPacket {
+    /// Convenience constructor for a request packet (1 flit).
+    pub fn request(dst: NodeId) -> Self {
+        GeneratedPacket {
+            dst,
+            len_flits: PacketClass::Request.default_len_flits(),
+            class: PacketClass::Request,
+        }
+    }
+
+    /// Convenience constructor for a reply packet (4 flits).
+    pub fn reply(dst: NodeId) -> Self {
+        GeneratedPacket {
+            dst,
+            len_flits: PacketClass::Reply.default_len_flits(),
+            class: PacketClass::Reply,
+        }
+    }
+}
+
+/// Source-side traffic generator.
+///
+/// One generator is attached to every injector (source) in the network. The
+/// network polls it once per cycle; a generator may produce at most one
+/// packet per cycle (the injection port bandwidth is one flit per cycle, so
+/// higher generation rates would only grow the source queue).
+///
+/// Implementations live in the `taqos-traffic` crate; the trait is defined
+/// here so the simulator substrate has no dependency on traffic generation.
+pub trait PacketGenerator: Send {
+    /// Called once per cycle. Returns a packet description if the source
+    /// produces a packet this cycle.
+    fn generate(&mut self, now: Cycle) -> Option<GeneratedPacket>;
+
+    /// Returns `true` once the generator will never produce another packet.
+    ///
+    /// Open-loop (rate-driven) generators never become exhausted; fixed
+    /// workloads (a budget of packets per source) report exhaustion so the
+    /// simulation driver can detect completion.
+    fn exhausted(&self) -> bool {
+        false
+    }
+}
+
+/// A generator that never produces traffic. Useful for idle injectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleGenerator;
+
+impl PacketGenerator for IdleGenerator {
+    fn generate(&mut self, _now: Cycle) -> Option<GeneratedPacket> {
+        None
+    }
+
+    fn exhausted(&self) -> bool {
+        true
+    }
+}
+
+/// Central store of all live packets in a simulation.
+///
+/// Virtual channels and transfers reference packets by [`PacketId`]; the
+/// store owns the packet metadata so that delivery, preemption and
+/// retransmission can update a single authoritative copy.
+#[derive(Debug, Default)]
+pub struct PacketStore {
+    packets: HashMap<PacketId, Packet>,
+    next_id: u64,
+}
+
+impl PacketStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh packet identifier.
+    pub fn allocate_id(&mut self) -> PacketId {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Inserts a packet into the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a packet with the same identifier is already present.
+    pub fn insert(&mut self, packet: Packet) {
+        let prev = self.packets.insert(packet.id, packet);
+        assert!(prev.is_none(), "duplicate packet id inserted");
+    }
+
+    /// Looks up a packet by identifier.
+    pub fn get(&self, id: PacketId) -> Option<&Packet> {
+        self.packets.get(&id)
+    }
+
+    /// Looks up a packet mutably by identifier.
+    pub fn get_mut(&mut self, id: PacketId) -> Option<&mut Packet> {
+        self.packets.get_mut(&id)
+    }
+
+    /// Removes a packet from the store (on final delivery).
+    pub fn remove(&mut self, id: PacketId) -> Option<Packet> {
+        self.packets.remove(&id)
+    }
+
+    /// Number of live packets currently tracked.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the store holds no live packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet(id: u64) -> Packet {
+        Packet::new(
+            PacketId(id),
+            FlowId(1),
+            NodeId(0),
+            NodeId(5),
+            4,
+            PacketClass::Reply,
+            10,
+        )
+    }
+
+    #[test]
+    fn packet_class_lengths_match_paper() {
+        assert_eq!(PacketClass::Request.default_len_flits(), 1);
+        assert_eq!(PacketClass::Reply.default_len_flits(), 4);
+    }
+
+    #[test]
+    fn packet_hops_along_column() {
+        let p = sample_packet(0);
+        assert_eq!(p.column_hops(), 5);
+    }
+
+    #[test]
+    fn generated_packet_constructors() {
+        let req = GeneratedPacket::request(NodeId(3));
+        assert_eq!(req.len_flits, 1);
+        assert_eq!(req.class, PacketClass::Request);
+        let rep = GeneratedPacket::reply(NodeId(3));
+        assert_eq!(rep.len_flits, 4);
+        assert_eq!(rep.class, PacketClass::Reply);
+    }
+
+    #[test]
+    fn store_allocates_unique_ids() {
+        let mut store = PacketStore::new();
+        let a = store.allocate_id();
+        let b = store.allocate_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn store_insert_get_remove_roundtrip() {
+        let mut store = PacketStore::new();
+        let p = sample_packet(7);
+        store.insert(p.clone());
+        assert_eq!(store.len(), 1);
+        assert!(!store.is_empty());
+        assert_eq!(store.get(PacketId(7)), Some(&p));
+        store.get_mut(PacketId(7)).unwrap().retransmissions = 2;
+        assert_eq!(store.get(PacketId(7)).unwrap().retransmissions, 2);
+        let removed = store.remove(PacketId(7)).unwrap();
+        assert_eq!(removed.retransmissions, 2);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate packet id")]
+    fn store_rejects_duplicate_ids() {
+        let mut store = PacketStore::new();
+        store.insert(sample_packet(1));
+        store.insert(sample_packet(1));
+    }
+
+    #[test]
+    fn idle_generator_generates_nothing() {
+        let mut idle = IdleGenerator;
+        assert!(idle.generate(0).is_none());
+        assert!(idle.exhausted());
+    }
+}

@@ -1,0 +1,262 @@
+//! Runtime router state and routing helpers.
+
+use crate::ids::{NodeId, OutPortId};
+use crate::port::{InputPortState, OutputPortState};
+use crate::spec::{InputKind, InputPortSpec, OutputKind, OutputPortSpec, RouterSpec};
+
+/// Runtime state of one router.
+#[derive(Debug)]
+pub struct RouterState {
+    /// Node this router serves.
+    pub node: NodeId,
+    /// Input port states.
+    pub inputs: Vec<InputPortState>,
+    /// Output port states.
+    pub outputs: Vec<OutputPortState>,
+    /// Round-robin cursor used when a destination maps to several candidate
+    /// output ports (replicated mesh channels).
+    pub route_rr_cursor: usize,
+}
+
+impl RouterState {
+    /// Creates runtime state for a router from its specification.
+    pub fn from_spec(spec: &RouterSpec) -> Self {
+        RouterState {
+            node: spec.node,
+            inputs: spec.inputs.iter().map(InputPortState::from_spec).collect(),
+            outputs: spec
+                .outputs
+                .iter()
+                .map(OutputPortState::from_spec)
+                .collect(),
+            route_rr_cursor: 0,
+        }
+    }
+
+    /// Number of packets currently buffered in the router.
+    pub fn buffered_packets(&self) -> usize {
+        self.inputs.iter().map(|p| p.occupied_vcs()).sum()
+    }
+}
+
+/// Computes the output port a packet arriving at `in_port` and destined for
+/// `dst` should take at the router described by `spec`.
+///
+/// Pass-through and fixed-route ports always use their configured output.
+/// Otherwise the routing table is consulted; when several candidate ports
+/// exist (replicated mesh channels) the packet stays on the channel it
+/// arrived on if possible and otherwise candidates are balanced round-robin
+/// using `rr_cursor`.
+///
+/// # Panics
+///
+/// Panics if the routing table has no entry for `dst` — that is a topology
+/// construction bug, not a runtime condition.
+pub fn compute_route(
+    spec: &RouterSpec,
+    in_port: &InputPortSpec,
+    dst: NodeId,
+    rr_cursor: &mut usize,
+) -> OutPortId {
+    if let Some(fixed) = in_port.fixed_route {
+        return fixed;
+    }
+    let candidates = spec
+        .route_table
+        .get(&dst)
+        .unwrap_or_else(|| panic!("router {} has no route for destination {dst}", spec.node));
+    assert!(
+        !candidates.is_empty(),
+        "router {} has an empty candidate list for {dst}",
+        spec.node
+    );
+    if candidates.len() == 1 {
+        return candidates[0];
+    }
+    if let InputKind::Network { channel, .. } = in_port.kind {
+        if let Some(&same) = candidates.iter().find(|&&out| {
+            matches!(
+                spec.outputs[out.0].kind,
+                OutputKind::Network { channel: c, .. } if c == channel
+            )
+        }) {
+            return same;
+        }
+    }
+    let pick = candidates[*rr_cursor % candidates.len()];
+    *rr_cursor = rr_cursor.wrapping_add(1);
+    pick
+}
+
+/// Resolves which target (drop-off point) of an output port serves packets
+/// destined for `dst`.
+///
+/// # Panics
+///
+/// Panics if a multi-target port has no target covering `dst` — a topology
+/// construction bug.
+pub fn resolve_target_idx(out_port: &OutputPortSpec, dst: NodeId) -> usize {
+    if out_port.targets.len() == 1 {
+        return 0;
+    }
+    out_port
+        .targets
+        .iter()
+        .position(|t| t.covers.contains(&dst))
+        .unwrap_or_else(|| {
+            panic!(
+                "output port {} has no target covering destination {dst}",
+                out_port.name
+            )
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Direction;
+    use crate::spec::{TargetEndpoint, TargetSpec, VcConfig};
+    use std::collections::BTreeMap;
+
+    fn replicated_router() -> RouterSpec {
+        let targets = |_ch: u8| {
+            vec![TargetSpec::single(
+                TargetEndpoint::Sink { sink: 0 },
+                1,
+            )]
+        };
+        RouterSpec {
+            node: NodeId(3),
+            inputs: vec![
+                InputPortSpec::injection("term", VcConfig::new(1, 4), 0),
+                InputPortSpec::network(
+                    "south_ch0",
+                    NodeId(4),
+                    Direction::North,
+                    0,
+                    VcConfig::new(2, 4),
+                    1,
+                ),
+                InputPortSpec::network(
+                    "south_ch1",
+                    NodeId(4),
+                    Direction::North,
+                    1,
+                    VcConfig::new(2, 4),
+                    2,
+                ),
+            ],
+            outputs: vec![
+                OutputPortSpec::network("north_ch0", Direction::North, 0, targets(0)),
+                OutputPortSpec::network("north_ch1", Direction::North, 1, targets(1)),
+                OutputPortSpec::ejection("eject", 0, 0),
+            ],
+            route_table: BTreeMap::from([
+                (NodeId(0), vec![OutPortId(0), OutPortId(1)]),
+                (NodeId(3), vec![OutPortId(2)]),
+            ]),
+            va_latency: 1,
+            xt_latency: 1,
+        }
+    }
+
+    #[test]
+    fn router_state_mirrors_spec_shape() {
+        let spec = replicated_router();
+        let state = RouterState::from_spec(&spec);
+        assert_eq!(state.inputs.len(), 3);
+        assert_eq!(state.outputs.len(), 3);
+        assert_eq!(state.buffered_packets(), 0);
+        assert_eq!(state.node, NodeId(3));
+    }
+
+    #[test]
+    fn fixed_route_wins() {
+        let spec = replicated_router();
+        let mut rr = 0;
+        let port = InputPortSpec::injection("term", VcConfig::new(1, 4), 0)
+            .with_fixed_route(OutPortId(1));
+        assert_eq!(
+            compute_route(&spec, &port, NodeId(0), &mut rr),
+            OutPortId(1)
+        );
+    }
+
+    #[test]
+    fn single_candidate_is_used_directly() {
+        let spec = replicated_router();
+        let mut rr = 0;
+        assert_eq!(
+            compute_route(&spec, &spec.inputs[0], NodeId(3), &mut rr),
+            OutPortId(2)
+        );
+        assert_eq!(rr, 0);
+    }
+
+    #[test]
+    fn packets_stay_on_their_channel_when_possible() {
+        let spec = replicated_router();
+        let mut rr = 0;
+        // Arrived on channel 1 -> keeps channel 1.
+        assert_eq!(
+            compute_route(&spec, &spec.inputs[2], NodeId(0), &mut rr),
+            OutPortId(1)
+        );
+        // Arrived on channel 0 -> keeps channel 0.
+        assert_eq!(
+            compute_route(&spec, &spec.inputs[1], NodeId(0), &mut rr),
+            OutPortId(0)
+        );
+    }
+
+    #[test]
+    fn injected_packets_round_robin_over_channels() {
+        let spec = replicated_router();
+        let mut rr = 0;
+        let a = compute_route(&spec, &spec.inputs[0], NodeId(0), &mut rr);
+        let b = compute_route(&spec, &spec.inputs[0], NodeId(0), &mut rr);
+        let c = compute_route(&spec, &spec.inputs[0], NodeId(0), &mut rr);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "no route for destination")]
+    fn missing_route_panics() {
+        let spec = replicated_router();
+        let mut rr = 0;
+        compute_route(&spec, &spec.inputs[0], NodeId(7), &mut rr);
+    }
+
+    #[test]
+    fn target_resolution_by_coverage() {
+        let multi = OutputPortSpec::network(
+            "mecs_south",
+            Direction::South,
+            0,
+            vec![
+                TargetSpec::covering(TargetEndpoint::Sink { sink: 0 }, 1, vec![NodeId(4)]),
+                TargetSpec::covering(TargetEndpoint::Sink { sink: 1 }, 2, vec![NodeId(5), NodeId(6)]),
+            ],
+        );
+        assert_eq!(resolve_target_idx(&multi, NodeId(4)), 0);
+        assert_eq!(resolve_target_idx(&multi, NodeId(6)), 1);
+        let single = OutputPortSpec::ejection("eject", 0, 0);
+        assert_eq!(resolve_target_idx(&single, NodeId(9)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no target covering")]
+    fn uncovered_destination_panics() {
+        let multi = OutputPortSpec::network(
+            "mecs_south",
+            Direction::South,
+            0,
+            vec![
+                TargetSpec::covering(TargetEndpoint::Sink { sink: 0 }, 1, vec![NodeId(4)]),
+                TargetSpec::covering(TargetEndpoint::Sink { sink: 1 }, 2, vec![NodeId(5)]),
+            ],
+        );
+        resolve_target_idx(&multi, NodeId(6));
+    }
+}

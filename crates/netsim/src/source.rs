@@ -1,0 +1,236 @@
+//! Runtime state of traffic sources (injectors).
+//!
+//! A source models one injector of the shared region: either the terminal
+//! port of a node or one of the row inputs that carry traffic from the rest
+//! of the chip into the QOS-protected column. Each source owns a traffic
+//! generator, a source queue, an outstanding-packet window used for
+//! retransmission after preemption, and the credits of the injection virtual
+//! channel(s) it feeds.
+
+use crate::ids::{FlowId, NodeId, PacketId, VcId};
+use crate::packet::{Packet, PacketGenerator};
+use crate::spec::SourceSpec;
+use std::collections::{HashSet, VecDeque};
+
+/// An injection transfer in progress: the source streams the packet's flits
+/// into the claimed injection VC at one flit per cycle.
+#[derive(Debug, Clone)]
+pub struct InjectionTransfer {
+    /// Packet being injected.
+    pub packet: PacketId,
+    /// Packet length in flits.
+    pub len: u8,
+    /// Claimed injection VC.
+    pub vc: VcId,
+    /// Flits already pushed into the VC.
+    pub flits_sent: u8,
+}
+
+/// Runtime state of one source.
+pub struct SourceState {
+    /// Flow identifier of this source.
+    pub flow: FlowId,
+    /// Node this source belongs to.
+    pub node: NodeId,
+    /// Router the source injects into.
+    pub router: usize,
+    /// Injection input port at that router.
+    pub in_port: crate::ids::InPortId,
+    /// Human-readable name.
+    pub name: String,
+    /// Traffic generator producing this source's packets.
+    pub generator: Box<dyn PacketGenerator>,
+    /// Packets generated but not yet injected. Retransmissions are pushed to
+    /// the front so they precede newly generated packets.
+    pub queue: VecDeque<PacketId>,
+    /// Outstanding (injected but not yet acknowledged) packets.
+    pub window: HashSet<PacketId>,
+    /// Maximum number of outstanding packets.
+    pub window_limit: usize,
+    /// Free injection VCs (credits) at the injection port.
+    pub free_vcs: Vec<VcId>,
+    /// Injection transfer currently streaming flits into the router.
+    pub active: Option<InjectionTransfer>,
+    /// Flits injected under the reserved (rate-compliant) quota during the
+    /// current frame.
+    pub reserved_used_this_frame: u64,
+    /// Total packets generated.
+    pub generated_packets: u64,
+    /// Total flits generated.
+    pub generated_flits: u64,
+    /// Total packets injected (first transmission only).
+    pub injected_packets: u64,
+    /// Total retransmissions performed.
+    pub retransmitted_packets: u64,
+}
+
+impl SourceState {
+    /// Creates runtime state for a source from its specification, attaching
+    /// the given traffic generator and the number of injection VCs it feeds.
+    pub fn new(spec: &SourceSpec, generator: Box<dyn PacketGenerator>, injection_vcs: u8) -> Self {
+        SourceState {
+            flow: spec.flow,
+            node: spec.node,
+            router: spec.router,
+            in_port: spec.in_port,
+            name: spec.name.clone(),
+            generator,
+            queue: VecDeque::new(),
+            window: HashSet::new(),
+            window_limit: spec.window,
+            free_vcs: (0..u16::from(injection_vcs)).map(VcId).collect(),
+            active: None,
+            reserved_used_this_frame: 0,
+            generated_packets: 0,
+            generated_flits: 0,
+            injected_packets: 0,
+            retransmitted_packets: 0,
+        }
+    }
+
+    /// Whether the source can start injecting another packet right now.
+    pub fn can_start_injection(&self) -> bool {
+        self.active.is_none()
+            && !self.queue.is_empty()
+            && self.window.len() < self.window_limit
+            && !self.free_vcs.is_empty()
+    }
+
+    /// Whether the source has no remaining work: generator exhausted, queue
+    /// empty, nothing outstanding, and no active injection.
+    pub fn is_drained(&self) -> bool {
+        self.generator.exhausted()
+            && self.queue.is_empty()
+            && self.window.is_empty()
+            && self.active.is_none()
+    }
+
+    /// Records a newly generated packet in the source queue.
+    pub fn enqueue_generated(&mut self, packet: &Packet) {
+        self.queue.push_back(packet.id);
+        self.generated_packets += 1;
+        self.generated_flits += u64::from(packet.len_flits);
+    }
+
+    /// Handles a positive acknowledgement: the packet left the window.
+    pub fn acknowledge(&mut self, packet: PacketId) {
+        self.window.remove(&packet);
+    }
+
+    /// Handles a negative acknowledgement: the packet is queued again (at the
+    /// front) for retransmission.
+    pub fn retransmit(&mut self, packet: PacketId) {
+        self.window.remove(&packet);
+        self.queue.push_front(packet);
+        self.retransmitted_packets += 1;
+    }
+
+    /// Resets the per-frame reserved-quota usage.
+    pub fn on_frame_rollover(&mut self) {
+        self.reserved_used_this_frame = 0;
+    }
+}
+
+impl std::fmt::Debug for SourceState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceState")
+            .field("flow", &self.flow)
+            .field("node", &self.node)
+            .field("router", &self.router)
+            .field("name", &self.name)
+            .field("queue_len", &self.queue.len())
+            .field("window", &self.window.len())
+            .field("window_limit", &self.window_limit)
+            .field("free_vcs", &self.free_vcs.len())
+            .field("active", &self.active)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::InPortId;
+    use crate::packet::{IdleGenerator, PacketClass};
+
+    fn spec() -> SourceSpec {
+        SourceSpec {
+            flow: FlowId(3),
+            node: NodeId(2),
+            router: 2,
+            in_port: InPortId(0),
+            name: "n2.term".to_string(),
+            window: 2,
+        }
+    }
+
+    fn packet(id: u64) -> Packet {
+        Packet::new(
+            PacketId(id),
+            FlowId(3),
+            NodeId(2),
+            NodeId(0),
+            1,
+            PacketClass::Request,
+            0,
+        )
+    }
+
+    #[test]
+    fn new_source_is_idle_and_drained_with_idle_generator() {
+        let s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
+        assert!(!s.can_start_injection());
+        assert!(s.is_drained());
+        assert_eq!(s.free_vcs.len(), 1);
+    }
+
+    #[test]
+    fn injection_requires_queue_window_and_credit() {
+        let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
+        let p = packet(0);
+        s.enqueue_generated(&p);
+        assert!(s.can_start_injection());
+        assert_eq!(s.generated_packets, 1);
+        assert_eq!(s.generated_flits, 1);
+
+        // Window full blocks injection.
+        s.window.insert(PacketId(10));
+        s.window.insert(PacketId(11));
+        assert!(!s.can_start_injection());
+        s.window.clear();
+
+        // No free VC blocks injection.
+        let vc = s.free_vcs.pop().unwrap();
+        assert!(!s.can_start_injection());
+        s.free_vcs.push(vc);
+        assert!(s.can_start_injection());
+    }
+
+    #[test]
+    fn nack_requeues_at_front() {
+        let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
+        s.enqueue_generated(&packet(1));
+        s.enqueue_generated(&packet(2));
+        s.window.insert(PacketId(0));
+        s.retransmit(PacketId(0));
+        assert_eq!(s.queue.front(), Some(&PacketId(0)));
+        assert_eq!(s.retransmitted_packets, 1);
+        assert!(s.window.is_empty());
+    }
+
+    #[test]
+    fn ack_clears_window() {
+        let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
+        s.window.insert(PacketId(5));
+        s.acknowledge(PacketId(5));
+        assert!(s.window.is_empty());
+    }
+
+    #[test]
+    fn frame_rollover_resets_reserved_usage() {
+        let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
+        s.reserved_used_this_frame = 40;
+        s.on_frame_rollover();
+        assert_eq!(s.reserved_used_this_frame, 0);
+    }
+}

@@ -1,0 +1,656 @@
+//! Static description of a simulated network.
+//!
+//! A [`NetworkSpec`] fully describes the structure of the network: routers,
+//! their input and output ports, virtual-channel provisioning, crossbar port
+//! sharing, pipeline latencies, connectivity (including point-to-multipoint
+//! MECS channels), routing tables, traffic sources, and ejection sinks.
+//!
+//! Topology crates (`taqos-topology`) construct specs; the simulator
+//! (`crate::network::Network`) instantiates runtime state from them. This
+//! mirrors the organisation of production network-on-chip simulators where a
+//! single router engine is configured per topology.
+
+use crate::error::SpecError;
+use crate::ids::{Direction, FlowId, InPortId, NodeId, OutPortId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Virtual-channel provisioning of one input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VcConfig {
+    /// Total number of virtual channels at the port.
+    pub count: u8,
+    /// Depth of each virtual channel in flits. With virtual cut-through flow
+    /// control each VC must hold the largest packet (4 flits in the paper).
+    pub depth_flits: u8,
+    /// Number of VCs (out of `count`) reserved for rate-compliant traffic;
+    /// only packets sent within their flow's reserved quota may use them.
+    pub reserved: u8,
+}
+
+impl VcConfig {
+    /// Creates a VC configuration with no reserved VCs.
+    pub fn new(count: u8, depth_flits: u8) -> Self {
+        VcConfig {
+            count,
+            depth_flits,
+            reserved: 0,
+        }
+    }
+
+    /// Creates a VC configuration with `reserved` VCs set aside for
+    /// rate-compliant traffic.
+    pub fn with_reserved(count: u8, depth_flits: u8, reserved: u8) -> Self {
+        VcConfig {
+            count,
+            depth_flits,
+            reserved,
+        }
+    }
+
+    /// Total buffer capacity of the port in flits.
+    pub fn capacity_flits(&self) -> u32 {
+        u32::from(self.count) * u32::from(self.depth_flits)
+    }
+}
+
+/// Role of an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputKind {
+    /// Injection port fed by a local source (terminal or row input).
+    Injection,
+    /// Network port fed by another router's output channel.
+    Network {
+        /// Node that drives the channel feeding this port.
+        from: NodeId,
+        /// Direction the traffic travels when it arrives at this port.
+        dir: Direction,
+        /// Replicated-channel index (mesh x2/x4) or subnet index (DPS).
+        channel: u8,
+    },
+}
+
+/// Specification of one router input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputPortSpec {
+    /// Human-readable name used in diagnostics (`"term"`, `"row_e0"`,
+    /// `"col_n_from_n2"`, ...).
+    pub name: String,
+    /// Role of the port.
+    pub kind: InputKind,
+    /// Virtual-channel provisioning.
+    pub vcs: VcConfig,
+    /// Crossbar input group. Ports sharing a group share a single crossbar
+    /// input port and therefore at most one of them may be traversing the
+    /// switch at any time (MECS input concentration, row-input sharing).
+    pub xbar_group: u8,
+    /// If set, packets arriving at this port are always forwarded to this
+    /// output port regardless of destination (DPS through traffic).
+    pub fixed_route: Option<OutPortId>,
+    /// Pass-through port: packets forwarded from this port skip crossbar
+    /// traversal and flow-state queries and incur only a single cycle of
+    /// router latency (DPS intermediate hops).
+    pub passthrough: bool,
+}
+
+impl InputPortSpec {
+    /// Creates an injection port with the given VC configuration.
+    pub fn injection(name: impl Into<String>, vcs: VcConfig, xbar_group: u8) -> Self {
+        InputPortSpec {
+            name: name.into(),
+            kind: InputKind::Injection,
+            vcs,
+            xbar_group,
+            fixed_route: None,
+            passthrough: false,
+        }
+    }
+
+    /// Creates a network port fed by node `from` with traffic travelling in
+    /// direction `dir` on replication/subnet channel `channel`.
+    pub fn network(
+        name: impl Into<String>,
+        from: NodeId,
+        dir: Direction,
+        channel: u8,
+        vcs: VcConfig,
+        xbar_group: u8,
+    ) -> Self {
+        InputPortSpec {
+            name: name.into(),
+            kind: InputKind::Network { from, dir, channel },
+            vcs,
+            xbar_group,
+            fixed_route: None,
+            passthrough: false,
+        }
+    }
+
+    /// Marks this port as a pass-through port with a fixed output route.
+    pub fn with_passthrough(mut self, out: OutPortId) -> Self {
+        self.fixed_route = Some(out);
+        self.passthrough = true;
+        self
+    }
+
+    /// Sets a fixed output route without pass-through semantics.
+    pub fn with_fixed_route(mut self, out: OutPortId) -> Self {
+        self.fixed_route = Some(out);
+        self
+    }
+}
+
+/// Where an output-port target delivers flits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetEndpoint {
+    /// An input port of another router.
+    Router {
+        /// Index of the downstream router in [`NetworkSpec::routers`].
+        router: usize,
+        /// Input port at the downstream router.
+        in_port: InPortId,
+    },
+    /// An ejection sink (terminal of the shared resource at a node).
+    Sink {
+        /// Index of the sink in [`NetworkSpec::sinks`].
+        sink: usize,
+    },
+}
+
+/// One drop-off point of an output channel.
+///
+/// Point-to-point channels (mesh, DPS segments, ejection) have a single
+/// target; MECS point-to-multipoint channels have one target per node they
+/// span, selected by packet destination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetSpec {
+    /// Endpoint reached through this target.
+    pub endpoint: TargetEndpoint,
+    /// Wire delay in cycles from this output port to the endpoint.
+    pub wire_delay: u32,
+    /// Packet destinations for which this target is used. A packet whose
+    /// destination is contained here is steered to this target. Empty means
+    /// "all destinations" (valid only when the port has a single target).
+    pub covers: Vec<NodeId>,
+}
+
+impl TargetSpec {
+    /// Creates a single-destination target covering all destinations.
+    pub fn single(endpoint: TargetEndpoint, wire_delay: u32) -> Self {
+        TargetSpec {
+            endpoint,
+            wire_delay,
+            covers: Vec::new(),
+        }
+    }
+
+    /// Creates a target used only for the given destinations.
+    pub fn covering(endpoint: TargetEndpoint, wire_delay: u32, covers: Vec<NodeId>) -> Self {
+        TargetSpec {
+            endpoint,
+            wire_delay,
+            covers,
+        }
+    }
+}
+
+/// Role of an output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputKind {
+    /// Network channel leaving the router.
+    Network {
+        /// Direction the channel travels.
+        dir: Direction,
+        /// Replicated-channel index (mesh x2/x4) or subnet index (DPS).
+        channel: u8,
+    },
+    /// Ejection port towards the local terminal (shared resource).
+    Ejection,
+}
+
+/// Specification of one router output port (a physical channel).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputPortSpec {
+    /// Human-readable name used in diagnostics.
+    pub name: String,
+    /// Role of the port.
+    pub kind: OutputKind,
+    /// Drop-off targets of the channel (one for point-to-point channels,
+    /// several for MECS point-to-multipoint channels).
+    pub targets: Vec<TargetSpec>,
+    /// Pass-through output: forwarding through this port from a pass-through
+    /// input skips the crossbar (DPS intermediate hops).
+    pub passthrough: bool,
+}
+
+impl OutputPortSpec {
+    /// Creates a network output port.
+    pub fn network(
+        name: impl Into<String>,
+        dir: Direction,
+        channel: u8,
+        targets: Vec<TargetSpec>,
+    ) -> Self {
+        OutputPortSpec {
+            name: name.into(),
+            kind: OutputKind::Network { dir, channel },
+            targets,
+            passthrough: false,
+        }
+    }
+
+    /// Creates an ejection output port towards the given sink.
+    pub fn ejection(name: impl Into<String>, sink: usize, wire_delay: u32) -> Self {
+        OutputPortSpec {
+            name: name.into(),
+            kind: OutputKind::Ejection,
+            targets: vec![TargetSpec::single(TargetEndpoint::Sink { sink }, wire_delay)],
+            passthrough: false,
+        }
+    }
+
+    /// Marks the output as a pass-through segment.
+    pub fn with_passthrough(mut self) -> Self {
+        self.passthrough = true;
+        self
+    }
+}
+
+/// Specification of one router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterSpec {
+    /// Node this router serves.
+    pub node: NodeId,
+    /// Input ports.
+    pub inputs: Vec<InputPortSpec>,
+    /// Output ports.
+    pub outputs: Vec<OutputPortSpec>,
+    /// Routing table: packet destination to candidate output ports. When a
+    /// destination maps to several candidates (replicated mesh channels) the
+    /// router keeps a packet on the channel it arrived on when possible and
+    /// otherwise balances in round-robin order.
+    pub route_table: BTreeMap<NodeId, Vec<OutPortId>>,
+    /// Virtual-channel allocation (arbitration) latency in cycles: 1 for mesh
+    /// and DPS, 2 for MECS.
+    pub va_latency: u32,
+    /// Crossbar traversal latency in cycles (1 in all evaluated topologies).
+    pub xt_latency: u32,
+}
+
+impl RouterSpec {
+    /// Total input buffer capacity of the router in flits.
+    pub fn buffer_capacity_flits(&self) -> u32 {
+        self.inputs.iter().map(|p| p.vcs.capacity_flits()).sum()
+    }
+
+    /// Number of distinct crossbar input groups used by the router's inputs.
+    pub fn xbar_input_groups(&self) -> usize {
+        let mut groups: Vec<u8> = self
+            .inputs
+            .iter()
+            .filter(|p| !p.passthrough)
+            .map(|p| p.xbar_group)
+            .collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// Number of crossbar output ports (non-pass-through outputs).
+    pub fn xbar_output_ports(&self) -> usize {
+        self.outputs.iter().filter(|o| !o.passthrough).count()
+    }
+
+    /// Router pipeline latency in cycles for a normal (non-pass-through) hop.
+    pub fn pipeline_latency(&self) -> u32 {
+        self.va_latency + self.xt_latency
+    }
+}
+
+/// A traffic source (injector) attached to a router input port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Flow identifier carried by every packet injected by this source.
+    pub flow: FlowId,
+    /// Node the source belongs to (used as packet source address).
+    pub node: NodeId,
+    /// Index of the router the source injects into.
+    pub router: usize,
+    /// Injection input port at that router.
+    pub in_port: InPortId,
+    /// Human-readable name (`"n3.term"`, `"n7.row_w2"`, ...).
+    pub name: String,
+    /// Maximum number of outstanding (un-acknowledged) packets the source may
+    /// have in flight; retransmission after preemption is served from this
+    /// window.
+    pub window: usize,
+}
+
+/// An ejection sink (terminal of a shared resource).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SinkSpec {
+    /// Node whose terminal this sink models.
+    pub node: NodeId,
+    /// Human-readable name.
+    pub name: String,
+    /// Number of ejection slots (ejection VCs); the paper provisions 2.
+    pub slots: u8,
+}
+
+/// Complete static description of a simulated network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Topology name (`"mesh_x1"`, `"mecs"`, `"dps"`, ...).
+    pub name: String,
+    /// Routers, indexed by position.
+    pub routers: Vec<RouterSpec>,
+    /// Traffic sources.
+    pub sources: Vec<SourceSpec>,
+    /// Ejection sinks.
+    pub sinks: Vec<SinkSpec>,
+    /// Channel (flit) width in bytes; 16 in the paper.
+    pub flit_bytes: u32,
+}
+
+impl NetworkSpec {
+    /// Number of flows (one per source).
+    pub fn num_flows(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Finds the sink index serving a node's terminal, if any.
+    pub fn sink_for_node(&self, node: NodeId) -> Option<usize> {
+        self.sinks.iter().position(|s| s.node == node)
+    }
+
+    /// Total input-buffer capacity of the network in flits.
+    pub fn total_buffer_flits(&self) -> u64 {
+        self.routers
+            .iter()
+            .map(|r| u64::from(r.buffer_capacity_flits()))
+            .sum()
+    }
+
+    /// Validates structural consistency of the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] describing the first inconsistency found:
+    /// out-of-range router/port/sink references, empty ports, routing-table
+    /// entries pointing at missing output ports, sources attached to
+    /// non-injection ports, or multi-target ports with ambiguous coverage.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.routers.is_empty() {
+            return Err(SpecError::new("network has no routers"));
+        }
+        for (ri, router) in self.routers.iter().enumerate() {
+            if router.inputs.is_empty() {
+                return Err(SpecError::new(format!("router {ri} has no input ports")));
+            }
+            if router.outputs.is_empty() {
+                return Err(SpecError::new(format!("router {ri} has no output ports")));
+            }
+            for (pi, port) in router.inputs.iter().enumerate() {
+                if port.vcs.count == 0 || port.vcs.depth_flits == 0 {
+                    return Err(SpecError::new(format!(
+                        "router {ri} input {pi} ({}) has zero VCs or zero depth",
+                        port.name
+                    )));
+                }
+                if port.vcs.reserved > port.vcs.count {
+                    return Err(SpecError::new(format!(
+                        "router {ri} input {pi} ({}) reserves more VCs than it has",
+                        port.name
+                    )));
+                }
+                if let Some(out) = port.fixed_route {
+                    if out.0 >= router.outputs.len() {
+                        return Err(SpecError::new(format!(
+                            "router {ri} input {pi} fixed route references missing output {}",
+                            out.0
+                        )));
+                    }
+                }
+            }
+            for (oi, port) in router.outputs.iter().enumerate() {
+                if port.targets.is_empty() {
+                    return Err(SpecError::new(format!(
+                        "router {ri} output {oi} ({}) has no targets",
+                        port.name
+                    )));
+                }
+                if port.targets.len() > 1 && port.targets.iter().any(|t| t.covers.is_empty()) {
+                    return Err(SpecError::new(format!(
+                        "router {ri} output {oi} ({}) has multiple targets but one covers no destinations",
+                        port.name
+                    )));
+                }
+                for target in &port.targets {
+                    match target.endpoint {
+                        TargetEndpoint::Router { router, in_port } => {
+                            let Some(down) = self.routers.get(router) else {
+                                return Err(SpecError::new(format!(
+                                    "router {ri} output {oi} targets missing router {router}"
+                                )));
+                            };
+                            if in_port.0 >= down.inputs.len() {
+                                return Err(SpecError::new(format!(
+                                    "router {ri} output {oi} targets missing input port {} of router {router}",
+                                    in_port.0
+                                )));
+                            }
+                        }
+                        TargetEndpoint::Sink { sink } => {
+                            if sink >= self.sinks.len() {
+                                return Err(SpecError::new(format!(
+                                    "router {ri} output {oi} targets missing sink {sink}"
+                                )));
+                            }
+                        }
+                    }
+                }
+            }
+            for (dest, ports) in &router.route_table {
+                if ports.is_empty() {
+                    return Err(SpecError::new(format!(
+                        "router {ri} route table entry for {dest} has no candidate ports"
+                    )));
+                }
+                for port in ports {
+                    if port.0 >= router.outputs.len() {
+                        return Err(SpecError::new(format!(
+                            "router {ri} route for {dest} references missing output {}",
+                            port.0
+                        )));
+                    }
+                }
+            }
+        }
+        for (si, source) in self.sources.iter().enumerate() {
+            let Some(router) = self.routers.get(source.router) else {
+                return Err(SpecError::new(format!(
+                    "source {si} ({}) references missing router {}",
+                    source.name, source.router
+                )));
+            };
+            let Some(port) = router.inputs.get(source.in_port.0) else {
+                return Err(SpecError::new(format!(
+                    "source {si} ({}) references missing input port {}",
+                    source.name, source.in_port.0
+                )));
+            };
+            if port.kind != InputKind::Injection {
+                return Err(SpecError::new(format!(
+                    "source {si} ({}) is attached to a non-injection port",
+                    source.name
+                )));
+            }
+            if source.window == 0 {
+                return Err(SpecError::new(format!(
+                    "source {si} ({}) has a zero-sized outstanding-packet window",
+                    source.name
+                )));
+            }
+        }
+        let mut flows: Vec<FlowId> = self.sources.iter().map(|s| s.flow).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        if flows.len() != self.sources.len() {
+            return Err(SpecError::new("duplicate flow identifiers across sources"));
+        }
+        for (si, sink) in self.sinks.iter().enumerate() {
+            if sink.slots == 0 {
+                return Err(SpecError::new(format!(
+                    "sink {si} ({}) has zero ejection slots",
+                    sink.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a minimal two-router, single-channel network used across the
+    /// substrate's unit tests.
+    pub(crate) fn tiny_spec() -> NetworkSpec {
+        let vcs = VcConfig::new(2, 4);
+        let r0 = RouterSpec {
+            node: NodeId(0),
+            inputs: vec![InputPortSpec::injection("term_in", VcConfig::new(1, 4), 0)],
+            outputs: vec![OutputPortSpec::network(
+                "south",
+                Direction::South,
+                0,
+                vec![TargetSpec::single(
+                    TargetEndpoint::Router {
+                        router: 1,
+                        in_port: InPortId(0),
+                    },
+                    1,
+                )],
+            )],
+            route_table: BTreeMap::from([(NodeId(1), vec![OutPortId(0)])]),
+            va_latency: 1,
+            xt_latency: 1,
+        };
+        let r1 = RouterSpec {
+            node: NodeId(1),
+            inputs: vec![InputPortSpec::network(
+                "north_in",
+                NodeId(0),
+                Direction::South,
+                0,
+                vcs,
+                0,
+            )],
+            outputs: vec![OutputPortSpec::ejection("eject", 0, 0)],
+            route_table: BTreeMap::from([(NodeId(1), vec![OutPortId(0)])]),
+            va_latency: 1,
+            xt_latency: 1,
+        };
+        NetworkSpec {
+            name: "tiny".to_string(),
+            routers: vec![r0, r1],
+            sources: vec![SourceSpec {
+                flow: FlowId(0),
+                node: NodeId(0),
+                router: 0,
+                in_port: InPortId(0),
+                name: "n0.term".to_string(),
+                window: 8,
+            }],
+            sinks: vec![SinkSpec {
+                node: NodeId(1),
+                name: "n1.sink".to_string(),
+                slots: 2,
+            }],
+            flit_bytes: 16,
+        }
+    }
+
+    #[test]
+    fn tiny_spec_validates() {
+        tiny_spec().validate().expect("tiny spec should be valid");
+    }
+
+    #[test]
+    fn vc_config_capacity() {
+        assert_eq!(VcConfig::new(6, 4).capacity_flits(), 24);
+        assert_eq!(VcConfig::with_reserved(14, 4, 1).capacity_flits(), 56);
+    }
+
+    #[test]
+    fn router_spec_aggregates() {
+        let spec = tiny_spec();
+        assert_eq!(spec.routers[0].buffer_capacity_flits(), 4);
+        assert_eq!(spec.routers[1].buffer_capacity_flits(), 8);
+        assert_eq!(spec.routers[0].pipeline_latency(), 2);
+        assert_eq!(spec.routers[0].xbar_input_groups(), 1);
+        assert_eq!(spec.routers[0].xbar_output_ports(), 1);
+        assert_eq!(spec.total_buffer_flits(), 12);
+        assert_eq!(spec.num_flows(), 1);
+        assert_eq!(spec.sink_for_node(NodeId(1)), Some(0));
+        assert_eq!(spec.sink_for_node(NodeId(0)), None);
+    }
+
+    #[test]
+    fn validation_rejects_missing_target_router() {
+        let mut spec = tiny_spec();
+        spec.routers[0].outputs[0].targets[0].endpoint = TargetEndpoint::Router {
+            router: 9,
+            in_port: InPortId(0),
+        };
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_route_table() {
+        let mut spec = tiny_spec();
+        spec.routers[0]
+            .route_table
+            .insert(NodeId(5), vec![OutPortId(7)]);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_vcs() {
+        let mut spec = tiny_spec();
+        spec.routers[0].inputs[0].vcs.count = 0;
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_source_on_network_port() {
+        let mut spec = tiny_spec();
+        spec.sources[0].router = 1;
+        spec.sources[0].in_port = InPortId(0);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_duplicate_flows() {
+        let mut spec = tiny_spec();
+        let mut dup = spec.sources[0].clone();
+        dup.name = "dup".to_string();
+        spec.sources.push(dup);
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_multi_target_without_coverage() {
+        let mut spec = tiny_spec();
+        let extra = TargetSpec::single(
+            TargetEndpoint::Router {
+                router: 1,
+                in_port: InPortId(0),
+            },
+            2,
+        );
+        spec.routers[0].outputs[0].targets.push(extra);
+        assert!(spec.validate().is_err());
+    }
+}

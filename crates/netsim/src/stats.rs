@@ -1,0 +1,376 @@
+//! Simulation statistics: latency, throughput, fairness inputs, preemption
+//! behaviour, and energy-relevant event counts.
+
+use crate::ids::{Cycle, FlowId};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets generated at the source queue.
+    pub generated_packets: u64,
+    /// Flits generated at the source queue.
+    pub generated_flits: u64,
+    /// Packets injected into the network (first transmissions only).
+    pub injected_packets: u64,
+    /// Packets delivered to their destination terminal.
+    pub delivered_packets: u64,
+    /// Flits delivered to their destination terminal.
+    pub delivered_flits: u64,
+    /// Packets delivered during the measurement window.
+    pub measured_delivered_packets: u64,
+    /// Flits delivered during the measurement window.
+    pub measured_delivered_flits: u64,
+    /// Sum of packet latencies for measured packets (born in the window).
+    pub latency_sum: u64,
+    /// Number of measured latency samples.
+    pub latency_samples: u64,
+    /// Times a packet of this flow was preempted (discarded).
+    pub preemptions: u64,
+    /// Retransmissions performed by this flow's source.
+    pub retransmissions: u64,
+}
+
+impl FlowStats {
+    /// Average packet latency of measured packets, in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.latency_samples == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.latency_samples as f64
+        }
+    }
+}
+
+/// Counts of energy-relevant micro-events, used by the power model to derive
+/// simulation-driven energy estimates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyCounters {
+    /// Flits written into router input buffers.
+    pub buffer_writes: u64,
+    /// Flits read out of router input buffers.
+    pub buffer_reads: u64,
+    /// Flits traversing a router crossbar (pass-through hops excluded).
+    pub xbar_flits: u64,
+    /// Flow-state table queries (one per packet arbitration at a QOS router).
+    pub flow_table_queries: u64,
+    /// Flow-state table updates (one per packet forwarded at a QOS router).
+    pub flow_table_updates: u64,
+    /// Flit-hops on links, weighted by the wire span in router-to-router
+    /// units.
+    pub link_flit_hops: u64,
+}
+
+/// Aggregate statistics of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Per-flow counters, indexed by flow id.
+    pub flows: Vec<FlowStats>,
+    /// Energy-relevant event counters.
+    pub energy: EnergyCounters,
+    /// Start of the measurement window (inclusive), if one was set.
+    pub measure_start: Option<Cycle>,
+    /// End of the measurement window (exclusive), if one was set.
+    pub measure_end: Option<Cycle>,
+    /// Total packets delivered (whole run).
+    pub delivered_packets: u64,
+    /// Total flits delivered (whole run).
+    pub delivered_flits: u64,
+    /// Total packets generated (whole run).
+    pub generated_packets: u64,
+    /// Sum of latencies of measured packets.
+    pub latency_sum: u64,
+    /// Number of measured latency samples.
+    pub latency_samples: u64,
+    /// Largest measured packet latency.
+    pub max_latency: u64,
+    /// Preemption events (a packet preempted twice counts twice).
+    pub preemption_events: u64,
+    /// Hop traversals wasted by preemptions (node-distance units).
+    pub wasted_hops: u64,
+    /// Hop traversals performed by delivered packets (node-distance units).
+    pub useful_hops: u64,
+    /// Cycle at which a closed (fixed) workload completed, if it did.
+    pub completion_cycle: Option<Cycle>,
+    /// Total cycles simulated.
+    pub cycles: Cycle,
+}
+
+impl NetStats {
+    /// Creates statistics for a network with `num_flows` flows.
+    pub fn new(num_flows: usize) -> Self {
+        NetStats {
+            flows: vec![FlowStats::default(); num_flows],
+            ..Default::default()
+        }
+    }
+
+    /// Whether `cycle` falls within the measurement window. With no window
+    /// configured, every cycle is measured.
+    pub fn in_measurement(&self, cycle: Cycle) -> bool {
+        let after_start = self.measure_start.map_or(true, |s| cycle >= s);
+        let before_end = self.measure_end.map_or(true, |e| cycle < e);
+        after_start && before_end
+    }
+
+    /// Records delivery of a packet.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_delivery(
+        &mut self,
+        flow: FlowId,
+        flits: u8,
+        hops: u32,
+        birth: Cycle,
+        delivered_at: Cycle,
+    ) {
+        self.delivered_packets += 1;
+        self.delivered_flits += u64::from(flits);
+        self.useful_hops += u64::from(hops);
+        let measure_delivery = self.in_measurement(delivered_at);
+        let measure_latency = self.in_measurement(birth);
+        let fs = &mut self.flows[flow.index()];
+        fs.delivered_packets += 1;
+        fs.delivered_flits += u64::from(flits);
+        if measure_delivery {
+            fs.measured_delivered_packets += 1;
+            fs.measured_delivered_flits += u64::from(flits);
+        }
+        if measure_latency {
+            let latency = delivered_at.saturating_sub(birth);
+            fs.latency_sum += latency;
+            fs.latency_samples += 1;
+            self.latency_sum += latency;
+            self.latency_samples += 1;
+            self.max_latency = self.max_latency.max(latency);
+        }
+    }
+
+    /// Records a preemption of a packet of `flow` that had traversed `hops`
+    /// hop equivalents when it was discarded.
+    pub fn record_preemption(&mut self, flow: FlowId, wasted_hops: u32) {
+        self.preemption_events += 1;
+        self.wasted_hops += u64::from(wasted_hops);
+        self.flows[flow.index()].preemptions += 1;
+    }
+
+    /// Average packet latency over measured packets, in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.latency_samples == 0 {
+            0.0
+        } else {
+            self.latency_sum as f64 / self.latency_samples as f64
+        }
+    }
+
+    /// Fraction of packets that experienced a preemption, relative to all
+    /// delivered packets plus preemption events (each event requires a
+    /// replay).
+    pub fn preempted_packet_fraction(&self) -> f64 {
+        let total = self.delivered_packets + self.preemption_events;
+        if total == 0 {
+            0.0
+        } else {
+            self.preemption_events as f64 / total as f64
+        }
+    }
+
+    /// Fraction of hop traversals wasted by preemptions.
+    pub fn wasted_hop_fraction(&self) -> f64 {
+        let total = self.useful_hops + self.wasted_hops;
+        if total == 0 {
+            0.0
+        } else {
+            self.wasted_hops as f64 / total as f64
+        }
+    }
+
+    /// Measured delivered flits per flow (fairness input).
+    pub fn measured_flits_per_flow(&self) -> Vec<u64> {
+        self.flows
+            .iter()
+            .map(|f| f.measured_delivered_flits)
+            .collect()
+    }
+
+    /// Accepted (delivered) flit throughput per cycle over the measurement
+    /// window, aggregated across all flows.
+    pub fn accepted_throughput(&self) -> f64 {
+        let (Some(start), Some(end)) = (self.measure_start, self.measure_end) else {
+            if self.cycles == 0 {
+                return 0.0;
+            }
+            return self.delivered_flits as f64 / self.cycles as f64;
+        };
+        let window = end.saturating_sub(start).max(1);
+        let measured: u64 = self.flows.iter().map(|f| f.measured_delivered_flits).sum();
+        measured as f64 / window as f64
+    }
+}
+
+/// Summary statistics (mean, minimum, maximum, standard deviation) over a set
+/// of per-flow throughput observations, as reported in Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputSummary {
+    /// Mean flits per flow.
+    pub mean: f64,
+    /// Minimum flits across flows.
+    pub min: f64,
+    /// Maximum flits across flows.
+    pub max: f64,
+    /// Population standard deviation across flows.
+    pub std_dev: f64,
+}
+
+impl ThroughputSummary {
+    /// Computes the summary of a set of observations.
+    ///
+    /// Returns `None` for an empty set.
+    pub fn from_observations(values: &[u64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<u64>() as f64 / n;
+        let min = *values.iter().min().expect("non-empty") as f64;
+        let max = *values.iter().max().expect("non-empty") as f64;
+        let var = values
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Some(ThroughputSummary {
+            mean,
+            min,
+            max,
+            std_dev: var.sqrt(),
+        })
+    }
+
+    /// Minimum as a percentage of the mean.
+    pub fn min_pct_of_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.min / self.mean
+        }
+    }
+
+    /// Maximum as a percentage of the mean.
+    pub fn max_pct_of_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.max / self.mean
+        }
+    }
+
+    /// Standard deviation as a percentage of the mean.
+    pub fn std_dev_pct_of_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            100.0 * self.std_dev / self.mean
+        }
+    }
+
+    /// Largest deviation of min or max from the mean, as a percentage.
+    pub fn max_deviation_pct(&self) -> f64 {
+        let lo = (100.0 - self.min_pct_of_mean()).abs();
+        let hi = (self.max_pct_of_mean() - 100.0).abs();
+        lo.max(hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_window_filters_samples() {
+        let mut stats = NetStats::new(2);
+        stats.measure_start = Some(100);
+        stats.measure_end = Some(200);
+
+        // Born before the window: throughput counted (delivered in window),
+        // latency not sampled.
+        stats.record_delivery(FlowId(0), 4, 3, 50, 150);
+        assert_eq!(stats.latency_samples, 0);
+        assert_eq!(stats.flows[0].measured_delivered_flits, 4);
+
+        // Born and delivered in the window: both counted.
+        stats.record_delivery(FlowId(1), 1, 2, 120, 140);
+        assert_eq!(stats.latency_samples, 1);
+        assert_eq!(stats.latency_sum, 20);
+        assert_eq!(stats.max_latency, 20);
+
+        // Delivered after the window: not counted towards measured flits.
+        stats.record_delivery(FlowId(1), 1, 2, 150, 250);
+        assert_eq!(stats.flows[1].measured_delivered_flits, 1);
+        assert_eq!(stats.delivered_packets, 3);
+    }
+
+    #[test]
+    fn no_window_measures_everything() {
+        let mut stats = NetStats::new(1);
+        stats.record_delivery(FlowId(0), 2, 1, 10, 30);
+        assert_eq!(stats.latency_samples, 1);
+        assert_eq!(stats.avg_latency(), 20.0);
+        assert!(stats.in_measurement(0));
+        assert!(stats.in_measurement(u64::MAX));
+    }
+
+    #[test]
+    fn preemption_fractions() {
+        let mut stats = NetStats::new(1);
+        for _ in 0..90 {
+            stats.record_delivery(FlowId(0), 1, 2, 0, 10);
+        }
+        for _ in 0..10 {
+            stats.record_preemption(FlowId(0), 1);
+        }
+        assert!((stats.preempted_packet_fraction() - 0.1).abs() < 1e-9);
+        assert!((stats.wasted_hop_fraction() - 10.0 / 190.0).abs() < 1e-9);
+        assert_eq!(stats.flows[0].preemptions, 10);
+    }
+
+    #[test]
+    fn throughput_summary_matches_hand_computation() {
+        let summary = ThroughputSummary::from_observations(&[4, 6]).unwrap();
+        assert_eq!(summary.mean, 5.0);
+        assert_eq!(summary.min, 4.0);
+        assert_eq!(summary.max, 6.0);
+        assert!((summary.std_dev - 1.0).abs() < 1e-9);
+        assert!((summary.min_pct_of_mean() - 80.0).abs() < 1e-9);
+        assert!((summary.max_pct_of_mean() - 120.0).abs() < 1e-9);
+        assert!((summary.std_dev_pct_of_mean() - 20.0).abs() < 1e-9);
+        assert!((summary.max_deviation_pct() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_summary_empty_is_none() {
+        assert!(ThroughputSummary::from_observations(&[]).is_none());
+    }
+
+    #[test]
+    fn flow_stats_average_latency() {
+        let mut fs = FlowStats::default();
+        assert_eq!(fs.avg_latency(), 0.0);
+        fs.latency_sum = 100;
+        fs.latency_samples = 4;
+        assert_eq!(fs.avg_latency(), 25.0);
+    }
+
+    #[test]
+    fn accepted_throughput_uses_window() {
+        let mut stats = NetStats::new(1);
+        stats.measure_start = Some(0);
+        stats.measure_end = Some(100);
+        for _ in 0..50 {
+            stats.record_delivery(FlowId(0), 1, 1, 10, 20);
+        }
+        assert!((stats.accepted_throughput() - 0.5).abs() < 1e-9);
+    }
+}

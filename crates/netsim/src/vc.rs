@@ -1,0 +1,178 @@
+//! Runtime state of a virtual channel.
+
+use crate::ids::{Cycle, OutPortId, PacketId};
+use std::collections::VecDeque;
+
+/// Runtime state of one virtual channel of an input port.
+///
+/// With virtual cut-through flow control a VC holds at most one packet at a
+/// time; the VC is claimed by the upstream sender (through a credit), filled
+/// flit by flit as flits mature after the wire delay, and released once the
+/// packet has been completely forwarded onwards (or discarded by preemption).
+#[derive(Debug, Clone)]
+pub struct VcState {
+    /// Whether this VC is reserved for rate-compliant traffic.
+    pub reserved_vc: bool,
+    /// Packet currently occupying the VC (set when its head flit arrives).
+    pub packet: Option<PacketId>,
+    /// Length in flits of the occupying packet.
+    pub len: u8,
+    /// Number of flits of the packet that have arrived (matured) in the VC.
+    pub flits_arrived: u8,
+    /// Number of flits already forwarded out of the VC.
+    pub flits_sent: u8,
+    /// Maturation cycles of flits still in flight towards this VC.
+    pub pending_arrivals: VecDeque<Cycle>,
+    /// Output port selected for the occupying packet (route computation).
+    pub route: Option<OutPortId>,
+    /// Cycle at which the head flit matured (VA eligibility).
+    pub head_arrival: Option<Cycle>,
+    /// Whether the packet currently owns a granted transfer out of this VC.
+    pub granted: bool,
+}
+
+impl VcState {
+    /// Creates an empty VC.
+    pub fn new(reserved_vc: bool) -> Self {
+        VcState {
+            reserved_vc,
+            packet: None,
+            len: 0,
+            flits_arrived: 0,
+            flits_sent: 0,
+            pending_arrivals: VecDeque::new(),
+            route: None,
+            head_arrival: None,
+            granted: false,
+        }
+    }
+
+    /// Whether the VC currently holds no packet.
+    pub fn is_free(&self) -> bool {
+        self.packet.is_none()
+    }
+
+    /// Whether the complete packet has arrived and nothing has been forwarded
+    /// or granted yet — the state in which a packet is eligible as a
+    /// preemption victim.
+    pub fn is_resident_idle(&self) -> bool {
+        self.packet.is_some()
+            && self.flits_arrived == self.len
+            && self.flits_sent == 0
+            && !self.granted
+    }
+
+    /// Whether the head flit has matured and the packet has not yet been
+    /// granted an output (the state in which it requests VC allocation).
+    pub fn wants_allocation(&self) -> bool {
+        self.packet.is_some() && self.flits_arrived > 0 && !self.granted
+    }
+
+    /// Number of matured flits not yet forwarded.
+    pub fn sendable_flits(&self) -> u8 {
+        self.flits_arrived.saturating_sub(self.flits_sent)
+    }
+
+    /// Registers the head flit of `packet` occupying this VC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VC is already occupied by a different packet.
+    pub fn accept_head(&mut self, packet: PacketId, len: u8, now: Cycle) {
+        assert!(
+            self.packet.is_none(),
+            "VC accepting a head flit while occupied"
+        );
+        self.packet = Some(packet);
+        self.len = len;
+        self.flits_arrived = 1;
+        self.flits_sent = 0;
+        self.route = None;
+        self.head_arrival = Some(now);
+        self.granted = false;
+    }
+
+    /// Registers the arrival of a non-head flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flit does not belong to the occupying packet or would
+    /// exceed the packet length.
+    pub fn accept_body(&mut self, packet: PacketId) {
+        assert_eq!(self.packet, Some(packet), "body flit for wrong packet");
+        assert!(
+            self.flits_arrived < self.len,
+            "more flits arrived than packet length"
+        );
+        self.flits_arrived += 1;
+    }
+
+    /// Resets the VC to the free state and returns the packet it held.
+    pub fn release(&mut self) -> Option<PacketId> {
+        let packet = self.packet.take();
+        self.len = 0;
+        self.flits_arrived = 0;
+        self.flits_sent = 0;
+        self.pending_arrivals.clear();
+        self.route = None;
+        self.head_arrival = None;
+        self.granted = false;
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_of_a_packet_through_a_vc() {
+        let mut vc = VcState::new(false);
+        assert!(vc.is_free());
+        assert!(!vc.wants_allocation());
+
+        vc.accept_head(PacketId(1), 2, 10);
+        assert!(!vc.is_free());
+        assert!(vc.wants_allocation());
+        assert!(!vc.is_resident_idle());
+        assert_eq!(vc.sendable_flits(), 1);
+
+        vc.accept_body(PacketId(1));
+        assert!(vc.is_resident_idle());
+        assert_eq!(vc.sendable_flits(), 2);
+
+        vc.granted = true;
+        assert!(!vc.is_resident_idle());
+        vc.flits_sent = 2;
+        assert_eq!(vc.sendable_flits(), 0);
+
+        let released = vc.release();
+        assert_eq!(released, Some(PacketId(1)));
+        assert!(vc.is_free());
+        assert!(!vc.granted);
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn cannot_accept_head_while_occupied() {
+        let mut vc = VcState::new(false);
+        vc.accept_head(PacketId(1), 1, 0);
+        vc.accept_head(PacketId(2), 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong packet")]
+    fn body_flit_must_match_packet() {
+        let mut vc = VcState::new(false);
+        vc.accept_head(PacketId(1), 4, 0);
+        vc.accept_body(PacketId(2));
+    }
+
+    #[test]
+    fn reserved_flag_is_preserved() {
+        let vc = VcState::new(true);
+        assert!(vc.reserved_vc);
+        let vc = VcState::new(false);
+        assert!(!vc.reserved_vc);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-flow service-rate allocations.
+//!
+//! The operating system (hypervisor) programs each QOS-enabled router with a
+//! rate of service per flow; Preemptive Virtual Clock scales each flow's
+//! bandwidth consumption by its rate to obtain packet priorities, and derives
+//! the non-preemptable (reserved) flit quota per frame from the rate.
+
+use serde::{Deserialize, Serialize};
+use taqos_netsim::FlowId;
+
+/// An assignment of service rates to flows.
+///
+/// Rates are expressed as fractions of link bandwidth. They are relative
+/// weights: Preemptive Virtual Clock only compares scaled consumptions, so
+/// the absolute scale matters only for the reserved-quota computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateAllocation {
+    rates: Vec<f64>,
+}
+
+impl RateAllocation {
+    /// Equal rates for `n` flows (each `1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn equal(n: usize) -> Self {
+        assert!(n > 0, "a rate allocation needs at least one flow");
+        RateAllocation {
+            rates: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Builds an allocation from explicit per-flow rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates` is empty or any rate is not strictly positive and
+    /// finite.
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        assert!(!rates.is_empty(), "a rate allocation needs at least one flow");
+        for (i, &r) in rates.iter().enumerate() {
+            assert!(
+                r.is_finite() && r > 0.0,
+                "rate of flow {i} must be positive and finite, got {r}"
+            );
+        }
+        RateAllocation { rates }
+    }
+
+    /// Builds an allocation proportional to integer weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a zero weight.
+    pub fn from_weights(weights: &[u32]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let rates = weights
+            .iter()
+            .map(|&w| {
+                assert!(w > 0, "each weight must be positive");
+                f64::from(w) / total as f64
+            })
+            .collect();
+        RateAllocation { rates }
+    }
+
+    /// Number of flows covered by the allocation.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether the allocation covers no flows (never true for constructed
+    /// values).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Rate of `flow`. Flows outside the allocation receive the smallest
+    /// configured rate, which is the conservative choice (lowest priority
+    /// growth, smallest reserved quota).
+    pub fn rate(&self, flow: FlowId) -> f64 {
+        self.rates.get(flow.index()).copied().unwrap_or_else(|| {
+            self.rates
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min)
+                .max(f64::MIN_POSITIVE)
+        })
+    }
+
+    /// All rates, indexed by flow.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Reserved (non-preemptable) flit quota per frame for `flow`, given the
+    /// frame length and the fraction of the rate guaranteed as reserved.
+    pub fn reserved_quota(&self, flow: FlowId, frame_len: u64, reserved_fraction: f64) -> u64 {
+        let quota = self.rate(flow) * frame_len as f64 * reserved_fraction;
+        quota.max(0.0).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_rates_sum_to_one() {
+        let alloc = RateAllocation::equal(8);
+        assert_eq!(alloc.len(), 8);
+        assert!(!alloc.is_empty());
+        let sum: f64 = alloc.rates().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((alloc.rate(FlowId(3)) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_are_normalised() {
+        let alloc = RateAllocation::from_weights(&[1, 3]);
+        assert!((alloc.rate(FlowId(0)) - 0.25).abs() < 1e-12);
+        assert!((alloc.rate(FlowId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_flow_gets_smallest_rate() {
+        let alloc = RateAllocation::from_rates(vec![0.5, 0.1, 0.4]);
+        assert!((alloc.rate(FlowId(9)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reserved_quota_scales_with_rate_and_frame() {
+        let alloc = RateAllocation::equal(8);
+        // 1/8 of a 50 000-cycle frame.
+        assert_eq!(alloc.reserved_quota(FlowId(0), 50_000, 1.0), 6_250);
+        assert_eq!(alloc.reserved_quota(FlowId(0), 50_000, 0.5), 3_125);
+        assert_eq!(alloc.reserved_quota(FlowId(0), 0, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_is_rejected() {
+        RateAllocation::from_rates(vec![0.5, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one flow")]
+    fn empty_allocation_is_rejected() {
+        RateAllocation::from_rates(Vec::new());
+    }
+}

@@ -1,0 +1,56 @@
+//! # taqos-topology — network topologies for the QOS-enabled shared region
+//!
+//! Topology construction and analysis for the TAQOS reproduction of
+//! *"Topology-aware Quality-of-Service Support in Highly Integrated Chip
+//! Multiprocessors"*:
+//!
+//! * [`column`] — the five shared-region column topologies (mesh x1/x2/x4,
+//!   MECS, and the paper's new Destination Partitioned Subnets), emitted as
+//!   [`taqos_netsim::spec::NetworkSpec`]s with the router parameters of
+//!   Table 1;
+//! * [`geometry`] — per-topology router geometry (crossbar dimensions, buffer
+//!   capacities, flow-table sizes, input-wire sharing) that drives the area
+//!   and energy models;
+//! * [`properties`] — closed-form bisection bandwidth, zero-load latency and
+//!   average hop counts;
+//! * [`grid`] — chip-level primitives (8x8 concentrated grid, XY
+//!   dimension-order routing, MECS single-hop reachability, convex-region
+//!   checks) used by the chip-level architecture in `taqos-core`.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use taqos_topology::prelude::*;
+//!
+//! let config = ColumnConfig::paper();
+//! let spec = ColumnTopology::Dps.build(&config);
+//! assert_eq!(spec.routers.len(), 8);
+//! assert_eq!(spec.sources.len(), 64);
+//!
+//! // MECS, DPS and mesh x4 have equal bisection bandwidth.
+//! assert_eq!(
+//!     bisection_channels(ColumnTopology::Dps, 8),
+//!     bisection_channels(ColumnTopology::MeshX4, 8),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod column;
+pub mod geometry;
+pub mod grid;
+pub mod properties;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::column::{ColumnConfig, ColumnTopology, TopologyParams};
+    pub use crate::geometry::{geometry_from_spec, router_geometry, RouterGeometry};
+    pub use crate::grid::{ChipGrid, Coord};
+    pub use crate::properties::{
+        bisection_bandwidth_bytes, bisection_channels, tornado_avg_hops, uniform_random_avg_hops,
+        zero_load_latency, zero_load_latency_tornado, zero_load_latency_uniform,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,382 @@
+//! Ready-made workloads for the shared-region column experiments.
+//!
+//! Each function returns one traffic generator per injector, in source order
+//! (node-major, injector-minor — the order in which `taqos-topology` declares
+//! the column's sources), ready to be passed to
+//! [`taqos_netsim::network::Network::new`].
+
+use crate::generators::{DestinationPattern, SyntheticGenerator};
+use crate::injection::PacketSizeMix;
+use taqos_netsim::packet::{IdleGenerator, PacketGenerator};
+use taqos_netsim::NodeId;
+use taqos_topology::column::ColumnConfig;
+
+/// Injection rates (flits per cycle) of the eight terminal injectors in
+/// adversarial Workload 1: equal priorities but widely different rates,
+/// ranging from 5% to 20% of link bandwidth with an average around 14%,
+/// guaranteeing contention at the hotspot whose fair share is 12.5% each.
+pub const WORKLOAD1_RATES: [f64; 8] = [0.05, 0.08, 0.11, 0.14, 0.16, 0.18, 0.19, 0.20];
+
+/// Per-injector generator list; boxed trait objects in source order.
+pub type GeneratorSet = Vec<Box<dyn PacketGenerator>>;
+
+fn seed_for(base_seed: u64, flow_index: usize) -> u64 {
+    // Distinct, deterministic per-injector seeds.
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(flow_index as u64)
+}
+
+/// Uniform-random traffic: every injector sends at `rate` flits/cycle to
+/// destinations drawn uniformly among the other nodes of the column.
+pub fn uniform_random(
+    config: &ColumnConfig,
+    rate: f64,
+    mix: PacketSizeMix,
+    seed: u64,
+) -> GeneratorSet {
+    let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
+    for node in 0..config.nodes {
+        let dests: Vec<NodeId> = (0..config.nodes)
+            .filter(|&d| d != node)
+            .map(|d| NodeId(d as u16))
+            .collect();
+        for injector in 0..config.injectors_per_node() {
+            let flow = config.flow_of(node, injector).index();
+            generators.push(Box::new(SyntheticGenerator::open_loop(
+                rate,
+                mix,
+                DestinationPattern::UniformRandom(dests.clone()),
+                seed_for(seed, flow),
+            )));
+        }
+    }
+    generators
+}
+
+/// Tornado traffic: every injector at node `i` sends to node
+/// `(i + n/2) mod n`, the challenge pattern for rings and meshes.
+pub fn tornado(config: &ColumnConfig, rate: f64, mix: PacketSizeMix, seed: u64) -> GeneratorSet {
+    permutation(config, crate::patterns::Permutation::Tornado, rate, mix, seed)
+}
+
+/// Permutation traffic: every injector at node `i` sends to the node given by
+/// the permutation (tornado, bit complement, bit reverse, shuffle,
+/// neighbour, ...).
+pub fn permutation(
+    config: &ColumnConfig,
+    pattern: crate::patterns::Permutation,
+    rate: f64,
+    mix: PacketSizeMix,
+    seed: u64,
+) -> GeneratorSet {
+    let n = config.nodes;
+    let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
+    for node in 0..n {
+        let dst = pattern.destination(node, n);
+        for injector in 0..config.injectors_per_node() {
+            let flow = config.flow_of(node, injector).index();
+            generators.push(Box::new(SyntheticGenerator::open_loop(
+                rate,
+                mix,
+                DestinationPattern::Fixed(dst),
+                seed_for(seed, flow),
+            )));
+        }
+    }
+    generators
+}
+
+/// Hotspot traffic: every injector (including the injectors of the hotspot
+/// node itself) streams to the terminal of `hotspot`. Used for the fairness
+/// experiment of Table 2.
+pub fn hotspot(
+    config: &ColumnConfig,
+    rate: f64,
+    mix: PacketSizeMix,
+    hotspot: NodeId,
+    seed: u64,
+) -> GeneratorSet {
+    let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
+    for node in 0..config.nodes {
+        for injector in 0..config.injectors_per_node() {
+            let flow = config.flow_of(node, injector).index();
+            generators.push(Box::new(SyntheticGenerator::open_loop(
+                rate,
+                mix,
+                DestinationPattern::Fixed(hotspot),
+                seed_for(seed, flow),
+            )));
+        }
+    }
+    generators
+}
+
+/// Adversarial Workload 1: only the terminal injector of each node sends
+/// towards the hotspot, at the widely different rates of [`WORKLOAD1_RATES`];
+/// every source has a fixed packet budget so the workload has a completion
+/// time (used for the slowdown measurement of Figure 6).
+///
+/// `budget_cycles` sets how much traffic each source offers: a source with
+/// rate `r` sends `r * budget_cycles` flits worth of packets.
+///
+/// # Panics
+///
+/// Panics if `rates` does not provide one rate per node.
+pub fn workload1(
+    config: &ColumnConfig,
+    rates: &[f64],
+    mix: PacketSizeMix,
+    hotspot: NodeId,
+    budget_cycles: u64,
+    seed: u64,
+) -> GeneratorSet {
+    assert_eq!(
+        rates.len(),
+        config.nodes,
+        "workload 1 needs one rate per node"
+    );
+    let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
+    for node in 0..config.nodes {
+        for injector in 0..config.injectors_per_node() {
+            let flow = config.flow_of(node, injector).index();
+            if injector == 0 {
+                let rate = rates[node];
+                let budget = packet_budget(rate, mix, budget_cycles);
+                generators.push(Box::new(SyntheticGenerator::with_budget(
+                    rate,
+                    mix,
+                    DestinationPattern::Fixed(hotspot),
+                    budget,
+                    seed_for(seed, flow),
+                )));
+            } else {
+                generators.push(Box::new(IdleGenerator));
+            }
+        }
+    }
+    generators
+}
+
+/// Adversarial Workload 2: all eight injectors of the node farthest from the
+/// hotspot plus one additional injector at the adjacent node send towards the
+/// hotspot, pressuring a single downstream MECS port and the destination
+/// output port.
+pub fn workload2(
+    config: &ColumnConfig,
+    rate: f64,
+    mix: PacketSizeMix,
+    hotspot: NodeId,
+    budget_cycles: u64,
+    seed: u64,
+) -> GeneratorSet {
+    let far_node = if hotspot.index() == 0 {
+        config.nodes - 1
+    } else {
+        0
+    };
+    let adjacent = if far_node > 0 { far_node - 1 } else { 1 };
+    let budget = packet_budget(rate, mix, budget_cycles);
+    let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
+    for node in 0..config.nodes {
+        for injector in 0..config.injectors_per_node() {
+            let flow = config.flow_of(node, injector).index();
+            let active = node == far_node || (node == adjacent && injector == 0);
+            if active {
+                generators.push(Box::new(SyntheticGenerator::with_budget(
+                    rate,
+                    mix,
+                    DestinationPattern::Fixed(hotspot),
+                    budget,
+                    seed_for(seed, flow),
+                )));
+            } else {
+                generators.push(Box::new(IdleGenerator));
+            }
+        }
+    }
+    generators
+}
+
+/// An entirely idle generator set (useful for tests and as a template).
+pub fn idle(config: &ColumnConfig) -> GeneratorSet {
+    (0..config.num_flows())
+        .map(|_| Box::new(IdleGenerator) as Box<dyn PacketGenerator>)
+        .collect()
+}
+
+/// Number of packets a source offers when sending `rate` flits per cycle for
+/// `budget_cycles` cycles with the given size mix.
+pub fn packet_budget(rate: f64, mix: PacketSizeMix, budget_cycles: u64) -> u64 {
+    ((rate * budget_cycles as f64) / mix.mean_len_flits()).round().max(1.0) as u64
+}
+
+/// Demands (flits per cycle) offered by each flow of a generator set built by
+/// [`workload1`]; used to compute the max-min fair reference allocation.
+pub fn workload1_demands(config: &ColumnConfig, rates: &[f64]) -> Vec<f64> {
+    let mut demands = vec![0.0; config.num_flows()];
+    for node in 0..config.nodes {
+        demands[config.flow_of(node, 0).index()] = rates[node];
+    }
+    demands
+}
+
+/// Demands (flits per cycle) offered by each flow of a generator set built by
+/// [`workload2`].
+pub fn workload2_demands(config: &ColumnConfig, rate: f64, hotspot: NodeId) -> Vec<f64> {
+    let far_node = if hotspot.index() == 0 {
+        config.nodes - 1
+    } else {
+        0
+    };
+    let adjacent = if far_node > 0 { far_node - 1 } else { 1 };
+    let mut demands = vec![0.0; config.num_flows()];
+    for injector in 0..config.injectors_per_node() {
+        demands[config.flow_of(far_node, injector).index()] = rate;
+    }
+    demands[config.flow_of(adjacent, 0).index()] = rate;
+    demands
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taqos_netsim::Cycle;
+
+    fn count_active(generators: &mut GeneratorSet, cycles: Cycle) -> Vec<u64> {
+        generators
+            .iter_mut()
+            .map(|g| (0..cycles).filter(|&now| g.generate(now).is_some()).count() as u64)
+            .collect()
+    }
+
+    #[test]
+    fn all_workloads_cover_every_injector() {
+        let config = ColumnConfig::paper();
+        assert_eq!(uniform_random(&config, 0.1, PacketSizeMix::paper(), 1).len(), 64);
+        assert_eq!(tornado(&config, 0.1, PacketSizeMix::paper(), 1).len(), 64);
+        assert_eq!(
+            hotspot(&config, 0.1, PacketSizeMix::paper(), NodeId(0), 1).len(),
+            64
+        );
+        assert_eq!(
+            workload1(
+                &config,
+                &WORKLOAD1_RATES,
+                PacketSizeMix::paper(),
+                NodeId(0),
+                10_000,
+                1
+            )
+            .len(),
+            64
+        );
+        assert_eq!(
+            workload2(&config, 0.14, PacketSizeMix::paper(), NodeId(0), 10_000, 1).len(),
+            64
+        );
+        assert_eq!(idle(&config).len(), 64);
+    }
+
+    #[test]
+    fn workload1_activates_only_terminals() {
+        let config = ColumnConfig::paper();
+        let mut generators = workload1(
+            &config,
+            &WORKLOAD1_RATES,
+            PacketSizeMix::requests_only(),
+            NodeId(0),
+            5_000,
+            3,
+        );
+        let counts = count_active(&mut generators, 2_000);
+        for node in 0..config.nodes {
+            for injector in 0..config.injectors_per_node() {
+                let flow = config.flow_of(node, injector).index();
+                if injector == 0 {
+                    assert!(counts[flow] > 0, "terminal of node {node} should send");
+                } else {
+                    assert_eq!(counts[flow], 0, "row injector {injector} of node {node}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workload2_activates_far_node_and_one_neighbour() {
+        let config = ColumnConfig::paper();
+        let mut generators = workload2(
+            &config,
+            0.5,
+            PacketSizeMix::requests_only(),
+            NodeId(0),
+            5_000,
+            3,
+        );
+        let counts = count_active(&mut generators, 2_000);
+        let active: Vec<usize> = counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, _)| i)
+            .collect();
+        // All eight injectors of node 7 plus the terminal of node 6.
+        assert_eq!(active.len(), 9);
+        for injector in 0..8 {
+            assert!(active.contains(&config.flow_of(7, injector).index()));
+        }
+        assert!(active.contains(&config.flow_of(6, 0).index()));
+    }
+
+    #[test]
+    fn tornado_targets_opposite_half() {
+        let config = ColumnConfig::paper();
+        let mut generators = tornado(&config, 1.0, PacketSizeMix::requests_only(), 9);
+        let g = &mut generators[config.flow_of(1, 0).index()];
+        let mut found = None;
+        for now in 0..100 {
+            if let Some(p) = g.generate(now) {
+                found = Some(p.dst);
+                break;
+            }
+        }
+        assert_eq!(found, Some(NodeId(5)));
+    }
+
+    #[test]
+    fn uniform_random_excludes_self() {
+        let config = ColumnConfig::paper();
+        let mut generators = uniform_random(&config, 1.0, PacketSizeMix::requests_only(), 11);
+        let node = 4;
+        let g = &mut generators[config.flow_of(node, 2).index()];
+        for now in 0..500 {
+            if let Some(p) = g.generate(now) {
+                assert_ne!(p.dst, NodeId(node as u16));
+            }
+        }
+    }
+
+    #[test]
+    fn budgets_scale_with_rate_and_mix() {
+        assert_eq!(packet_budget(0.1, PacketSizeMix::requests_only(), 10_000), 1_000);
+        assert_eq!(packet_budget(0.1, PacketSizeMix::paper(), 10_000), 400);
+        assert_eq!(packet_budget(0.0001, PacketSizeMix::paper(), 100), 1);
+    }
+
+    #[test]
+    fn demand_vectors_match_active_sources() {
+        let config = ColumnConfig::paper();
+        let d1 = workload1_demands(&config, &WORKLOAD1_RATES);
+        assert_eq!(d1.iter().filter(|&&d| d > 0.0).count(), 8);
+        assert!((d1.iter().sum::<f64>() - WORKLOAD1_RATES.iter().sum::<f64>()).abs() < 1e-12);
+
+        let d2 = workload2_demands(&config, 0.14, NodeId(0));
+        assert_eq!(d2.iter().filter(|&&d| d > 0.0).count(), 9);
+    }
+
+    #[test]
+    fn workload1_average_rate_is_near_14_percent() {
+        let avg: f64 = WORKLOAD1_RATES.iter().sum::<f64>() / WORKLOAD1_RATES.len() as f64;
+        assert!(avg > 0.125 && avg < 0.15, "average {avg}");
+    }
+}

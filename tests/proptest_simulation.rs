@@ -1,0 +1,154 @@
+//! Property-based tests of the simulator core: zero-load latency agreement
+//! with the analytic model, spec validity for arbitrary column shapes, and
+//! conservation under random single-source workloads.
+
+use proptest::prelude::*;
+use taqos::prelude::*;
+use taqos::traffic::generators::{DestinationPattern, SyntheticGenerator};
+
+fn any_topology() -> impl Strategy<Value = ColumnTopology> {
+    prop_oneof![
+        Just(ColumnTopology::MeshX1),
+        Just(ColumnTopology::MeshX2),
+        Just(ColumnTopology::MeshX4),
+        Just(ColumnTopology::Mecs),
+        Just(ColumnTopology::Dps),
+    ]
+}
+
+/// Sends one packet of `len` flits from the terminal of `src` to `dst` and
+/// returns the measured latency.
+fn single_packet_latency(topology: ColumnTopology, src: usize, dst: usize, len: u8) -> f64 {
+    let column = ColumnConfig::paper();
+    let sim = SharedRegionSim::new(topology).with_column(column);
+    let mix = if len == 1 {
+        PacketSizeMix::requests_only()
+    } else {
+        PacketSizeMix::replies_only()
+    };
+    let mut generators: GeneratorSet = Vec::new();
+    for node in 0..column.nodes {
+        for injector in 0..column.injectors_per_node() {
+            if node == src && injector == 0 {
+                generators.push(Box::new(SyntheticGenerator::with_budget(
+                    4.0,
+                    mix,
+                    DestinationPattern::Fixed(NodeId(dst as u16)),
+                    1,
+                    9,
+                )));
+            } else {
+                generators.push(Box::new(IdleGenerator));
+            }
+        }
+    }
+    let stats = sim
+        .run_closed(Box::new(sim.default_policy()), generators, None, 10_000)
+        .expect("single packet delivers");
+    assert_eq!(stats.delivered_packets, 1);
+    stats.avg_latency()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// An uncontended packet's simulated latency matches the analytic
+    /// zero-load model up to the injection hand-off and tail serialisation.
+    #[test]
+    fn zero_load_latency_matches_analytic_model(
+        topology in any_topology(),
+        src in 0usize..8,
+        dst in 0usize..8,
+        long_packet in any::<bool>(),
+    ) {
+        let len: u8 = if long_packet { 4 } else { 1 };
+        let hops = (src as i32 - dst as i32).unsigned_abs();
+        let measured = single_packet_latency(topology, src, dst, len);
+        let analytic = f64::from(zero_load_latency(topology, hops))
+            + f64::from(len - 1);
+        let offset = measured - analytic;
+        prop_assert!(
+            (0.0..=3.0).contains(&offset),
+            "{topology} {src}->{dst} len {len}: measured {measured}, analytic {analytic}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every column shape the builder accepts produces a structurally valid
+    /// specification with the expected source and sink counts.
+    #[test]
+    fn generated_column_specs_are_always_valid(
+        topology in any_topology(),
+        nodes in 2usize..10,
+        east in 0usize..5,
+        west in 0usize..4,
+        window in 1usize..32,
+    ) {
+        let config = ColumnConfig {
+            nodes,
+            row_inputs_east: east,
+            row_inputs_west: west,
+            source_window: window,
+            ..ColumnConfig::paper()
+        };
+        let spec = topology.build(&config);
+        prop_assert!(spec.validate().is_ok());
+        prop_assert_eq!(spec.routers.len(), nodes);
+        prop_assert_eq!(spec.sources.len(), nodes * (1 + east + west));
+        prop_assert_eq!(spec.sinks.len(), nodes);
+        // Every router can route to every destination node.
+        for router in &spec.routers {
+            for dest in 0..nodes {
+                let dest = NodeId(dest as u16);
+                let has_route = router.route_table.contains_key(&dest)
+                    || router.inputs.iter().any(|p| p.fixed_route.is_some());
+                prop_assert!(has_route, "router {} cannot reach {dest}", router.node);
+            }
+        }
+    }
+
+    /// Zero-load latency is monotone in distance and DPS never loses to the
+    /// mesh at equal distance.
+    #[test]
+    fn zero_load_latency_is_monotone(topology in any_topology(), hops in 1u32..7) {
+        prop_assert!(
+            zero_load_latency(topology, hops + 1) > zero_load_latency(topology, hops)
+        );
+        prop_assert!(
+            zero_load_latency(ColumnTopology::Dps, hops)
+                <= zero_load_latency(ColumnTopology::MeshX1, hops)
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Closed single-destination workloads always deliver every packet, on
+    /// every topology, regardless of which node is the destination.
+    #[test]
+    fn closed_workloads_conserve_packets(
+        topology in any_topology(),
+        hotspot in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let column = ColumnConfig::paper();
+        let sim = SharedRegionSim::new(topology).with_column(column);
+        let generators = taqos::traffic::workloads::workload1(
+            &column,
+            &taqos::traffic::workloads::WORKLOAD1_RATES,
+            PacketSizeMix::paper(),
+            NodeId(hotspot as u16),
+            1_500,
+            seed,
+        );
+        let stats = sim
+            .run_closed(Box::new(sim.default_policy()), generators, None, 300_000)
+            .expect("workload completes");
+        prop_assert_eq!(stats.generated_packets, stats.delivered_packets);
+        prop_assert!(stats.completion_cycle.is_some());
+    }
+}
