@@ -1,8 +1,12 @@
-//! Criterion benchmarks of whole experiment points: one load/latency point,
-//! one fairness measurement, and one adversarial preemption run, all in quick
+//! Benchmarks of whole experiment points: one load/latency point, one
+//! fairness measurement, and one adversarial preemption run, all in quick
 //! configurations. These bound the cost of regenerating the paper's figures.
+//!
+//! Built with `harness = false` and a plain timing loop (`taqos_bench::
+//! measure`) because Criterion is unavailable in the offline build
+//! environment. Run with `cargo bench --bench experiment_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taqos_bench::{measure, report};
 use taqos_core::experiment::fairness::{hotspot_fairness, FairnessConfig, FairnessPolicy};
 use taqos_core::experiment::latency::{latency_point, SweepConfig, SweepPattern};
 use taqos_core::experiment::preemption::{
@@ -22,56 +26,36 @@ fn quick_sweep_config() -> SweepConfig {
     }
 }
 
-fn bench_latency_point(c: &mut Criterion) {
+fn main() {
     let config = quick_sweep_config();
-    let mut group = c.benchmark_group("latency_point_3k_cycles");
-    group.sample_size(10);
-    for topology in [ColumnTopology::MeshX1, ColumnTopology::Mecs, ColumnTopology::Dps] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(topology.name()),
-            &topology,
-            |b, &topology| {
-                b.iter(|| latency_point(topology, SweepPattern::UniformRandom, 0.05, &config))
-            },
-        );
+    for topology in [
+        ColumnTopology::MeshX1,
+        ColumnTopology::Mecs,
+        ColumnTopology::Dps,
+    ] {
+        let m = measure(10, || {
+            latency_point(topology, SweepPattern::UniformRandom, 0.05, &config);
+        });
+        report("latency_point_3k_cycles", topology.name(), m);
     }
-    group.finish();
-}
 
-fn bench_fairness_point(c: &mut Criterion) {
-    let mut config = FairnessConfig::quick();
-    config.warmup = 500;
-    config.measure = 3_000;
-    let mut group = c.benchmark_group("hotspot_fairness_3k_cycles");
-    group.sample_size(10);
-    group.bench_function("dps_pvc", |b| {
-        b.iter(|| hotspot_fairness(ColumnTopology::Dps, FairnessPolicy::Pvc, &config))
+    let mut fairness_config = FairnessConfig::quick();
+    fairness_config.warmup = 500;
+    fairness_config.measure = 3_000;
+    let m = measure(10, || {
+        hotspot_fairness(ColumnTopology::Dps, FairnessPolicy::Pvc, &fairness_config);
     });
-    group.finish();
-}
+    report("hotspot_fairness_3k_cycles", "dps_pvc", m);
 
-fn bench_adversarial_run(c: &mut Criterion) {
-    let mut config = AdversarialConfig::quick();
-    config.budget_cycles = 3_000;
-    let mut group = c.benchmark_group("adversarial_workload1");
-    group.sample_size(10);
-    group.bench_function("mesh_x1", |b| {
-        b.iter(|| {
-            preemption_impact(
-                ColumnTopology::MeshX1,
-                AdversarialWorkload::Workload1,
-                &config,
-            )
-            .expect("completes")
-        })
+    let mut adversarial_config = AdversarialConfig::quick();
+    adversarial_config.budget_cycles = 3_000;
+    let m = measure(10, || {
+        preemption_impact(
+            ColumnTopology::MeshX1,
+            AdversarialWorkload::Workload1,
+            &adversarial_config,
+        )
+        .expect("completes");
     });
-    group.finish();
+    report("adversarial_workload1", "mesh_x1", m);
 }
-
-criterion_group!(
-    benches,
-    bench_latency_point,
-    bench_fairness_point,
-    bench_adversarial_run
-);
-criterion_main!(benches);

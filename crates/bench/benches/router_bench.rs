@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the simulator itself: how fast one column
-//! topology simulates under load. Useful for tracking simulator performance
+//! Micro-benchmarks of the simulator itself: how fast one column topology
+//! simulates under load. Useful for tracking simulator performance
 //! regressions; the paper-figure harnesses live in `src/bin/`.
+//!
+//! Built with `harness = false` and a plain timing loop (`taqos_bench::
+//! measure`) because Criterion is unavailable in the offline build
+//! environment. Run with `cargo bench --bench router_bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use taqos_bench::{measure, report};
 use taqos_core::shared_region::SharedRegionSim;
 use taqos_netsim::qos::QosPolicy;
 use taqos_qos::pvc::PvcPolicy;
@@ -19,32 +23,17 @@ fn simulate_cycles(topology: ColumnTopology, cycles: u64) -> u64 {
     network.delivered_flits()
 }
 
-fn bench_topology_stepping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("column_simulation_2k_cycles");
-    group.sample_size(10);
+fn main() {
     for topology in ColumnTopology::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(topology.name()),
-            &topology,
-            |b, &topology| b.iter(|| simulate_cycles(topology, 2_000)),
-        );
+        let m = measure(10, || {
+            simulate_cycles(topology, 2_000);
+        });
+        report("column_simulation_2k_cycles", topology.name(), m);
     }
-    group.finish();
-}
-
-fn bench_spec_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("column_spec_construction");
     for topology in ColumnTopology::all() {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(topology.name()),
-            &topology,
-            |b, &topology| {
-                b.iter(|| topology.build(&taqos_topology::column::ColumnConfig::paper()))
-            },
-        );
+        let m = measure(10, || {
+            topology.build(&taqos_topology::column::ColumnConfig::paper());
+        });
+        report("column_spec_construction", topology.name(), m);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_topology_stepping, bench_spec_construction);
-criterion_main!(benches);

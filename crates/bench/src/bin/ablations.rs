@@ -28,15 +28,25 @@ fn main() {
     let quick = args.has_flag("quick");
     let column = ColumnConfig::paper();
 
-    let (measure, budget) = if quick { (6_000, 6_000) } else { (50_000, 30_000) };
+    let (measure, budget) = if quick {
+        (6_000, 6_000)
+    } else {
+        (50_000, 30_000)
+    };
 
-    println!("Ablation studies on {} (paper configuration otherwise)", topology.name());
+    println!(
+        "Ablation studies on {} (paper configuration otherwise)",
+        topology.name()
+    );
     println!();
 
     // 1. PVC frame length.
     println!("PVC frame length (hotspot traffic):");
     println!("{}", rule(60));
-    println!("{:<14} {:>22} {:>18}", "frame cycles", "max deviation %", "preempted %");
+    println!(
+        "{:<14} {:>22} {:>18}",
+        "frame cycles", "max deviation %", "preempted %"
+    );
     let frames = if quick {
         vec![1_000, 10_000, 50_000]
     } else {
@@ -81,7 +91,10 @@ fn main() {
     // 3. Virtual-channel provisioning.
     println!("Column-port virtual channels (uniform random at 8%):");
     println!("{}", rule(60));
-    println!("{:<14} {:>18} {:>22}", "VCs per port", "avg latency", "accepted flits/cycle");
+    println!(
+        "{:<14} {:>18} {:>22}",
+        "VCs per port", "avg latency", "accepted flits/cycle"
+    );
     let counts = [2u8, 4, 6, 10, 14];
     let open_loop = if quick {
         OpenLoopConfig {

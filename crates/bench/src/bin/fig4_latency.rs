@@ -79,8 +79,7 @@ fn main() {
     for topology in topologies {
         let point = points
             .iter()
-            .filter(|p| p.topology == topology)
-            .last()
+            .rfind(|p| p.topology == topology)
             .expect("points exist");
         println!(
             "  {:<10} {}",
@@ -94,8 +93,7 @@ fn main() {
         for topology in topologies {
             let point = points
                 .iter()
-                .filter(|p| p.topology == topology)
-                .last()
+                .rfind(|p| p.topology == topology)
                 .expect("points exist");
             println!(
                 "  {:<10} {} %",

@@ -9,7 +9,9 @@
 //! ```
 
 use taqos_bench::{cell, rule, CliArgs};
-use taqos_core::experiment::preemption::{preemption_figure, AdversarialConfig, AdversarialWorkload};
+use taqos_core::experiment::preemption::{
+    preemption_figure, AdversarialConfig, AdversarialWorkload,
+};
 
 fn main() {
     let args = CliArgs::from_env();

@@ -9,7 +9,9 @@
 //! ```
 
 use taqos_bench::{cell, rule, CliArgs};
-use taqos_core::experiment::preemption::{preemption_figure, AdversarialConfig, AdversarialWorkload};
+use taqos_core::experiment::preemption::{
+    preemption_figure, AdversarialConfig, AdversarialWorkload,
+};
 
 fn main() {
     let args = CliArgs::from_env();
@@ -40,7 +42,12 @@ fn main() {
     println!("{}", rule(92));
     println!(
         "{:<10} {:>14} {:>16} {:>16} {:>16} {:>14}",
-        "topology", "slowdown %", "avg deviation %", "min deviation %", "max deviation %", "completion"
+        "topology",
+        "slowdown %",
+        "avg deviation %",
+        "min deviation %",
+        "max deviation %",
+        "completion"
     );
     println!("{}", rule(92));
     for result in &results {

@@ -52,9 +52,7 @@ fn main() {
         "running hotspot fairness: 5 topologies, {} measured cycles each",
         config.measure
     );
-    println!(
-        "Table 2: Relative throughput of flows under hotspot traffic (flits per flow, PVC)"
-    );
+    println!("Table 2: Relative throughput of flows under hotspot traffic (flits per flow, PVC)");
     let rows = table2(&config);
     print_rows(&rows);
 

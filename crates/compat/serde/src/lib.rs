@@ -1,0 +1,42 @@
+//! Offline no-op stand-in for the `serde` facade.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched from a registry. The TAQOS sources only use serde as
+//! `#[derive(Serialize, Deserialize)]` markers (no code actually serialises
+//! through serde — report files are written with hand-rolled JSON). This stub
+//! keeps those sources compiling unchanged:
+//!
+//! * [`Serialize`] and [`Deserialize`] are marker traits with blanket
+//!   implementations, so every type satisfies them;
+//! * the derive macros (from the sibling `serde_derive` stub) expand to
+//!   nothing.
+//!
+//! If the project ever gains real serialisation needs, replace the two compat
+//! crates with the registry versions — no source changes required.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented for every
+/// type, so `#[derive(Serialize)]` (a no-op here) still satisfies bounds.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. Blanket-implemented for
+/// every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+    pub use serde_derive::Deserialize;
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use serde_derive::Serialize;
+}

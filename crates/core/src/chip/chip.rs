@@ -214,10 +214,7 @@ impl TopologyAwareChip {
     pub fn inter_domain_overhead(&self, from: Coord, to: Coord) -> Result<u32, ChipError> {
         let route = self.inter_domain_route(from, to)?;
         let minimal = from.manhattan(to);
-        let taken: u32 = route
-            .windows(2)
-            .map(|w| w[0].manhattan(w[1]))
-            .sum();
+        let taken: u32 = route.windows(2).map(|w| w[0].manhattan(w[1])).sum();
         Ok(taken.saturating_sub(minimal))
     }
 
@@ -386,8 +383,8 @@ mod tests {
             .unwrap();
         // Every direction change along the route happens at a shared node.
         for w in route.windows(3) {
-            let turned = (w[0].x != w[1].x && w[1].y != w[2].y)
-                || (w[0].y != w[1].y && w[1].x != w[2].x);
+            let turned =
+                (w[0].x != w[1].x && w[1].y != w[2].y) || (w[0].y != w[1].y && w[1].x != w[2].x);
             if turned {
                 assert!(
                     chip.is_shared(w[1]),

@@ -187,10 +187,10 @@ impl Hypervisor {
         }
         let total: f64 = row_weight.iter().sum::<f64>() * injectors as f64;
         let mut rates = vec![0.0; column.num_flows()];
-        for node in 0..column.nodes {
+        for (node, weight) in row_weight.iter().enumerate().take(column.nodes) {
             for injector in 0..injectors {
                 let flow = column.flow_of(node, injector).index();
-                rates[flow] = row_weight[node] / total;
+                rates[flow] = weight / total;
             }
         }
         RateAllocation::from_rates(rates)

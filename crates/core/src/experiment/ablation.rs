@@ -122,12 +122,7 @@ pub fn reserved_quota_ablation(
             budget_cycles,
             seed,
         );
-        let stats = sim.run_closed(
-            Box::new(policy),
-            generators,
-            Some(budget_cycles),
-            2_000_000,
-        )?;
+        let stats = sim.run_closed(Box::new(policy), generators, Some(budget_cycles), 2_000_000)?;
         Ok((
             stats.preempted_packet_fraction(),
             stats.completion_cycle.unwrap_or(stats.cycles),
@@ -177,8 +172,7 @@ pub fn vc_count_sweep(
                 ..topology.params()
             };
             let spec = topology.build_with_params(column, &params);
-            let generators =
-                workloads::uniform_random(column, rate, PacketSizeMix::paper(), seed);
+            let generators = workloads::uniform_random(column, rate, PacketSizeMix::paper(), seed);
             let policy = Box::new(PvcPolicy::equal_rates(column.num_flows()));
             let network = Network::new(spec, policy, generators, SimConfig::default())
                 .expect("ablation configuration is valid");
@@ -232,13 +226,7 @@ mod tests {
     #[test]
     fn frame_sweep_reports_one_point_per_frame() {
         let column = ColumnConfig::paper();
-        let points = frame_length_sweep(
-            ColumnTopology::Dps,
-            &[2_000, 10_000],
-            &column,
-            4_000,
-            7,
-        );
+        let points = frame_length_sweep(ColumnTopology::Dps, &[2_000, 10_000], &column, 4_000, 7);
         assert_eq!(points.len(), 2);
         for p in points {
             assert!(p.max_deviation_pct >= 0.0);

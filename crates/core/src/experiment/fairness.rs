@@ -170,8 +170,8 @@ pub fn hotspot_fairness(
     let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
     let min = values.iter().copied().fold(f64::INFINITY, f64::min);
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let variance = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-        / values.len().max(1) as f64;
+    let variance =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len().max(1) as f64;
 
     FairnessResult {
         topology,

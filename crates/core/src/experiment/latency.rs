@@ -219,7 +219,12 @@ mod tests {
             preempted_packet_fraction: 0.0,
             wasted_hop_fraction: 0.0,
         };
-        let points = vec![mk(0.01, 12.0), mk(0.05, 20.0), mk(0.08, 90.0), mk(0.1, 400.0)];
+        let points = vec![
+            mk(0.01, 12.0),
+            mk(0.05, 20.0),
+            mk(0.08, 90.0),
+            mk(0.1, 400.0),
+        ];
         assert!((saturation_rate(&points, 60.0) - 0.05).abs() < 1e-12);
     }
 }

@@ -23,8 +23,6 @@ pub mod fairness;
 pub mod latency;
 pub mod preemption;
 
-use crossbeam::thread;
-
 /// Runs `f` over `items` in parallel (bounded by the available parallelism)
 /// and returns the results in input order.
 ///
@@ -48,9 +46,9 @@ where
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = std::sync::Mutex::new(work);
     let results = std::sync::Mutex::new(&mut slots);
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let item = {
                     let mut queue = queue.lock().expect("queue lock");
                     queue.pop()
@@ -60,8 +58,7 @@ where
                 results.lock().expect("result lock")[idx] = Some(result);
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     slots
         .into_iter()
         .map(|slot| slot.expect("every work item produces a result"))

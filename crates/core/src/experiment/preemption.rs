@@ -27,9 +27,7 @@ use taqos_qos::per_flow::PerFlowQueuedPolicy;
 use taqos_qos::pvc::PvcPolicy;
 use taqos_topology::column::{ColumnConfig, ColumnTopology};
 use taqos_traffic::injection::PacketSizeMix;
-use taqos_traffic::workloads::{
-    self, GeneratorSet, WORKLOAD1_RATES,
-};
+use taqos_traffic::workloads::{self, GeneratorSet, WORKLOAD1_RATES};
 
 /// Which adversarial workload to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -202,11 +200,7 @@ pub fn preemption_impact(
     // utilisation.
     let demands = config.demands(workload);
     let window = config.budget_cycles as f64;
-    let capacity = baseline_stats
-        .measured_flits_per_flow()
-        .iter()
-        .sum::<u64>() as f64
-        / window;
+    let capacity = baseline_stats.measured_flits_per_flow().iter().sum::<u64>() as f64 / window;
     let shares = max_min_fair_shares(&demands, capacity.max(f64::MIN_POSITIVE));
     let measured = pvc_stats.measured_flits_per_flow();
     let mut observed = Vec::new();
@@ -217,8 +211,8 @@ pub fn preemption_impact(
             expected.push(shares[flow]);
         }
     }
-    let deviation = DeviationSummary::from_observations(&observed, &expected)
-        .unwrap_or(DeviationSummary {
+    let deviation =
+        DeviationSummary::from_observations(&observed, &expected).unwrap_or(DeviationSummary {
             average: 0.0,
             min: 0.0,
             max: 0.0,
@@ -260,9 +254,12 @@ mod tests {
     #[test]
     fn workload1_completes_and_reports_consistent_metrics() {
         let config = AdversarialConfig::quick();
-        let impact =
-            preemption_impact(ColumnTopology::MeshX1, AdversarialWorkload::Workload1, &config)
-                .expect("workload completes");
+        let impact = preemption_impact(
+            ColumnTopology::MeshX1,
+            AdversarialWorkload::Workload1,
+            &config,
+        )
+        .expect("workload completes");
         assert!(impact.completion_cycles > 0);
         assert!(impact.baseline_completion_cycles > 0);
         // The preemption-free baseline can never be slower than PVC by
@@ -278,9 +275,12 @@ mod tests {
         // With only eight active sources the reserved quota is exhausted
         // early in the frame and preemptions must occur on the baseline mesh.
         let config = AdversarialConfig::quick();
-        let impact =
-            preemption_impact(ColumnTopology::MeshX1, AdversarialWorkload::Workload1, &config)
-                .expect("workload completes");
+        let impact = preemption_impact(
+            ColumnTopology::MeshX1,
+            AdversarialWorkload::Workload1,
+            &config,
+        )
+        .expect("workload completes");
         assert!(
             impact.preempted_packet_fraction > 0.0,
             "expected preemptions, got none"

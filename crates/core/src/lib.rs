@@ -42,12 +42,16 @@ pub mod shared_region;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::chip::{ChipError, Domain, DomainId, Hypervisor, Placement, TopologyAwareChip, VmSpec};
+    pub use crate::chip::{
+        ChipError, Domain, DomainId, Hypervisor, Placement, TopologyAwareChip, VmSpec,
+    };
     pub use crate::experiment::ablation::{
         frame_length_sweep, reserved_quota_ablation, vc_count_sweep, QuotaAblation,
     };
     pub use crate::experiment::differentiated::{sla_experiment, SlaConfig, SlaResult};
-    pub use crate::experiment::energy_area::{area_report, energy_report, AreaReport, EnergyReport};
+    pub use crate::experiment::energy_area::{
+        area_report, energy_report, AreaReport, EnergyReport,
+    };
     pub use crate::experiment::fairness::{
         hotspot_fairness, table2, FairnessConfig, FairnessPolicy, FairnessResult,
     };

@@ -134,10 +134,8 @@ mod tests {
 
     #[test]
     fn open_loop_run_delivers_traffic() {
-        let sim = SharedRegionSim::new(ColumnTopology::MeshX1)
-            .with_column(ColumnConfig::paper());
-        let generators =
-            workloads::uniform_random(sim.column(), 0.02, PacketSizeMix::paper(), 1);
+        let sim = SharedRegionSim::new(ColumnTopology::MeshX1).with_column(ColumnConfig::paper());
+        let generators = workloads::uniform_random(sim.column(), 0.02, PacketSizeMix::paper(), 1);
         let stats = sim
             .run_open(
                 Box::new(FifoPolicy::new()),

@@ -3,6 +3,47 @@
 use crate::ids::Cycle;
 use serde::{Deserialize, Serialize};
 
+/// Which data-structure engine the simulator uses for its hot path.
+///
+/// Both engines are cycle-for-cycle equivalent — they produce bit-identical
+/// [`crate::stats::NetStats`] for the same spec, policy, generators and seed —
+/// but differ in cost:
+///
+/// * [`EngineKind::Optimized`] (the default) stores packets in a generational
+///   slab arena indexed directly by [`crate::ids::PacketId`], schedules
+///   events on a fixed-horizon timing wheel (with a binary-heap overflow lane
+///   for rare long delays), reuses per-router arbitration scratch buffers,
+///   and skips routers, ports and sources with no buffered work.
+/// * [`EngineKind::Reference`] reproduces the original engine's data
+///   structures — a `HashMap` packet store, a pure binary-heap event queue,
+///   per-cycle request `Vec` allocations and full router/port scans. It
+///   exists as the baseline for the `bench_netsim` throughput harness and for
+///   the engine-equivalence tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// Slab packet store + timing wheel + scratch-buffer arbitration +
+    /// active-set tracking.
+    #[default]
+    Optimized,
+    /// Seed-equivalent engine: hash-map store, binary-heap queue, full scans.
+    Reference,
+}
+
+impl EngineKind {
+    /// Whether this is the reference (seed-equivalent) engine.
+    pub fn is_reference(self) -> bool {
+        matches!(self, EngineKind::Reference)
+    }
+
+    /// Short name used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Optimized => "optimized",
+            EngineKind::Reference => "reference",
+        }
+    }
+}
+
 /// Fixed mechanical parameters of the simulation (independent of topology and
 /// QOS policy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,6 +58,8 @@ pub struct SimConfig {
     pub ack_latency_base: Cycle,
     /// Per-hop component of the ACK network latency.
     pub ack_latency_per_hop: Cycle,
+    /// Hot-path engine selection; see [`EngineKind`].
+    pub engine: EngineKind,
 }
 
 impl SimConfig {
@@ -24,6 +67,12 @@ impl SimConfig {
     /// point of delivery or discard.
     pub fn ack_latency(&self, hops: u32) -> Cycle {
         self.ack_latency_base + self.ack_latency_per_hop * Cycle::from(hops)
+    }
+
+    /// Returns this configuration with the given engine selected.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 }
 
@@ -34,6 +83,7 @@ impl Default for SimConfig {
             credit_delay: 1,
             ack_latency_base: 4,
             ack_latency_per_hop: 1,
+            engine: EngineKind::Optimized,
         }
     }
 }
@@ -49,5 +99,15 @@ mod tests {
         assert!(cfg.credit_delay >= 1);
         assert_eq!(cfg.ack_latency(0), cfg.ack_latency_base);
         assert_eq!(cfg.ack_latency(3), cfg.ack_latency_base + 3);
+        assert_eq!(cfg.engine, EngineKind::Optimized);
+    }
+
+    #[test]
+    fn engine_selection() {
+        let cfg = SimConfig::default().with_engine(EngineKind::Reference);
+        assert!(cfg.engine.is_reference());
+        assert_eq!(cfg.engine.name(), "reference");
+        assert!(!EngineKind::Optimized.is_reference());
+        assert_eq!(EngineKind::default(), EngineKind::Optimized);
     }
 }

@@ -1,11 +1,20 @@
 //! Timed event queue used for flit deliveries, credit returns, ACK/NACK
 //! messages, and preemption probes.
 //!
-//! All delays in the simulated network are small constants (wire delays,
-//! credit return latency, ACK network latency), so a binary heap keyed by the
-//! due cycle with a monotonically increasing sequence number for stable
-//! ordering is sufficient and keeps the simulator deterministic.
+//! Almost all delays in the simulated network are small constants (wire
+//! delays, credit return latency, ACK network latency), so the default queue
+//! is a fixed-horizon **timing wheel**: scheduling and draining an event is a
+//! vector push/take on the slot for its due cycle, with no per-event
+//! comparisons. Events beyond the wheel horizon — rare long ACK delays on
+//! very tall networks — spill into a binary-heap overflow lane and are merged
+//! back in due/sequence order when they mature, so ordering is exactly that
+//! of a single heap keyed by `(due, seq)`: deterministic FIFO per cycle.
+//!
+//! Constructing the queue with a zero horizon ([`EventQueue::with_horizon`])
+//! degenerates to the original pure binary-heap implementation, which the
+//! reference engine uses as the measurable baseline.
 
+use crate::config::EngineKind;
 use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -117,51 +126,208 @@ impl PartialOrd for TimedEvent {
     }
 }
 
-/// Deterministic future-event queue.
-#[derive(Debug, Default)]
+/// Default wheel horizon in cycles. Must be a power of two. Covers every
+/// constant delay the simulator schedules (wire spans, credit returns, ACK
+/// latencies for columns up to ~250 hops); longer delays take the overflow
+/// heap, which is correct but slower.
+const DEFAULT_HORIZON: usize = 256;
+
+/// Deterministic future-event queue: timing wheel plus heap overflow lane.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<TimedEvent>,
+    /// Wheel horizon (power of two), or 0 for the pure-heap reference queue.
+    horizon: usize,
+    /// One slot per cycle in the window `[floor, floor + horizon)`; each slot
+    /// holds `(seq, event)` pairs in scheduling order. All entries of the
+    /// slot for cycle `c` are due exactly at `c`.
+    wheel: Vec<Vec<(u64, Event)>>,
+    /// Events scheduled beyond the wheel horizon, ordered by `(due, seq)`.
+    overflow: BinaryHeap<TimedEvent>,
+    /// Next scheduling sequence number (global FIFO tie-breaker).
     seq: u64,
+    /// Total events currently scheduled (wheel + overflow).
+    pending: usize,
+    /// Events currently in wheel slots (subset of `pending`).
+    wheel_pending: usize,
+    /// Earliest cycle that has not been drained yet.
+    floor: Cycle,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::with_horizon(DEFAULT_HORIZON)
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default wheel horizon.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Schedules `event` to fire at cycle `due`.
+    /// Creates an empty queue with the given wheel horizon. A horizon of 0
+    /// disables the wheel entirely: every event goes through the binary heap,
+    /// reproducing the original queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is neither 0 nor a power of two.
+    pub fn with_horizon(horizon: usize) -> Self {
+        assert!(
+            horizon == 0 || horizon.is_power_of_two(),
+            "wheel horizon must be 0 or a power of two, got {horizon}"
+        );
+        EventQueue {
+            horizon,
+            wheel: (0..horizon).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            seq: 0,
+            pending: 0,
+            wheel_pending: 0,
+            floor: 0,
+        }
+    }
+
+    /// Creates the queue matching an engine selection.
+    pub fn for_engine(engine: EngineKind) -> Self {
+        if engine.is_reference() {
+            EventQueue::with_horizon(0)
+        } else {
+            EventQueue::new()
+        }
+    }
+
+    /// Schedules `event` to fire at cycle `due`. Cycles already drained are
+    /// clamped forward: the event fires at the next drain, matching the
+    /// behaviour of the original heap queue (which could never pop an event
+    /// before the drain following its scheduling).
     pub fn schedule(&mut self, due: Cycle, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(TimedEvent { due, seq, event });
+        self.pending += 1;
+        let due = due.max(self.floor);
+        if self.horizon != 0 && due < self.floor + self.horizon as Cycle {
+            self.wheel[(due as usize) & (self.horizon - 1)].push((seq, event));
+            self.wheel_pending += 1;
+        } else {
+            self.overflow.push(TimedEvent { due, seq, event });
+        }
+    }
+
+    /// Pops all events due at or before `now`, in `(due, seq)` order —
+    /// deterministic FIFO per cycle — appending them to `out`.
+    ///
+    /// The caller supplies the output buffer so steady-state draining does
+    /// not allocate.
+    pub fn drain_due_into(&mut self, now: Cycle, out: &mut Vec<Event>) {
+        if now < self.floor {
+            return;
+        }
+        if self.pending == 0 {
+            self.floor = now + 1;
+            return;
+        }
+        if self.horizon == 0 {
+            while let Some(head) = self.overflow.peek() {
+                if head.due > now {
+                    break;
+                }
+                out.push(self.overflow.pop().expect("peeked event exists").event);
+                self.pending -= 1;
+            }
+            self.floor = now + 1;
+            return;
+        }
+        let mask = self.horizon - 1;
+        // Wheel slots only cover cycles in `[floor, floor + horizon)`.
+        let window_end = now.min(self.floor + self.horizon as Cycle - 1);
+        let mut cycle = self.floor;
+        // Visit each undrained in-window cycle up to `now`, merging that
+        // cycle's wheel slot (entries in seq order, all due exactly at
+        // `cycle`) with any matured overflow events due the same cycle.
+        while cycle <= window_end {
+            if self.wheel_pending == 0 {
+                break;
+            }
+            let slot_idx = (cycle as usize) & mask;
+            let slot_len = self.wheel[slot_idx].len();
+            self.wheel_pending -= slot_len;
+            self.pending -= slot_len;
+            if self.overflow.peek().is_some_and(|head| head.due <= cycle) {
+                // Rare path: interleave slot and overflow entries by seq.
+                // Taking the slot costs its capacity, but overflow merges
+                // only happen for delays beyond the wheel horizon.
+                let slot = std::mem::take(&mut self.wheel[slot_idx]);
+                let mut slot_iter = slot.into_iter().peekable();
+                loop {
+                    let next_overflow_seq = match self.overflow.peek() {
+                        Some(head) if head.due <= cycle => Some(head.seq),
+                        _ => None,
+                    };
+                    match (slot_iter.peek(), next_overflow_seq) {
+                        (Some(&(slot_seq, _)), Some(ovf_seq)) if ovf_seq < slot_seq => {
+                            out.push(self.overflow.pop().expect("peeked").event);
+                            self.pending -= 1;
+                        }
+                        (Some(_), _) => out.push(slot_iter.next().expect("peeked").1),
+                        (None, Some(_)) => {
+                            out.push(self.overflow.pop().expect("peeked").event);
+                            self.pending -= 1;
+                        }
+                        (None, None) => break,
+                    }
+                }
+            } else {
+                // Hot path: drain in place so the slot keeps its capacity
+                // and steady-state scheduling never reallocates.
+                out.extend(self.wheel[slot_idx].drain(..).map(|(_, event)| event));
+            }
+            cycle += 1;
+        }
+        // Anything left in overflow and due by `now` fires after the window:
+        // the wheel holds nothing beyond `window_end`, so plain heap order
+        // (due, seq) is already the correct global order.
+        while let Some(head) = self.overflow.peek() {
+            if head.due > now {
+                break;
+            }
+            out.push(self.overflow.pop().expect("peeked event exists").event);
+            self.pending -= 1;
+        }
+        self.floor = now + 1;
     }
 
     /// Pops all events due at or before `now`, in scheduling order.
     pub fn drain_due(&mut self, now: Cycle) -> Vec<Event> {
         let mut due = Vec::new();
-        while let Some(head) = self.heap.peek() {
-            if head.due > now {
-                break;
-            }
-            due.push(self.heap.pop().expect("peeked event exists").event);
-        }
+        self.drain_due_into(now, &mut due);
         due
     }
 
     /// Number of scheduled events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// Whether no events are scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending == 0
     }
 
-    /// The cycle of the earliest scheduled event, if any.
+    /// The cycle of the earliest scheduled event, if any. O(horizon); used
+    /// for diagnostics and tests, not on the hot path.
     pub fn next_due(&self) -> Option<Cycle> {
-        self.heap.peek().map(|e| e.due)
+        let mut earliest: Option<Cycle> = self.overflow.peek().map(|e| e.due);
+        if self.horizon != 0 {
+            let mask = self.horizon - 1;
+            for cycle in self.floor..self.floor + self.horizon as Cycle {
+                if !self.wheel[(cycle as usize) & mask].is_empty() {
+                    earliest = Some(earliest.map_or(cycle, |e| e.min(cycle)));
+                    break;
+                }
+            }
+        }
+        earliest
     }
 }
 
@@ -211,5 +377,90 @@ mod tests {
         q.schedule(100, ack(0));
         assert!(q.drain_due(99).is_empty());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn wheel_and_heap_queues_agree_on_order() {
+        // Drive both queue flavours through an adversarial schedule (in- and
+        // out-of-window delays, same-cycle collisions, interleaved drains)
+        // and demand identical drain sequences.
+        let mut lcg = 12345u64;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let mut wheel = EventQueue::with_horizon(8);
+        let mut heap = EventQueue::with_horizon(0);
+        let mut now = 0;
+        for i in 0..2_000u64 {
+            let delay = match next() % 5 {
+                0 => 1,
+                1 => 2,
+                2 => 4,
+                3 => 7,
+                // Far beyond the 8-cycle horizon: exercises the overflow
+                // lane and its merge-back.
+                _ => 9 + next() % 30,
+            };
+            wheel.schedule(now + delay, ack(i as usize));
+            heap.schedule(now + delay, ack(i as usize));
+            if next() % 3 == 0 {
+                now += 1 + next() % 3;
+                assert_eq!(
+                    wheel.drain_due(now),
+                    heap.drain_due(now),
+                    "diverged at {now}"
+                );
+            }
+        }
+        now += 64;
+        assert_eq!(wheel.drain_due(now), heap.drain_due(now));
+        assert!(wheel.is_empty());
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn overflow_events_merge_in_scheduling_order() {
+        let mut q = EventQueue::with_horizon(4);
+        // seq 0: far event (overflow lane), due 10.
+        q.schedule(10, ack(0));
+        q.drain_due(7); // window is now [8, 12): due 10 stays in overflow.
+                        // seq 1: near event, same due cycle, lands in the wheel.
+        q.schedule(10, ack(1));
+        // The overflow event was scheduled first and must fire first.
+        assert_eq!(q.drain_due(10), vec![ack(0), ack(1)]);
+    }
+
+    #[test]
+    fn stale_due_cycles_fire_at_next_drain() {
+        let mut q = EventQueue::new();
+        q.drain_due(50);
+        q.schedule(10, ack(0)); // already in the past: clamped forward
+        assert_eq!(q.next_due(), Some(51));
+        assert_eq!(q.drain_due(51), vec![ack(0)]);
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer_without_reallocating() {
+        let mut q = EventQueue::new();
+        let mut buf = Vec::with_capacity(16);
+        for round in 0..100u64 {
+            for i in 0..8 {
+                q.schedule(round + 1, ack(i));
+            }
+            buf.clear();
+            q.drain_due_into(round + 1, &mut buf);
+            assert_eq!(buf.len(), 8);
+            assert_eq!(buf.capacity(), 16, "steady-state drain must not grow");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_horizon_is_rejected() {
+        EventQueue::with_horizon(12);
     }
 }

@@ -34,6 +34,20 @@ use crate::spec::{NetworkSpec, TargetEndpoint};
 use crate::stats::NetStats;
 use crate::vc::VcState;
 
+/// Returns `qos.priority(flow)`, memoised in the router's priority cache
+/// (valid within the router's current priority epoch).
+fn cached_priority(router: &mut RouterState, qos: &dyn RouterQos, flow: FlowId) -> u64 {
+    let f = flow.index();
+    if router.priority_cache_epoch[f] == router.priority_epoch {
+        router.priority_cache[f]
+    } else {
+        let p = qos.priority(flow);
+        router.priority_cache_epoch[f] = router.priority_epoch;
+        router.priority_cache[f] = p;
+        p
+    }
+}
+
 /// A fully instantiated, steppable network simulation.
 pub struct Network {
     spec: NetworkSpec,
@@ -52,6 +66,15 @@ pub struct Network {
     flow_to_source: Vec<usize>,
     frame_len: Option<Cycle>,
     now: Cycle,
+    /// Reusable buffer for events drained each cycle.
+    event_scratch: Vec<Event>,
+    /// Reusable buffer for preemption victim candidates.
+    probe_scratch: Vec<(PacketId, FlowId, bool)>,
+    /// Reusable buffer for candidates annotated with cached priorities.
+    probe_prioritized_scratch: Vec<(PacketId, FlowId, bool, u64)>,
+    /// Whether the policy uses ideal per-flow queuing: downstream VC ids may
+    /// then exceed the spec-provisioned count and ports grow on demand.
+    unlimited: bool,
 }
 
 impl Network {
@@ -87,6 +110,9 @@ impl Network {
         let unlimited = policy.unlimited_buffering();
         let mut routers: Vec<RouterState> =
             spec.routers.iter().map(RouterState::from_spec).collect();
+        for router in &mut routers {
+            router.init_priority_cache(spec.num_flows());
+        }
 
         // Fill per-target credit state and feeder back-pointers.
         let mut sink_feeders: Vec<Option<(usize, usize, usize)>> = vec![None; spec.sinks.len()];
@@ -172,13 +198,17 @@ impl Network {
             sources,
             sinks,
             qos,
-            packets: PacketStore::new(),
-            events: EventQueue::new(),
+            packets: PacketStore::for_engine(config.engine),
+            events: EventQueue::for_engine(config.engine),
             stats,
             sink_feeders,
             flow_to_source,
             frame_len,
             now: 0,
+            event_scratch: Vec::new(),
+            probe_scratch: Vec::new(),
+            probe_prioritized_scratch: Vec::new(),
+            unlimited,
         })
     }
 
@@ -254,9 +284,13 @@ impl Network {
 
     fn phase_frame_rollover(&mut self) {
         if let Some(frame) = self.frame_len {
-            if frame > 0 && self.now % frame == 0 {
+            if frame > 0 && self.now.is_multiple_of(frame) {
                 for qos in &mut self.qos {
                     qos.on_frame_rollover();
+                }
+                for router in &mut self.routers {
+                    router.priority_epoch += 1;
+                    router.mark_all_dirty();
                 }
                 for source in &mut self.sources {
                     source.on_frame_rollover();
@@ -266,10 +300,23 @@ impl Network {
     }
 
     fn phase_events(&mut self) {
-        let due = self.events.drain_due(self.now);
-        for event in due {
+        if self.config.engine.is_reference() {
+            // Seed behaviour: a fresh vector of due events every cycle.
+            let due = self.events.drain_due(self.now);
+            for event in due {
+                self.apply_event(event);
+            }
+            return;
+        }
+        // The drained events are collected into a reusable buffer so the
+        // steady-state event phase performs no heap allocation.
+        let mut scratch = std::mem::take(&mut self.event_scratch);
+        scratch.clear();
+        self.events.drain_due_into(self.now, &mut scratch);
+        for event in scratch.drain(..) {
             self.apply_event(event);
         }
+        self.event_scratch = scratch;
     }
 
     fn apply_event(&mut self, event: Event) {
@@ -284,13 +331,29 @@ impl Network {
                 is_head,
                 is_tail: _,
             } => {
-                let port = &mut self.routers[router].inputs[in_port.0];
-                while port.vcs.len() <= vc.index() {
-                    port.vcs.push(VcState::new(false));
+                let router_state = &mut self.routers[router];
+                let port = &mut router_state.inputs[in_port.0];
+                if port.vcs.len() <= vc.index() {
+                    // VC counts are fully provisioned from the spec at
+                    // construction; only ideal per-flow queuing manufactures
+                    // VC ids beyond that count.
+                    assert!(
+                        self.unlimited,
+                        "flit addressed VC {} beyond the {} provisioned at router {router} port {}",
+                        vc.index(),
+                        port.vcs.len(),
+                        in_port.0
+                    );
+                    port.vcs.resize_with(vc.index() + 1, || VcState::new(false));
                 }
+                debug_assert!(vc.index() < port.vcs.len());
                 let state = &mut port.vcs[vc.index()];
                 if is_head {
                     state.accept_head(packet, len, self.now);
+                    port.occupied += 1;
+                    port.unrouted += 1;
+                    router_state.active_vcs += 1;
+                    router_state.unrouted_vcs += 1;
                 } else {
                     state.accept_body(packet);
                 }
@@ -319,7 +382,9 @@ impl Network {
                 vc,
                 reserved_vc,
             } => {
-                self.routers[router].outputs[out_port].targets[target_idx].refund(vc, reserved_vc);
+                let router_state = &mut self.routers[router];
+                router_state.outputs[out_port].targets[target_idx].refund(vc, reserved_vc);
+                router_state.mark_output_dirty(out_port);
             }
             Event::CreditToSource { source, vc } => {
                 self.sources[source].free_vcs.push(vc);
@@ -346,14 +411,22 @@ impl Network {
 
     fn complete_delivery(&mut self, sink: usize, slot: VcId) {
         let packet_id = self.sinks[sink].complete(slot);
-        let packet = self
-            .packets
-            .get(packet_id)
-            .expect("delivered packet must be live")
-            .clone();
-        let hops = packet.column_hops();
+        // Only four scalars of the packet feed the stats recorder; copying
+        // them out avoids cloning the whole packet on every delivery.
+        let (flow, len_flits, hops, birth) = {
+            let packet = self
+                .packets
+                .get(packet_id)
+                .expect("delivered packet must be live");
+            (
+                packet.flow,
+                packet.len_flits,
+                packet.column_hops(),
+                packet.birth,
+            )
+        };
         self.stats
-            .record_delivery(packet.flow, packet.len_flits, hops, packet.birth, self.now);
+            .record_delivery(flow, len_flits, hops, birth, self.now);
         // Free the sink slot credit at the feeding ejection port.
         if let Some((router, out_port, target_idx)) = self.sink_feeders[sink] {
             self.events.schedule(
@@ -368,7 +441,7 @@ impl Network {
             );
         }
         // Acknowledge delivery to the source over the ACK network.
-        let source = self.flow_to_source[packet.flow.index()];
+        let source = self.flow_to_source[flow.index()];
         self.events.schedule(
             self.now + self.config.ack_latency(hops),
             Event::Ack {
@@ -380,41 +453,40 @@ impl Network {
 
     fn phase_sources(&mut self) {
         let now = self.now;
-        for si in 0..self.sources.len() {
-            // 1. Traffic generation.
-            let generated = {
-                let source = &mut self.sources[si];
-                if source.generator.exhausted() {
-                    None
-                } else {
-                    source.generator.generate(now)
-                }
-            };
+        // Split-borrow the fields once so the per-source loop indexes each
+        // source a single time instead of re-indexing `self.sources[si]` at
+        // every access.
+        let Network {
+            sources,
+            routers,
+            packets,
+            stats,
+            policy,
+            ..
+        } = self;
+        for source in sources.iter_mut() {
+            // 1. Traffic generation — one generator call per cycle. An
+            // exhausted generator returns `None` without consuming entropy
+            // (the `PacketGenerator` contract), and a source that also has
+            // nothing queued or streaming has no per-cycle work at all
+            // (outstanding-window packets only need event handling).
+            let generated = source.generator.generate(now);
             if let Some(gen) = generated {
-                let id = self.packets.allocate_id();
-                let source = &mut self.sources[si];
-                let packet = Packet::new(
-                    id,
-                    source.flow,
-                    source.node,
-                    gen.dst,
-                    gen.len_flits,
-                    gen.class,
-                    now,
-                );
-                source.enqueue_generated(&packet);
-                self.packets.insert(packet);
+                let (flow, node) = (source.flow, source.node);
+                let id = packets.insert_with(|id| {
+                    Packet::new(id, flow, node, gen.dst, gen.len_flits, gen.class, now)
+                });
+                source.enqueue_generated(id, gen.len_flits);
+            } else if source.is_idle_this_cycle() {
+                continue;
             }
 
             // 2. Start a new injection if possible.
-            if self.sources[si].can_start_injection() {
-                let source = &mut self.sources[si];
+            if source.can_start_injection() {
                 let packet_id = source.queue.pop_front().expect("queue checked non-empty");
                 let vc = source.free_vcs.pop().expect("credit checked available");
-                let flow = source.flow;
-                let quota = self.policy.reserved_quota(flow);
-                let packet = self
-                    .packets
+                let quota = policy.reserved_quota(source.flow);
+                let packet = packets
                     .get_mut(packet_id)
                     .expect("queued packet must be live");
                 if packet.injected_at.is_none() {
@@ -439,18 +511,21 @@ impl Network {
             }
 
             // 3. Stream one flit of the active injection into the router.
-            let source = &mut self.sources[si];
             if let Some(transfer) = &mut source.active {
-                let router = &mut self.routers[source.router];
+                let router = &mut routers[source.router];
                 let port = &mut router.inputs[source.in_port.0];
                 let vc_state = &mut port.vcs[transfer.vc.index()];
                 if transfer.flits_sent == 0 {
                     vc_state.accept_head(transfer.packet, transfer.len, now);
+                    port.occupied += 1;
+                    port.unrouted += 1;
+                    router.active_vcs += 1;
+                    router.unrouted_vcs += 1;
                 } else {
                     vc_state.accept_body(transfer.packet);
                 }
                 transfer.flits_sent += 1;
-                self.stats.energy.buffer_writes += 1;
+                stats.energy.buffer_writes += 1;
                 if transfer.flits_sent >= transfer.len {
                     source.active = None;
                 }
@@ -459,19 +534,87 @@ impl Network {
     }
 
     fn phase_routing(&mut self) {
+        let skip_idle = !self.config.engine.is_reference();
         for (ri, router) in self.routers.iter_mut().enumerate() {
+            // Active-set fast path: route computation only concerns heads
+            // that arrived since the last routing pass, so routers (and
+            // ports) without an unrouted occupant need no scan at all.
+            if skip_idle && router.unrouted_vcs == 0 {
+                continue;
+            }
             let rspec = &self.spec.routers[ri];
             for (pi, port) in router.inputs.iter_mut().enumerate() {
+                if skip_idle && port.unrouted == 0 {
+                    continue;
+                }
                 let pspec = &rspec.inputs[pi];
-                for vc in &mut port.vcs {
-                    if vc.packet.is_some() && vc.route.is_none() && vc.flits_arrived > 0 {
+                for (vi, vc) in port.vcs.iter_mut().enumerate() {
+                    if let (Some(packet_id), None) = (vc.packet, vc.route) {
+                        if vc.flits_arrived == 0 {
+                            continue;
+                        }
                         let packet = self
                             .packets
-                            .get(vc.packet.expect("checked occupied"))
+                            .get(packet_id)
                             .expect("buffered packet must be live");
-                        let out =
-                            compute_route(rspec, pspec, packet.dst, &mut router.route_rr_cursor);
+                        let out = if !skip_idle {
+                            compute_route(rspec, pspec, packet.dst, &mut router.route_rr_cursor)
+                        } else if let Some(fixed) = pspec.fixed_route {
+                            fixed
+                        } else {
+                            // Dense LUT path: same candidates and selection
+                            // logic as `compute_route`, minus the tree walk.
+                            let candidates = router
+                                .route_lut
+                                .get(packet.dst.index())
+                                .map(Vec::as_slice)
+                                .unwrap_or(&[]);
+                            assert!(
+                                !candidates.is_empty(),
+                                "router {} has no route for destination {}",
+                                rspec.node,
+                                packet.dst
+                            );
+                            crate::router::select_route(
+                                rspec,
+                                pspec,
+                                packet.dst,
+                                candidates,
+                                &mut router.route_rr_cursor,
+                            )
+                        };
                         vc.route = Some(out);
+                        port.unrouted -= 1;
+                        router.unrouted_vcs -= 1;
+                        if skip_idle {
+                            // Optimized engine: enter the packet into the
+                            // persistent arbitration request list of its
+                            // output, ordered by (in_port, vc) — the same
+                            // order the reference engine's scan produces.
+                            let target_idx = resolve_target_idx(&rspec.outputs[out.0], packet.dst);
+                            let request = crate::router::ArbRequest {
+                                in_port: pi as u16,
+                                vc: vi as u16,
+                                packet: packet_id,
+                                flow: packet.flow,
+                                len: packet.len_flits,
+                                reserved: packet.reserved,
+                                target_idx: target_idx as u16,
+                                passthrough: pspec.passthrough,
+                                priority: 0,
+                                has_credit: false,
+                            };
+                            let bucket = &mut router.alloc_buckets[out.0];
+                            let pos = bucket
+                                .binary_search_by_key(&(pi as u16, vi as u16), |r| {
+                                    (r.in_port, r.vc)
+                                })
+                                .expect_err("VC already has a pending request");
+                            bucket.insert(pos, request);
+                            if let Some(mask) = router.alloc_dirty.as_mut() {
+                                *mask |= 1 << out.0;
+                            }
+                        }
                     }
                 }
             }
@@ -480,58 +623,82 @@ impl Network {
 
     fn phase_allocation(&mut self) {
         let preemption = self.policy.preemption_enabled();
+        let reference = self.config.engine.is_reference();
         for ri in 0..self.routers.len() {
+            // Active-set fast path: allocation requests come from buffered
+            // packets only.
+            if !reference && self.routers[ri].active_vcs == 0 {
+                continue;
+            }
             let rspec = &self.spec.routers[ri];
-            let router = &mut self.routers[ri];
             let qos = &mut self.qos[ri];
-            let num_outputs = router.outputs.len();
+            let num_outputs = self.routers[ri].outputs.len();
+
             for oi in 0..num_outputs {
+                let router = &mut self.routers[ri];
+                if !reference && router.alloc_buckets[oi].is_empty() {
+                    continue;
+                }
                 if !router.outputs[oi].can_grant(self.config.grant_queue_depth) {
                     continue;
                 }
-                // Gather requests for this output port.
-                struct Request {
-                    in_port: usize,
-                    vc: usize,
-                    packet: PacketId,
-                    flow: FlowId,
-                    len: u8,
-                    reserved: bool,
-                    target_idx: usize,
-                    passthrough: bool,
-                    priority: u64,
-                    has_credit: bool,
-                }
-                let mut requests: Vec<Request> = Vec::new();
-                for (pi, port) in router.inputs.iter().enumerate() {
-                    let pspec = &rspec.inputs[pi];
-                    for (vi, vc) in port.vcs.iter().enumerate() {
-                        if !vc.wants_allocation() || vc.route != Some(crate::ids::OutPortId(oi)) {
-                            continue;
+                if !reference {
+                    // Clean output: nothing feeding this decision changed
+                    // since the last full evaluation, which ended blocked
+                    // (a winner would have marked it dirty again). Replay
+                    // the cached outcome — schedule the same probe, skip the
+                    // arbitration entirely.
+                    let clean = router.alloc_dirty.is_some_and(|mask| mask & (1 << oi) == 0);
+                    if clean {
+                        if preemption {
+                            if let Some(probe) = router.cached_probe[oi].clone() {
+                                self.events.schedule(self.now + 1, probe);
+                            }
                         }
-                        let packet_id = vc.packet.expect("allocating VC holds a packet");
-                        let packet = self
-                            .packets
-                            .get(packet_id)
-                            .expect("buffered packet must be live");
-                        let target_idx = resolve_target_idx(&rspec.outputs[oi], packet.dst);
-                        let has_credit =
-                            router.outputs[oi].targets[target_idx].has_credit(packet.reserved);
-                        requests.push(Request {
-                            in_port: pi,
-                            vc: vi,
-                            packet: packet_id,
-                            flow: packet.flow,
-                            len: packet.len_flits,
-                            reserved: packet.reserved,
-                            target_idx,
-                            passthrough: pspec.passthrough,
-                            priority: qos.priority(packet.flow),
-                            has_credit,
-                        });
+                        continue;
                     }
                 }
+                let mut requests = if reference {
+                    // Reference gather: fresh vector and full port/VC rescan
+                    // per output, reproducing the original engine's cost.
+                    let mut requests = Vec::new();
+                    for (pi, port) in router.inputs.iter().enumerate() {
+                        let pspec = &rspec.inputs[pi];
+                        for (vi, vc) in port.vcs.iter().enumerate() {
+                            if !vc.wants_allocation() || vc.route != Some(crate::ids::OutPortId(oi))
+                            {
+                                continue;
+                            }
+                            let packet_id = vc.packet.expect("allocating VC holds a packet");
+                            let packet = self
+                                .packets
+                                .get(packet_id)
+                                .expect("buffered packet must be live");
+                            let target_idx = resolve_target_idx(&rspec.outputs[oi], packet.dst);
+                            let has_credit =
+                                router.outputs[oi].targets[target_idx].has_credit(packet.reserved);
+                            requests.push(crate::router::ArbRequest {
+                                in_port: pi as u16,
+                                vc: vi as u16,
+                                packet: packet_id,
+                                flow: packet.flow,
+                                len: packet.len_flits,
+                                reserved: packet.reserved,
+                                target_idx: target_idx as u16,
+                                passthrough: pspec.passthrough,
+                                priority: qos.priority(packet.flow),
+                                has_credit,
+                            });
+                        }
+                    }
+                    requests
+                } else {
+                    std::mem::take(&mut router.alloc_buckets[oi])
+                };
                 if requests.is_empty() {
+                    if !reference {
+                        self.routers[ri].alloc_buckets[oi] = requests;
+                    }
                     continue;
                 }
                 // Pass-through merge points (DPS intermediate hops) arbitrate
@@ -541,21 +708,60 @@ impl Network {
                 // none is charged to the energy counters.
                 let n = requests.len();
                 let rr = router.outputs[oi].rr_cursor;
-                let winner_idx = requests
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, r)| r.has_credit)
-                    .min_by_key(|(idx, r)| (r.priority, (idx + n - rr % n.max(1)) % n.max(1)))
-                    .map(|(idx, _)| idx);
+                // Round-robin distance from the cursor. Equivalent to
+                // `(idx + n - rr % n) % n`, with the per-request modulo
+                // replaced by a conditional subtract (idx and rr_mod are both
+                // below n, so the sum is below 2n).
+                let rr_mod = rr % n.max(1);
+                // Winner and probe-contender selection. The reference engine
+                // evaluated priorities and credit during its gather; the
+                // optimized engine resolves both here in one read-only pass
+                // over the persistent request list (same values, same program
+                // point — grants at earlier outputs are already visible).
+                // `blocked_idx` mirrors `filter(!has_credit).min_by_key
+                // (priority)`: the first blocked request of minimal priority.
+                let mut winner_idx: Option<usize> = None;
+                let mut winner_key = (u64::MAX, usize::MAX);
+                let mut blocked_idx: Option<usize> = None;
+                let mut blocked_priority = u64::MAX;
+                for (idx, req) in requests.iter().enumerate() {
+                    let (priority, has_credit) = if reference {
+                        (req.priority, req.has_credit)
+                    } else {
+                        // Priorities only move when this router forwards a
+                        // packet or a frame rolls over; within an epoch the
+                        // memoised value is exact, saving the virtual call
+                        // and f64 division for flows that re-arbitrate.
+                        let priority = cached_priority(router, &**qos, req.flow);
+                        let has_credit = router.outputs[oi].targets[req.target_idx as usize]
+                            .has_credit(req.reserved);
+                        (priority, has_credit)
+                    };
+                    if has_credit {
+                        let distance = idx + n - rr_mod;
+                        let distance = if distance >= n {
+                            distance - n
+                        } else {
+                            distance
+                        };
+                        if (priority, distance) < winner_key {
+                            winner_key = (priority, distance);
+                            winner_idx = Some(idx);
+                        }
+                    } else if blocked_idx.is_none() || priority < blocked_priority {
+                        blocked_idx = Some(idx);
+                        blocked_priority = priority;
+                    }
+                }
 
                 if let Some(widx) = winner_idx {
                     let req = &requests[widx];
                     let out_state = &mut router.outputs[oi];
-                    let (to_vc, to_vc_reserved) = out_state.targets[req.target_idx]
+                    let (to_vc, to_vc_reserved) = out_state.targets[req.target_idx as usize]
                         .claim(req.reserved)
                         .expect("credit was checked");
                     let ospec = &rspec.outputs[oi];
-                    let target = &ospec.targets[req.target_idx];
+                    let target = &ospec.targets[req.target_idx as usize];
                     let router_latency = if req.passthrough {
                         1
                     } else {
@@ -565,9 +771,9 @@ impl Network {
                         packet: req.packet,
                         flow: req.flow,
                         len: req.len,
-                        from_port: InPortId(req.in_port),
-                        from_vc: VcId(req.vc as u16),
-                        target_idx: req.target_idx,
+                        from_port: InPortId(req.in_port as usize),
+                        from_vc: VcId(req.vc),
+                        target_idx: req.target_idx as usize,
                         endpoint: target.endpoint,
                         to_vc,
                         to_vc_reserved,
@@ -577,37 +783,68 @@ impl Network {
                         passthrough: req.passthrough,
                     });
                     out_state.rr_cursor = widx + 1;
-                    router.inputs[req.in_port].vcs[req.vc].granted = true;
+                    if let Some(mask) = router.granted_mask.as_mut() {
+                        *mask |= 1 << oi;
+                    }
+                    router.inputs[req.in_port as usize].vcs[req.vc as usize].granted = true;
                     // Flow-state bookkeeping. Pass-through hops skip the
                     // energy cost of the query/update but still account the
                     // bandwidth so preemption decisions stay meaningful.
                     qos.on_packet_forwarded(req.flow, u32::from(req.len));
+                    if !reference {
+                        // A grant moves only this flow's priority; refresh
+                        // its cache entry and leave the rest valid.
+                        let f = req.flow.index();
+                        router.priority_cache[f] = qos.priority(req.flow);
+                        router.priority_cache_epoch[f] = router.priority_epoch;
+                    }
                     if !req.passthrough {
                         self.stats.energy.flow_table_queries += 1;
                         self.stats.energy.flow_table_updates += 1;
                     }
-                } else if preemption {
+                    if !reference {
+                        // The packet holds a grant now; retire its entry from
+                        // the persistent request list, and invalidate every
+                        // output of this router — the forwarded flow's
+                        // priority moved.
+                        requests.remove(widx);
+                        if let Some(mask) = router.alloc_dirty.as_mut() {
+                            *mask = u64::MAX;
+                        }
+                    }
+                } else {
                     // Everyone is blocked on buffer space: probe the most
                     // deserving blocked request's target for a lower-priority
                     // victim (priority inversion resolution).
-                    if let Some(req) = requests
-                        .iter()
-                        .filter(|r| !r.has_credit)
-                        .min_by_key(|r| r.priority)
-                    {
-                        let ospec = &rspec.outputs[oi];
-                        let target = &ospec.targets[req.target_idx];
-                        if let TargetEndpoint::Router { router, in_port } = target.endpoint {
-                            self.events.schedule(
-                                self.now + 1,
-                                Event::PreemptionProbe {
+                    let mut probe = None;
+                    if preemption {
+                        if let Some(bidx) = blocked_idx {
+                            let req = &requests[bidx];
+                            let ospec = &rspec.outputs[oi];
+                            let target = &ospec.targets[req.target_idx as usize];
+                            if let TargetEndpoint::Router { router, in_port } = target.endpoint {
+                                probe = Some(Event::PreemptionProbe {
                                     router,
                                     in_port,
                                     contender: req.flow,
-                                },
-                            );
+                                });
+                            }
+                        }
+                        if let Some(probe) = probe.clone() {
+                            self.events.schedule(self.now + 1, probe);
                         }
                     }
+                    if !reference {
+                        // Blocked with no state change pending: mark the
+                        // output clean and remember the probe to replay.
+                        if let Some(mask) = router.alloc_dirty.as_mut() {
+                            *mask &= !(1 << oi);
+                        }
+                        router.cached_probe[oi] = probe;
+                    }
+                }
+                if !reference {
+                    self.routers[ri].alloc_buckets[oi] = requests;
                 }
             }
         }
@@ -615,12 +852,46 @@ impl Network {
 
     fn phase_launch(&mut self) {
         let now = self.now;
+        let skip_idle = !self.config.engine.is_reference();
         for ri in 0..self.routers.len() {
+            // Active-set fast path: only output ports holding granted
+            // transfers can launch, and those are tracked in `granted_mask`
+            // (falling back to the occupied-VC check for >64-output routers).
+            if skip_idle {
+                match self.routers[ri].granted_mask {
+                    Some(0) => continue,
+                    Some(_) => {}
+                    None => {
+                        if self.routers[ri].active_vcs == 0 {
+                            continue;
+                        }
+                    }
+                }
+            }
             let rspec = &self.spec.routers[ri];
             let router = &mut self.routers[ri];
             // Crossbar input groups already used this cycle (bitmask).
             let mut xbar_used: u64 = 0;
-            for oi in 0..router.outputs.len() {
+            // Walk either the set bits of the granted mask (ascending, the
+            // same order as the linear scan) or every output.
+            let mask = if skip_idle { router.granted_mask } else { None };
+            let mut mask_bits = mask.unwrap_or(0);
+            let mut linear_oi = 0;
+            loop {
+                let oi = if mask.is_some() {
+                    if mask_bits == 0 {
+                        break;
+                    }
+                    let oi = mask_bits.trailing_zeros() as usize;
+                    mask_bits &= mask_bits - 1;
+                    oi
+                } else {
+                    if linear_oi >= router.outputs.len() {
+                        break;
+                    }
+                    linear_oi += 1;
+                    linear_oi - 1
+                };
                 let out_state = &mut router.outputs[oi];
                 if out_state.granted.is_empty() || out_state.link_free_at > now {
                     continue;
@@ -693,9 +964,22 @@ impl Network {
                 // credit to whoever feeds it.
                 if out_state.granted[0].is_complete() {
                     out_state.granted.remove(0);
-                    let vc_state = &mut router.inputs[from_port].vcs[from_vc];
+                    if out_state.granted.is_empty() {
+                        if let Some(mask) = router.granted_mask.as_mut() {
+                            *mask &= !(1 << oi);
+                        }
+                    }
+                    // The grant queue shrank: `can_grant` may flip, so the
+                    // output's arbitration decision is stale.
+                    if let Some(mask) = router.alloc_dirty.as_mut() {
+                        *mask |= 1 << oi;
+                    }
+                    let port = &mut router.inputs[from_port];
+                    let vc_state = &mut port.vcs[from_vc];
                     let was_reserved_vc = vc_state.reserved_vc;
                     vc_state.release();
+                    port.occupied -= 1;
+                    router.active_vcs -= 1;
                     match router.inputs[from_port].feeder {
                         Some(Feeder::RouterOutput {
                             router: fr,
@@ -731,21 +1015,51 @@ impl Network {
 
     fn handle_preemption_probe(&mut self, router: usize, in_port: InPortId, contender: FlowId) {
         let node = self.routers[router].node;
-        let candidates: Vec<(PacketId, FlowId, bool)> = {
-            let port = &self.routers[router].inputs[in_port.0];
-            port.resident_idle_packets()
-                .into_iter()
-                .filter_map(|(_, pid)| {
-                    self.packets
-                        .get(pid)
-                        .map(|p| (pid, p.flow, p.reserved))
-                })
-                .collect()
+        // Victim candidates are gathered into a reusable buffer: under
+        // saturation a probe fires for every blocked output every cycle, so
+        // this path must not allocate. The reference engine allocates a
+        // fresh vector per probe, as the seed did.
+        let mut candidates = if self.config.engine.is_reference() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.probe_scratch)
         };
+        candidates.clear();
+        for vc in &self.routers[router].inputs[in_port.0].vcs {
+            if vc.is_resident_idle() {
+                let pid = vc.packet.expect("resident VC has a packet");
+                if let Some(packet) = self.packets.get(pid) {
+                    candidates.push((pid, packet.flow, packet.reserved));
+                }
+            }
+        }
         if candidates.is_empty() {
+            self.probe_scratch = candidates;
             return;
         }
-        let Some(victim_id) = self.qos[router].select_victim(contender, &candidates) else {
+        let victim = if self.config.engine.is_reference() {
+            self.qos[router].select_victim(contender, &candidates)
+        } else {
+            // Annotate candidates with memoised priorities so the policy's
+            // victim choice needs no per-probe priority recomputation.
+            let mut prioritized = std::mem::take(&mut self.probe_prioritized_scratch);
+            prioritized.clear();
+            for &(pid, flow, reserved) in &candidates {
+                let priority = cached_priority(&mut self.routers[router], &*self.qos[router], flow);
+                prioritized.push((pid, flow, reserved, priority));
+            }
+            let contender_priority =
+                cached_priority(&mut self.routers[router], &*self.qos[router], contender);
+            let victim = self.qos[router].select_victim_prioritized(
+                contender,
+                contender_priority,
+                &prioritized,
+            );
+            self.probe_prioritized_scratch = prioritized;
+            victim
+        };
+        self.probe_scratch = candidates;
+        let Some(victim_id) = victim else {
             return;
         };
         // Locate and flush the victim VC.
@@ -758,16 +1072,46 @@ impl Network {
             return;
         };
         let was_reserved_vc = port.vcs[vc_idx].reserved_vc;
+        // A victim can be flushed in the event phase of the same cycle its
+        // head arrived, i.e. before the routing phase ran; keep the
+        // unrouted bookkeeping exact in that case.
+        let victim_route = port.vcs[vc_idx].route;
         port.vcs[vc_idx].release();
+        port.occupied -= 1;
+        if victim_route.is_none() {
+            port.unrouted -= 1;
+        }
         let feeder = port.feeder;
+        let router_state = &mut self.routers[router];
+        router_state.active_vcs -= 1;
+        match victim_route {
+            None => router_state.unrouted_vcs -= 1,
+            Some(out) if !self.config.engine.is_reference() => {
+                // Routed but never granted: the victim still sits in its
+                // output's persistent request list; retire the entry and
+                // invalidate that output's cached decision.
+                let bucket = &mut router_state.alloc_buckets[out.0];
+                let pos = bucket
+                    .binary_search_by_key(&(in_port.0 as u16, vc_idx as u16), |r| (r.in_port, r.vc))
+                    .expect("preempted packet must have a pending request");
+                bucket.remove(pos);
+                if let Some(mask) = router_state.alloc_dirty.as_mut() {
+                    *mask |= 1 << out.0;
+                }
+            }
+            Some(_) => {}
+        }
 
-        let victim = self
-            .packets
-            .get(victim_id)
-            .expect("victim packet must be live")
-            .clone();
-        let wasted_hops = victim.src.column_distance(node);
-        self.stats.record_preemption(victim.flow, wasted_hops);
+        // As in delivery, only scalar fields of the victim are needed.
+        let (victim_flow, victim_src) = {
+            let victim = self
+                .packets
+                .get(victim_id)
+                .expect("victim packet must be live");
+            (victim.flow, victim.src)
+        };
+        let wasted_hops = victim_src.column_distance(node);
+        self.stats.record_preemption(victim_flow, wasted_hops);
 
         // Return the freed buffer to the upstream channel so the contender
         // can claim it.
@@ -801,7 +1145,7 @@ impl Network {
         }
 
         // NACK the victim's source over the ACK network; it will retransmit.
-        let source = self.flow_to_source[victim.flow.index()];
+        let source = self.flow_to_source[victim_flow.index()];
         self.events.schedule(
             self.now + self.config.ack_latency(wasted_hops),
             Event::Nack {
@@ -848,7 +1192,7 @@ mod tests {
 
     impl PacketGenerator for BurstGenerator {
         fn generate(&mut self, now: Cycle) -> Option<GeneratedPacket> {
-            if self.remaining == 0 || now % self.gap != 0 {
+            if self.remaining == 0 || !now.is_multiple_of(self.gap) {
                 return None;
             }
             self.remaining -= 1;
@@ -966,7 +1310,11 @@ mod tests {
         // -> router 1 pipeline (2) -> ejection. The exact constant is not the
         // point; it must be small and deterministic.
         assert!(stats.avg_latency() >= 5.0);
-        assert!(stats.avg_latency() <= 12.0, "latency {}", stats.avg_latency());
+        assert!(
+            stats.avg_latency() <= 12.0,
+            "latency {}",
+            stats.avg_latency()
+        );
         assert_eq!(stats.useful_hops, 1);
         assert_eq!(stats.preemption_events, 0);
     }

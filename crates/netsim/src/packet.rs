@@ -136,6 +136,11 @@ impl GeneratedPacket {
 pub trait PacketGenerator: Send {
     /// Called once per cycle. Returns a packet description if the source
     /// produces a packet this cycle.
+    ///
+    /// May also be called after the generator is exhausted; implementations
+    /// must then return `None` without side effects (in particular without
+    /// consuming entropy), so the simulator can use a single call per cycle
+    /// for both generation and idle detection.
     fn generate(&mut self, now: Cycle) -> Option<GeneratedPacket>;
 
     /// Returns `true` once the generator will never produce another packet.
@@ -167,58 +172,214 @@ impl PacketGenerator for IdleGenerator {
 /// Virtual channels and transfers reference packets by [`PacketId`]; the
 /// store owns the packet metadata so that delivery, preemption and
 /// retransmission can update a single authoritative copy.
-#[derive(Debug, Default)]
+///
+/// Two backends exist (selected by [`crate::config::EngineKind`]):
+///
+/// * **Slab** (default): a generational arena. A [`PacketId`] encodes the
+///   slab slot in its low 32 bits and a *globally monotonic* allocation
+///   sequence number in its high 32 bits, so lookups are a bounds-checked
+///   array index plus an identifier compare — no hashing on the simulator's
+///   hottest path. Freed slots are recycled LIFO; the sequence number makes
+///   stale identifiers (e.g. a late ACK for a recycled slot) detectable
+///   instead of aliasing. Because the sequence dominates the comparison
+///   order, `PacketId` ordering still reflects packet age exactly as the
+///   reference backend's sequential identifiers do — QOS tie-breaks such as
+///   "preempt the newest packet of the lowest-priority flow" behave
+///   identically under both backends.
+/// * **Map**: the original `HashMap<PacketId, Packet>` keyed by a sequential
+///   counter, kept as the measurable baseline for the throughput harness.
+#[derive(Debug)]
 pub struct PacketStore {
-    packets: HashMap<PacketId, Packet>,
-    next_id: u64,
+    backend: Backend,
+}
+
+#[derive(Debug)]
+enum Backend {
+    Slab {
+        slots: Vec<Slot>,
+        /// Free slot indices, recycled LIFO.
+        free: Vec<u32>,
+        live: usize,
+        /// Allocation sequence, embedded in the high identifier bits so
+        /// identifier order equals allocation order.
+        next_seq: u32,
+    },
+    Map {
+        packets: HashMap<PacketId, Packet>,
+        next_id: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Full identifier of the current (or most recent) occupant; compared
+    /// on lookup to reject stale identifiers after slot recycling.
+    current: PacketId,
+    packet: Option<Packet>,
+}
+
+const SLOT_BITS: u32 = 32;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+
+fn slab_id(slot: u32, seq: u32) -> PacketId {
+    PacketId((u64::from(seq) << SLOT_BITS) | u64::from(slot))
+}
+
+fn slab_slot(id: PacketId) -> usize {
+    (id.0 & SLOT_MASK) as usize
+}
+
+impl Default for PacketStore {
+    fn default() -> Self {
+        PacketStore::new()
+    }
 }
 
 impl PacketStore {
-    /// Creates an empty store.
+    /// Creates an empty slab-backed store.
     pub fn new() -> Self {
-        Self::default()
+        PacketStore {
+            backend: Backend::Slab {
+                slots: Vec::new(),
+                free: Vec::new(),
+                live: 0,
+                next_seq: 0,
+            },
+        }
     }
 
-    /// Allocates a fresh packet identifier.
-    pub fn allocate_id(&mut self) -> PacketId {
-        let id = PacketId(self.next_id);
-        self.next_id += 1;
-        id
+    /// Creates an empty store backed by the reference `HashMap`.
+    pub fn new_reference() -> Self {
+        PacketStore {
+            backend: Backend::Map {
+                packets: HashMap::new(),
+                next_id: 0,
+            },
+        }
     }
 
-    /// Inserts a packet into the store.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a packet with the same identifier is already present.
-    pub fn insert(&mut self, packet: Packet) {
-        let prev = self.packets.insert(packet.id, packet);
-        assert!(prev.is_none(), "duplicate packet id inserted");
+    /// Creates the store matching an engine selection.
+    pub fn for_engine(engine: crate::config::EngineKind) -> Self {
+        if engine.is_reference() {
+            PacketStore::new_reference()
+        } else {
+            PacketStore::new()
+        }
     }
 
-    /// Looks up a packet by identifier.
+    /// Allocates an identifier and inserts the packet built for it, returning
+    /// the identifier. The closure receives the identifier so the packet can
+    /// carry it in its `id` field.
+    pub fn insert_with(&mut self, build: impl FnOnce(PacketId) -> Packet) -> PacketId {
+        match &mut self.backend {
+            Backend::Slab {
+                slots,
+                free,
+                live,
+                next_seq,
+            } => {
+                *live += 1;
+                let seq = *next_seq;
+                *next_seq = next_seq
+                    .checked_add(1)
+                    .expect("packet allocation sequence exhausted (2^32 packets)");
+                if let Some(slot_idx) = free.pop() {
+                    let slot = &mut slots[slot_idx as usize];
+                    let id = slab_id(slot_idx, seq);
+                    debug_assert!(slot.packet.is_none(), "free list held an occupied slot");
+                    slot.current = id;
+                    slot.packet = Some(build(id));
+                    id
+                } else {
+                    let slot_idx = u32::try_from(slots.len()).expect("slab exceeds 2^32 slots");
+                    let id = slab_id(slot_idx, seq);
+                    slots.push(Slot {
+                        current: id,
+                        packet: Some(build(id)),
+                    });
+                    id
+                }
+            }
+            Backend::Map { packets, next_id } => {
+                let id = PacketId(*next_id);
+                *next_id += 1;
+                let prev = packets.insert(id, build(id));
+                assert!(prev.is_none(), "duplicate packet id inserted");
+                id
+            }
+        }
+    }
+
+    /// Looks up a packet by identifier. Returns `None` for identifiers whose
+    /// packet has been removed, including recycled slab slots (the generation
+    /// check rejects stale identifiers).
     pub fn get(&self, id: PacketId) -> Option<&Packet> {
-        self.packets.get(&id)
+        match &self.backend {
+            Backend::Slab { slots, .. } => {
+                let slot = slots.get(slab_slot(id))?;
+                if slot.current != id {
+                    return None;
+                }
+                slot.packet.as_ref()
+            }
+            Backend::Map { packets, .. } => packets.get(&id),
+        }
     }
 
     /// Looks up a packet mutably by identifier.
     pub fn get_mut(&mut self, id: PacketId) -> Option<&mut Packet> {
-        self.packets.get_mut(&id)
+        match &mut self.backend {
+            Backend::Slab { slots, .. } => {
+                let slot = slots.get_mut(slab_slot(id))?;
+                if slot.current != id {
+                    return None;
+                }
+                slot.packet.as_mut()
+            }
+            Backend::Map { packets, .. } => packets.get_mut(&id),
+        }
     }
 
-    /// Removes a packet from the store (on final delivery).
+    /// Removes a packet from the store (on final delivery or discard).
     pub fn remove(&mut self, id: PacketId) -> Option<Packet> {
-        self.packets.remove(&id)
+        match &mut self.backend {
+            Backend::Slab {
+                slots, free, live, ..
+            } => {
+                let slot_idx = slab_slot(id);
+                let slot = slots.get_mut(slot_idx)?;
+                if slot.current != id {
+                    return None;
+                }
+                let packet = slot.packet.take()?;
+                free.push(slot_idx as u32);
+                *live -= 1;
+                Some(packet)
+            }
+            Backend::Map { packets, .. } => packets.remove(&id),
+        }
     }
 
     /// Number of live packets currently tracked.
     pub fn len(&self) -> usize {
-        self.packets.len()
+        match &self.backend {
+            Backend::Slab { live, .. } => *live,
+            Backend::Map { packets, .. } => packets.len(),
+        }
     }
 
     /// Whether the store holds no live packets.
     pub fn is_empty(&self) -> bool {
-        self.packets.is_empty()
+        self.len() == 0
+    }
+
+    /// Slot capacity currently allocated (slab backend only; the map backend
+    /// reports its live count). Exposed for capacity diagnostics.
+    pub fn capacity_slots(&self) -> usize {
+        match &self.backend {
+            Backend::Slab { slots, .. } => slots.len(),
+            Backend::Map { packets, .. } => packets.len(),
+        }
     }
 }
 
@@ -260,35 +421,96 @@ mod tests {
         assert_eq!(rep.class, PacketClass::Reply);
     }
 
+    fn packet_for(id: PacketId) -> Packet {
+        Packet::new(
+            id,
+            FlowId(1),
+            NodeId(0),
+            NodeId(5),
+            4,
+            PacketClass::Reply,
+            10,
+        )
+    }
+
     #[test]
     fn store_allocates_unique_ids() {
-        let mut store = PacketStore::new();
-        let a = store.allocate_id();
-        let b = store.allocate_id();
-        assert_ne!(a, b);
+        for mut store in [PacketStore::new(), PacketStore::new_reference()] {
+            let a = store.insert_with(packet_for);
+            let b = store.insert_with(packet_for);
+            assert_ne!(a, b);
+            assert_eq!(store.len(), 2);
+        }
     }
 
     #[test]
     fn store_insert_get_remove_roundtrip() {
-        let mut store = PacketStore::new();
-        let p = sample_packet(7);
-        store.insert(p.clone());
-        assert_eq!(store.len(), 1);
-        assert!(!store.is_empty());
-        assert_eq!(store.get(PacketId(7)), Some(&p));
-        store.get_mut(PacketId(7)).unwrap().retransmissions = 2;
-        assert_eq!(store.get(PacketId(7)).unwrap().retransmissions, 2);
-        let removed = store.remove(PacketId(7)).unwrap();
-        assert_eq!(removed.retransmissions, 2);
-        assert!(store.is_empty());
+        for mut store in [PacketStore::new(), PacketStore::new_reference()] {
+            let id = store.insert_with(packet_for);
+            assert_eq!(store.len(), 1);
+            assert!(!store.is_empty());
+            assert_eq!(store.get(id).unwrap().id, id);
+            store.get_mut(id).unwrap().retransmissions = 2;
+            assert_eq!(store.get(id).unwrap().retransmissions, 2);
+            let removed = store.remove(id).unwrap();
+            assert_eq!(removed.retransmissions, 2);
+            assert!(store.is_empty());
+            assert!(store.get(id).is_none());
+            assert!(store.remove(id).is_none());
+        }
     }
 
     #[test]
-    #[should_panic(expected = "duplicate packet id")]
-    fn store_rejects_duplicate_ids() {
+    fn slab_recycles_slots_with_fresh_generations() {
         let mut store = PacketStore::new();
-        store.insert(sample_packet(1));
-        store.insert(sample_packet(1));
+        let a = store.insert_with(packet_for);
+        store.remove(a).unwrap();
+        let b = store.insert_with(packet_for);
+        // Same slot, different generation: the identifiers must differ and
+        // the stale identifier must not alias the new occupant.
+        assert_ne!(a, b);
+        assert!(store.get(a).is_none());
+        assert_eq!(store.get(b).unwrap().id, b);
+        assert_eq!(store.capacity_slots(), 1, "slot should be recycled");
+    }
+
+    #[test]
+    fn slab_interleaved_churn_keeps_ids_distinct() {
+        let mut store = PacketStore::new();
+        let mut live = Vec::new();
+        for round in 0..50u64 {
+            let id = store.insert_with(packet_for);
+            live.push(id);
+            if round % 3 == 0 {
+                let victim = live.swap_remove((round as usize * 7) % live.len());
+                assert!(store.remove(victim).is_some());
+            }
+        }
+        assert_eq!(store.len(), live.len());
+        for id in &live {
+            assert_eq!(store.get(*id).unwrap().id, *id);
+        }
+    }
+
+    #[test]
+    fn slab_ids_order_by_allocation_age() {
+        // QOS tie-breaks compare PacketIds as a proxy for packet age; the
+        // slab must preserve that ordering even across slot recycling.
+        let mut store = PacketStore::new();
+        let a = store.insert_with(packet_for);
+        store.remove(a).unwrap();
+        let b = store.insert_with(packet_for); // same slot, later allocation
+        let c = store.insert_with(packet_for);
+        assert!(a < b, "recycled slot must yield a newer id");
+        assert!(b < c, "ids must be monotone in allocation order");
+    }
+
+    #[test]
+    fn for_engine_picks_backend() {
+        use crate::config::EngineKind;
+        let slab = PacketStore::for_engine(EngineKind::Optimized);
+        let map = PacketStore::for_engine(EngineKind::Reference);
+        assert!(slab.is_empty() && map.is_empty());
     }
 
     #[test]

@@ -13,6 +13,15 @@ pub struct InputPortState {
     /// Feeder of this port (set when the network is built): the upstream
     /// output port or source that holds credits for this port's VCs.
     pub feeder: Option<Feeder>,
+    /// Number of currently occupied VCs. Maintained by the network alongside
+    /// `accept_head`/`release` so the routing and allocation phases can skip
+    /// empty ports without scanning their VC vectors.
+    pub occupied: usize,
+    /// Number of occupied VCs whose route has not been computed yet. A head
+    /// flit arrival increments this; the routing phase decrements it when it
+    /// assigns the route. Ports (and routers) with no unrouted heads are
+    /// skipped by the routing phase entirely.
+    pub unrouted: usize,
 }
 
 /// Upstream entity that holds credits for an input port.
@@ -42,7 +51,12 @@ impl InputPortState {
         let vcs = (0..count)
             .map(|i| VcState::new(i >= count - reserved))
             .collect();
-        InputPortState { vcs, feeder: None }
+        InputPortState {
+            vcs,
+            feeder: None,
+            occupied: 0,
+            unrouted: 0,
+        }
     }
 
     /// Packets fully resident (and idle) in this port, as preemption victim

@@ -18,6 +18,16 @@ pub trait RouterQos: Send {
     /// Priority of a flow for arbitration. Lower values win. Policies without
     /// prioritisation return a constant; ties are broken round-robin by the
     /// arbiter.
+    ///
+    /// **Stability contract:** the value returned for a flow must only
+    /// change as a result of [`Self::on_packet_forwarded`] for *that flow*
+    /// or [`Self::on_frame_rollover`]. The simulator's default (optimized)
+    /// engine memoises priorities between those two events and skips
+    /// re-arbitration of blocked outputs whose inputs did not change;
+    /// a policy whose priorities move at other times (e.g. with simulated
+    /// time, or across flows on a forward) must be run with
+    /// [`crate::config::EngineKind::Reference`], which re-queries every
+    /// cycle.
     fn priority(&self, flow: FlowId) -> u64;
 
     /// Called when a packet of `flow` with `flits` flits wins arbitration and
@@ -40,6 +50,27 @@ pub trait RouterQos: Send {
         contender: FlowId,
         candidates: &[(PacketId, FlowId, bool)],
     ) -> Option<PacketId>;
+
+    /// Variant of [`Self::select_victim`] where the caller supplies each
+    /// candidate's current priority (the value [`Self::priority`] would
+    /// return) as the fourth tuple element, plus the contender's. The
+    /// simulator's optimized engine memoises priorities per router and calls
+    /// this to spare policies from recomputing them on every probe; policies
+    /// whose victim choice is a pure function of those priorities (such as
+    /// PVC) should override it. The default delegates to `select_victim`.
+    fn select_victim_prioritized(
+        &self,
+        contender: FlowId,
+        contender_priority: u64,
+        candidates: &[(PacketId, FlowId, bool, u64)],
+    ) -> Option<PacketId> {
+        let _ = contender_priority;
+        let plain: Vec<(PacketId, FlowId, bool)> = candidates
+            .iter()
+            .map(|&(packet, flow, reserved, _)| (packet, flow, reserved))
+            .collect();
+        self.select_victim(contender, &plain)
+    }
 }
 
 /// A quality-of-service policy, i.e. a factory for per-router QOS state plus

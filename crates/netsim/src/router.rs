@@ -1,8 +1,38 @@
 //! Runtime router state and routing helpers.
 
-use crate::ids::{NodeId, OutPortId};
+use crate::event::Event;
+use crate::ids::{FlowId, NodeId, OutPortId, PacketId};
 use crate::port::{InputPortState, OutputPortState};
 use crate::spec::{InputKind, InputPortSpec, OutputKind, OutputPortSpec, RouterSpec};
+
+/// One candidate in a virtual-channel allocation round: a buffered packet
+/// head requesting an output port. Gathered into the router's reusable
+/// scratch buffer each cycle, so steady-state arbitration performs no heap
+/// allocation.
+#[derive(Debug, Clone)]
+pub(crate) struct ArbRequest {
+    /// Input port holding the requesting packet (ports per router are far
+    /// below `u16::MAX`; narrow fields keep the request at 24 bytes).
+    pub in_port: u16,
+    /// VC index at that input port.
+    pub vc: u16,
+    /// Requesting packet.
+    pub packet: PacketId,
+    /// Flow of the packet.
+    pub flow: FlowId,
+    /// Packet length in flits.
+    pub len: u8,
+    /// Whether the packet is rate-compliant (reserved quota).
+    pub reserved: bool,
+    /// Target (drop-off point) of the output port serving the destination.
+    pub target_idx: u16,
+    /// Whether the input port is a pass-through (DPS intermediate hop).
+    pub passthrough: bool,
+    /// Dynamic priority assigned by the QOS policy (lower wins).
+    pub priority: u64,
+    /// Whether the target currently has a claimable downstream VC.
+    pub has_credit: bool,
+}
 
 /// Runtime state of one router.
 #[derive(Debug)]
@@ -16,11 +46,75 @@ pub struct RouterState {
     /// Round-robin cursor used when a destination maps to several candidate
     /// output ports (replicated mesh channels).
     pub route_rr_cursor: usize,
+    /// Number of currently occupied input VCs across all input ports. The
+    /// router is skipped by the routing/allocation/launch phases when this is
+    /// zero (active-set tracking): every unit of per-cycle router work is
+    /// rooted in a buffered packet.
+    pub active_vcs: usize,
+    /// Number of occupied input VCs still awaiting route computation
+    /// (router-level sum of the ports' `unrouted` counters).
+    pub unrouted_vcs: usize,
+    /// Persistent per-output arbitration request lists (see [`ArbRequest`]).
+    /// The optimized engine maintains them incrementally — a request is
+    /// inserted (ordered by `(in_port, vc)`, the reference scan order) when
+    /// the routing phase assigns the packet's output, and removed when the
+    /// packet wins a grant or is preempted — so arbitration never rescans
+    /// input ports and performs no steady-state allocation. Priorities and
+    /// credit state are refreshed each decision, as they change cycle to
+    /// cycle.
+    pub(crate) alloc_buckets: Vec<Vec<ArbRequest>>,
+    /// Bitmask of output ports that currently hold granted transfers (bit
+    /// `oi` set ⇔ `outputs[oi].granted` is non-empty), maintained for
+    /// routers with at most 64 outputs so the launch phase can walk set bits
+    /// instead of scanning every output. `None` disables the fast path for
+    /// wider routers.
+    pub(crate) granted_mask: Option<u64>,
+    /// Dense routing table: candidate output ports indexed by destination
+    /// node, flattened from the spec's `BTreeMap` at construction so the
+    /// per-packet route lookup is an array index instead of a tree walk.
+    pub(crate) route_lut: Vec<Vec<OutPortId>>,
+    /// Dirty bits for arbitration (optimized engine, routers with at most 64
+    /// outputs). An output's bit is set whenever anything feeding its
+    /// decision changes: a request enters or leaves its bucket, one of its
+    /// targets gains or loses a credit, its grant queue shrinks, any packet
+    /// is forwarded by this router (priorities move), or a frame rolls over.
+    /// A *clean* blocked output must reach the same no-winner outcome as last
+    /// cycle, so the allocation phase skips the decision and replays the
+    /// cached preemption probe (`cached_probe`) instead. `None` disables the
+    /// fast path for wider routers.
+    pub(crate) alloc_dirty: Option<u64>,
+    /// Per-output cached no-winner outcome: the preemption probe (if any)
+    /// that the last full decision scheduled. Valid only while the output's
+    /// dirty bit is clear.
+    pub(crate) cached_probe: Vec<Option<Event>>,
+    /// Memoised per-flow priorities (optimized engine only). `priority()` is
+    /// a virtual call with a floating-point division inside PVC; under
+    /// saturation the same flow re-arbitrates at many outputs every cycle,
+    /// so the network caches the value per router. Priorities only move on
+    /// the two events of the `RouterQos::priority` stability contract, and
+    /// the cache is maintained accordingly: a frame rollover bumps
+    /// `priority_epoch` (invalidating every entry), while forwarding a
+    /// packet refreshes just the forwarded flow's entry in place.
+    pub(crate) priority_cache: Vec<u64>,
+    /// Epoch stamp for each `priority_cache` entry.
+    pub(crate) priority_cache_epoch: Vec<u64>,
+    /// Current priority epoch; entries with a different stamp are stale.
+    pub(crate) priority_epoch: u64,
 }
 
 impl RouterState {
     /// Creates runtime state for a router from its specification.
     pub fn from_spec(spec: &RouterSpec) -> Self {
+        let lut_len = spec
+            .route_table
+            .keys()
+            .map(|node| node.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut route_lut = vec![Vec::new(); lut_len];
+        for (node, candidates) in &spec.route_table {
+            route_lut[node.index()] = candidates.clone();
+        }
         RouterState {
             node: spec.node,
             inputs: spec.inputs.iter().map(InputPortState::from_spec).collect(),
@@ -30,6 +124,40 @@ impl RouterState {
                 .map(OutputPortState::from_spec)
                 .collect(),
             route_rr_cursor: 0,
+            active_vcs: 0,
+            unrouted_vcs: 0,
+            granted_mask: (spec.outputs.len() <= 64).then_some(0),
+            alloc_dirty: (spec.outputs.len() <= 64).then_some(u64::MAX),
+            cached_probe: vec![None; spec.outputs.len()],
+            route_lut,
+            alloc_buckets: (0..spec.outputs.len()).map(|_| Vec::new()).collect(),
+            priority_cache: Vec::new(),
+            priority_cache_epoch: Vec::new(),
+            priority_epoch: 1,
+        }
+    }
+
+    /// Sizes the per-flow priority cache (called once by the network
+    /// constructor, which knows the flow count).
+    pub(crate) fn init_priority_cache(&mut self, num_flows: usize) {
+        self.priority_cache = vec![0; num_flows];
+        self.priority_cache_epoch = vec![0; num_flows];
+    }
+
+    /// Marks one output's arbitration decision stale.
+    #[inline]
+    pub(crate) fn mark_output_dirty(&mut self, oi: usize) {
+        if let Some(mask) = self.alloc_dirty.as_mut() {
+            *mask |= 1 << oi;
+        }
+    }
+
+    /// Marks every output's arbitration decision stale (a forwarded packet
+    /// moved this router's priorities, or a frame rolled over).
+    #[inline]
+    pub(crate) fn mark_all_dirty(&mut self) {
+        if let Some(mask) = self.alloc_dirty.as_mut() {
+            *mask = u64::MAX;
         }
     }
 
@@ -65,6 +193,19 @@ pub fn compute_route(
         .route_table
         .get(&dst)
         .unwrap_or_else(|| panic!("router {} has no route for destination {dst}", spec.node));
+    select_route(spec, in_port, dst, candidates, rr_cursor)
+}
+
+/// Selects among pre-resolved candidate output ports (shared by the
+/// `BTreeMap` lookup above and the dense [`RouterState::route_lut`] path the
+/// optimized engine uses).
+pub(crate) fn select_route(
+    spec: &RouterSpec,
+    in_port: &InputPortSpec,
+    dst: NodeId,
+    candidates: &[OutPortId],
+    rr_cursor: &mut usize,
+) -> OutPortId {
     assert!(
         !candidates.is_empty(),
         "router {} has an empty candidate list for {dst}",
@@ -119,12 +260,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn replicated_router() -> RouterSpec {
-        let targets = |_ch: u8| {
-            vec![TargetSpec::single(
-                TargetEndpoint::Sink { sink: 0 },
-                1,
-            )]
-        };
+        let targets = |_ch: u8| vec![TargetSpec::single(TargetEndpoint::Sink { sink: 0 }, 1)];
         RouterSpec {
             node: NodeId(3),
             inputs: vec![
@@ -174,8 +310,8 @@ mod tests {
     fn fixed_route_wins() {
         let spec = replicated_router();
         let mut rr = 0;
-        let port = InputPortSpec::injection("term", VcConfig::new(1, 4), 0)
-            .with_fixed_route(OutPortId(1));
+        let port =
+            InputPortSpec::injection("term", VcConfig::new(1, 4), 0).with_fixed_route(OutPortId(1));
         assert_eq!(
             compute_route(&spec, &port, NodeId(0), &mut rr),
             OutPortId(1)
@@ -236,7 +372,11 @@ mod tests {
             0,
             vec![
                 TargetSpec::covering(TargetEndpoint::Sink { sink: 0 }, 1, vec![NodeId(4)]),
-                TargetSpec::covering(TargetEndpoint::Sink { sink: 1 }, 2, vec![NodeId(5), NodeId(6)]),
+                TargetSpec::covering(
+                    TargetEndpoint::Sink { sink: 1 },
+                    2,
+                    vec![NodeId(5), NodeId(6)],
+                ),
             ],
         );
         assert_eq!(resolve_target_idx(&multi, NodeId(4)), 0);

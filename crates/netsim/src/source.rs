@@ -8,9 +8,9 @@
 //! channel(s) it feeds.
 
 use crate::ids::{FlowId, NodeId, PacketId, VcId};
-use crate::packet::{Packet, PacketGenerator};
+use crate::packet::PacketGenerator;
 use crate::spec::SourceSpec;
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// An injection transfer in progress: the source streams the packet's flits
 /// into the claimed injection VC at one flit per cycle.
@@ -24,6 +24,51 @@ pub struct InjectionTransfer {
     pub vc: VcId,
     /// Flits already pushed into the VC.
     pub flits_sent: u8,
+}
+
+/// Small-set membership container for a source's outstanding packets.
+#[derive(Debug, Clone, Default)]
+pub struct Window {
+    packets: Vec<PacketId>,
+}
+
+impl Window {
+    /// Adds a packet to the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the packet is already present.
+    pub fn insert(&mut self, packet: PacketId) {
+        debug_assert!(!self.contains(packet), "packet already in window");
+        self.packets.push(packet);
+    }
+
+    /// Removes a packet if present; order is not preserved (membership only).
+    pub fn remove(&mut self, packet: PacketId) {
+        if let Some(pos) = self.packets.iter().position(|&p| p == packet) {
+            self.packets.swap_remove(pos);
+        }
+    }
+
+    /// Whether the packet is outstanding.
+    pub fn contains(&self, packet: PacketId) -> bool {
+        self.packets.contains(&packet)
+    }
+
+    /// Number of outstanding packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether no packets are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Removes every packet.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
 }
 
 /// Runtime state of one source.
@@ -43,8 +88,10 @@ pub struct SourceState {
     /// Packets generated but not yet injected. Retransmissions are pushed to
     /// the front so they precede newly generated packets.
     pub queue: VecDeque<PacketId>,
-    /// Outstanding (injected but not yet acknowledged) packets.
-    pub window: HashSet<PacketId>,
+    /// Outstanding (injected but not yet acknowledged) packets. A plain
+    /// vector: the window is small (bounded by `window_limit`) and only
+    /// membership is needed, so a linear scan beats hashing every ACK.
+    pub window: Window,
     /// Maximum number of outstanding packets.
     pub window_limit: usize,
     /// Free injection VCs (credits) at the injection port.
@@ -76,7 +123,7 @@ impl SourceState {
             name: spec.name.clone(),
             generator,
             queue: VecDeque::new(),
-            window: HashSet::new(),
+            window: Window::default(),
             window_limit: spec.window,
             free_vcs: (0..u16::from(injection_vcs)).map(VcId).collect(),
             active: None,
@@ -105,22 +152,31 @@ impl SourceState {
             && self.active.is_none()
     }
 
+    /// Whether the per-cycle source phase can skip this source entirely: no
+    /// packet to generate (generator exhausted), nothing queued to start
+    /// injecting, and no injection streaming. Unlike [`Self::is_drained`]
+    /// this ignores the retransmission window — outstanding packets need no
+    /// per-cycle work until an ACK or NACK event arrives.
+    pub fn is_idle_this_cycle(&self) -> bool {
+        self.active.is_none() && self.queue.is_empty() && self.generator.exhausted()
+    }
+
     /// Records a newly generated packet in the source queue.
-    pub fn enqueue_generated(&mut self, packet: &Packet) {
-        self.queue.push_back(packet.id);
+    pub fn enqueue_generated(&mut self, packet: PacketId, len_flits: u8) {
+        self.queue.push_back(packet);
         self.generated_packets += 1;
-        self.generated_flits += u64::from(packet.len_flits);
+        self.generated_flits += u64::from(len_flits);
     }
 
     /// Handles a positive acknowledgement: the packet left the window.
     pub fn acknowledge(&mut self, packet: PacketId) {
-        self.window.remove(&packet);
+        self.window.remove(packet);
     }
 
     /// Handles a negative acknowledgement: the packet is queued again (at the
     /// front) for retransmission.
     pub fn retransmit(&mut self, packet: PacketId) {
-        self.window.remove(&packet);
+        self.window.remove(packet);
         self.queue.push_front(packet);
         self.retransmitted_packets += 1;
     }
@@ -151,7 +207,7 @@ impl std::fmt::Debug for SourceState {
 mod tests {
     use super::*;
     use crate::ids::InPortId;
-    use crate::packet::{IdleGenerator, PacketClass};
+    use crate::packet::{IdleGenerator, Packet, PacketClass};
 
     fn spec() -> SourceSpec {
         SourceSpec {
@@ -188,7 +244,7 @@ mod tests {
     fn injection_requires_queue_window_and_credit() {
         let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
         let p = packet(0);
-        s.enqueue_generated(&p);
+        s.enqueue_generated(p.id, p.len_flits);
         assert!(s.can_start_injection());
         assert_eq!(s.generated_packets, 1);
         assert_eq!(s.generated_flits, 1);
@@ -209,8 +265,8 @@ mod tests {
     #[test]
     fn nack_requeues_at_front() {
         let mut s = SourceState::new(&spec(), Box::new(IdleGenerator), 1);
-        s.enqueue_generated(&packet(1));
-        s.enqueue_generated(&packet(2));
+        s.enqueue_generated(packet(1).id, 1);
+        s.enqueue_generated(packet(2).id, 1);
         s.window.insert(PacketId(0));
         s.retransmit(PacketId(0));
         assert_eq!(s.queue.front(), Some(&PacketId(0)));

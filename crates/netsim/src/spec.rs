@@ -244,7 +244,10 @@ impl OutputPortSpec {
         OutputPortSpec {
             name: name.into(),
             kind: OutputKind::Ejection,
-            targets: vec![TargetSpec::single(TargetEndpoint::Sink { sink }, wire_delay)],
+            targets: vec![TargetSpec::single(
+                TargetEndpoint::Sink { sink },
+                wire_delay,
+            )],
             passthrough: false,
         }
     }

@@ -5,7 +5,7 @@ use crate::ids::{Cycle, FlowId};
 use serde::{Deserialize, Serialize};
 
 /// Per-flow counters.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlowStats {
     /// Packets generated at the source queue.
     pub generated_packets: u64,
@@ -44,7 +44,7 @@ impl FlowStats {
 
 /// Counts of energy-relevant micro-events, used by the power model to derive
 /// simulation-driven energy estimates.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EnergyCounters {
     /// Flits written into router input buffers.
     pub buffer_writes: u64,
@@ -62,7 +62,12 @@ pub struct EnergyCounters {
 }
 
 /// Aggregate statistics of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Every field is an exact integer counter, so `NetStats` is `Eq`: two runs
+/// of the same configuration and seed must produce *identical* statistics,
+/// and the engine-equivalence tests compare entire `NetStats` values between
+/// the optimized and reference engines with `==`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Per-flow counters, indexed by flow id.
     pub flows: Vec<FlowStats>,
@@ -108,8 +113,8 @@ impl NetStats {
     /// Whether `cycle` falls within the measurement window. With no window
     /// configured, every cycle is measured.
     pub fn in_measurement(&self, cycle: Cycle) -> bool {
-        let after_start = self.measure_start.map_or(true, |s| cycle >= s);
-        let before_end = self.measure_end.map_or(true, |e| cycle < e);
+        let after_start = self.measure_start.is_none_or(|s| cycle >= s);
+        let before_end = self.measure_end.is_none_or(|e| cycle < e);
         after_start && before_end
     }
 

@@ -1,7 +1,6 @@
 //! Runtime state of a virtual channel.
 
 use crate::ids::{Cycle, OutPortId, PacketId};
-use std::collections::VecDeque;
 
 /// Runtime state of one virtual channel of an input port.
 ///
@@ -21,8 +20,6 @@ pub struct VcState {
     pub flits_arrived: u8,
     /// Number of flits already forwarded out of the VC.
     pub flits_sent: u8,
-    /// Maturation cycles of flits still in flight towards this VC.
-    pub pending_arrivals: VecDeque<Cycle>,
     /// Output port selected for the occupying packet (route computation).
     pub route: Option<OutPortId>,
     /// Cycle at which the head flit matured (VA eligibility).
@@ -40,7 +37,6 @@ impl VcState {
             len: 0,
             flits_arrived: 0,
             flits_sent: 0,
-            pending_arrivals: VecDeque::new(),
             route: None,
             head_arrival: None,
             granted: false,
@@ -113,7 +109,6 @@ impl VcState {
         self.len = 0;
         self.flits_arrived = 0;
         self.flits_sent = 0;
-        self.pending_arrivals.clear();
         self.route = None;
         self.head_arrival = None;
         self.granted = false;

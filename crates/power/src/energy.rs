@@ -117,7 +117,8 @@ impl EnergyModel {
         let network_port_bits = f64::from(params.network_vcs)
             * f64::from(params.vc_depth_flits)
             * f64::from(geometry.flit_bits);
-        let injection_port_bits = f64::from(config.injection_vcs) * 4.0 * f64::from(geometry.flit_bits);
+        let injection_port_bits =
+            f64::from(config.injection_vcs) * 4.0 * f64::from(geometry.flit_bits);
         let xbar = self.crossbar_pj(&geometry);
         let flow = self.flow_table_pj(&geometry);
         match kind {
@@ -194,8 +195,8 @@ impl EnergyModel {
             * f64::from(geometry.flit_bits);
         let buffer = self.buffer_access_pj(network_port_bits);
         let xbar = self.crossbar_pj(&geometry);
-        let flow = self.tech.flow_access_per_log2_entry_pj
-            * geometry.flow_table_entries.max(2.0).log2();
+        let flow =
+            self.tech.flow_access_per_log2_entry_pj * geometry.flow_table_entries.max(2.0).log2();
         (counters.buffer_writes + counters.buffer_reads) as f64 * buffer
             + counters.xbar_flits as f64 * xbar
             + (counters.flow_table_queries + counters.flow_table_updates) as f64 * flow

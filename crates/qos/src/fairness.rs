@@ -129,10 +129,7 @@ impl DeviationSummary {
         }
         let average = deviations.iter().sum::<f64>() / deviations.len() as f64;
         let min = deviations.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = deviations
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = deviations.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Some(DeviationSummary { average, min, max })
     }
 

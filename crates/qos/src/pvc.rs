@@ -124,11 +124,10 @@ impl QosPolicy for PvcPolicy {
         if self.config.reserved_fraction <= 0.0 {
             return None;
         }
-        Some(self.rates.reserved_quota(
-            flow,
-            self.config.frame_len,
-            self.config.reserved_fraction,
-        ))
+        Some(
+            self.rates
+                .reserved_quota(flow, self.config.frame_len, self.config.reserved_fraction),
+        )
     }
 }
 
@@ -186,6 +185,22 @@ impl RouterQos for PvcRouterQos {
             .filter(|&(_, priority)| priority > contender_priority)
             .max_by_key(|&(packet, priority)| (priority, packet))
             .map(|(packet, _)| packet)
+    }
+
+    fn select_victim_prioritized(
+        &self,
+        contender: FlowId,
+        contender_priority: u64,
+        candidates: &[(PacketId, FlowId, bool, u64)],
+    ) -> Option<PacketId> {
+        // Same decision as `select_victim`, with the priority computations
+        // hoisted to the caller (PVC's choice is a pure function of them).
+        candidates
+            .iter()
+            .filter(|(_, flow, reserved, _)| !reserved && *flow != contender)
+            .filter(|&&(_, _, _, priority)| priority > contender_priority)
+            .max_by_key(|&&(packet, _, _, priority)| (priority, packet))
+            .map(|&(packet, _, _, _)| packet)
     }
 }
 

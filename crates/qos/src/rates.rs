@@ -38,7 +38,10 @@ impl RateAllocation {
     /// Panics if `rates` is empty or any rate is not strictly positive and
     /// finite.
     pub fn from_rates(rates: Vec<f64>) -> Self {
-        assert!(!rates.is_empty(), "a rate allocation needs at least one flow");
+        assert!(
+            !rates.is_empty(),
+            "a rate allocation needs at least one flow"
+        );
         for (i, &r) in rates.iter().enumerate() {
             assert!(
                 r.is_finite() && r > 0.0,

@@ -473,8 +473,10 @@ impl ColumnBuilder {
                     let mut south_ports = Vec::new();
                     for channel in 0..k {
                         if node > 0 {
-                            let in_port = self.input_index[node - 1]
-                                [&PortKey::Mesh { from: node, channel }];
+                            let in_port = self.input_index[node - 1][&PortKey::Mesh {
+                                from: node,
+                                channel,
+                            }];
                             north_ports.push(OutPortId(outputs.len()));
                             outputs.push(OutputPortSpec::network(
                                 format!("north_ch{channel}"),
@@ -490,8 +492,10 @@ impl ColumnBuilder {
                             ));
                         }
                         if node + 1 < n {
-                            let in_port = self.input_index[node + 1]
-                                [&PortKey::Mesh { from: node, channel }];
+                            let in_port = self.input_index[node + 1][&PortKey::Mesh {
+                                from: node,
+                                channel,
+                            }];
                             south_ports.push(OutPortId(outputs.len()));
                             outputs.push(OutputPortSpec::network(
                                 format!("south_ch{channel}"),
@@ -519,8 +523,7 @@ impl ColumnBuilder {
                     if node > 0 {
                         let targets = (0..node)
                             .map(|dest| {
-                                let in_port =
-                                    self.input_index[dest][&PortKey::Mecs { from: node }];
+                                let in_port = self.input_index[dest][&PortKey::Mecs { from: node }];
                                 TargetSpec::covering(
                                     TargetEndpoint::Router {
                                         router: dest,
@@ -545,8 +548,7 @@ impl ColumnBuilder {
                     if node + 1 < n {
                         let targets = ((node + 1)..n)
                             .map(|dest| {
-                                let in_port =
-                                    self.input_index[dest][&PortKey::Mecs { from: node }];
+                                let in_port = self.input_index[dest][&PortKey::Mecs { from: node }];
                                 TargetSpec::covering(
                                     TargetEndpoint::Router {
                                         router: dest,
@@ -610,9 +612,7 @@ impl ColumnBuilder {
                         if subnet == node {
                             *port = port.clone().with_fixed_route(OutPortId(0));
                         } else {
-                            *port = port
-                                .clone()
-                                .with_passthrough(subnet_out[&subnet]);
+                            *port = port.clone().with_passthrough(subnet_out[&subnet]);
                         }
                     }
                 }

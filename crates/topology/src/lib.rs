@@ -40,6 +40,7 @@
 pub mod column;
 pub mod geometry;
 pub mod grid;
+pub mod mesh2d;
 pub mod properties;
 
 /// Convenient re-exports of the most commonly used items.
@@ -47,6 +48,7 @@ pub mod prelude {
     pub use crate::column::{ColumnConfig, ColumnTopology, TopologyParams};
     pub use crate::geometry::{geometry_from_spec, router_geometry, RouterGeometry};
     pub use crate::grid::{ChipGrid, Coord};
+    pub use crate::mesh2d::Mesh2dConfig;
     pub use crate::properties::{
         bisection_bandwidth_bytes, bisection_channels, tornado_avg_hops, uniform_random_avg_hops,
         zero_load_latency, zero_load_latency_tornado, zero_load_latency_uniform,

@@ -38,10 +38,23 @@ impl DestinationPattern {
 #[derive(Debug, Clone)]
 pub struct SyntheticGenerator {
     injection: BernoulliInjection,
+    /// Precomputed integer firing threshold: the per-cycle Bernoulli draw
+    /// `gen_bool(p)` compares `(next_u64() >> 11) * 2⁻⁵³ < p`, which over the
+    /// integers is exactly `(next_u64() >> 11) < ceil(p · 2⁵³)`. Storing the
+    /// right-hand side turns the hottest comparison in the simulator (one
+    /// per injector per cycle) into a shift and an integer compare, without
+    /// changing a single draw. `None` when the rate is zero (no entropy is
+    /// consumed then, matching `BernoulliInjection::fires`).
+    fire_threshold: Option<u64>,
     pattern: DestinationPattern,
     budget: Option<u64>,
     generated: u64,
     rng: ChaCha8Rng,
+}
+
+fn fire_threshold(injection: &BernoulliInjection) -> Option<u64> {
+    let p = injection.packet_probability();
+    (p > 0.0).then(|| (p * (1u64 << 53) as f64).ceil() as u64)
 }
 
 impl SyntheticGenerator {
@@ -52,8 +65,10 @@ impl SyntheticGenerator {
         pattern: DestinationPattern,
         seed: u64,
     ) -> Self {
+        let injection = BernoulliInjection::new(rate_flits_per_cycle, mix);
         SyntheticGenerator {
-            injection: BernoulliInjection::new(rate_flits_per_cycle, mix),
+            fire_threshold: fire_threshold(&injection),
+            injection,
             pattern,
             budget: None,
             generated: 0,
@@ -69,8 +84,10 @@ impl SyntheticGenerator {
         budget: u64,
         seed: u64,
     ) -> Self {
+        let injection = BernoulliInjection::new(rate_flits_per_cycle, mix);
         SyntheticGenerator {
-            injection: BernoulliInjection::new(rate_flits_per_cycle, mix),
+            fire_threshold: fire_threshold(&injection),
+            injection,
             pattern,
             budget: Some(budget),
             generated: 0,
@@ -91,8 +108,16 @@ impl SyntheticGenerator {
 
 impl PacketGenerator for SyntheticGenerator {
     fn generate(&mut self, _now: Cycle) -> Option<GeneratedPacket> {
-        if self.exhausted() || !self.injection.fires(&mut self.rng) {
+        // Same draw sequence as `BernoulliInjection::fires`, with the
+        // comparison precomputed as an integer threshold (see
+        // `fire_threshold`; no RNG consumption at probability zero).
+        use rand::RngCore;
+        if self.exhausted() {
             return None;
+        }
+        match self.fire_threshold {
+            Some(threshold) if (self.rng.next_u64() >> 11) < threshold => {}
+            _ => return None,
         }
         let class = self.injection.mix.draw(&mut self.rng);
         let dst = self.pattern.draw(&mut self.rng);
@@ -177,7 +202,9 @@ mod tests {
                 DestinationPattern::UniformRandom((0..8).map(NodeId).collect()),
                 seed,
             );
-            (0..1_000).filter_map(|now| g.generate(now)).collect::<Vec<_>>()
+            (0..1_000)
+                .filter_map(|now| g.generate(now))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

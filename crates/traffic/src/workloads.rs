@@ -54,10 +54,42 @@ pub fn uniform_random(
     generators
 }
 
+/// Uniform-random traffic for a network with one terminal injector per node
+/// (e.g. the two-dimensional mesh built by `taqos_topology::mesh2d`): each of
+/// the `nodes` injectors sends at `rate` flits/cycle to destinations drawn
+/// uniformly among the other nodes.
+pub fn uniform_random_terminals(
+    nodes: usize,
+    rate: f64,
+    mix: PacketSizeMix,
+    seed: u64,
+) -> GeneratorSet {
+    (0..nodes)
+        .map(|node| {
+            let dests: Vec<NodeId> = (0..nodes)
+                .filter(|&d| d != node)
+                .map(|d| NodeId(d as u16))
+                .collect();
+            Box::new(SyntheticGenerator::open_loop(
+                rate,
+                mix,
+                DestinationPattern::UniformRandom(dests),
+                seed_for(seed, node),
+            )) as Box<dyn PacketGenerator>
+        })
+        .collect()
+}
+
 /// Tornado traffic: every injector at node `i` sends to node
 /// `(i + n/2) mod n`, the challenge pattern for rings and meshes.
 pub fn tornado(config: &ColumnConfig, rate: f64, mix: PacketSizeMix, seed: u64) -> GeneratorSet {
-    permutation(config, crate::patterns::Permutation::Tornado, rate, mix, seed)
+    permutation(
+        config,
+        crate::patterns::Permutation::Tornado,
+        rate,
+        mix,
+        seed,
+    )
 }
 
 /// Permutation traffic: every injector at node `i` sends to the node given by
@@ -137,11 +169,10 @@ pub fn workload1(
         "workload 1 needs one rate per node"
     );
     let mut generators: GeneratorSet = Vec::with_capacity(config.num_flows());
-    for node in 0..config.nodes {
+    for (node, &rate) in rates.iter().enumerate().take(config.nodes) {
         for injector in 0..config.injectors_per_node() {
             let flow = config.flow_of(node, injector).index();
             if injector == 0 {
-                let rate = rates[node];
                 let budget = packet_budget(rate, mix, budget_cycles);
                 generators.push(Box::new(SyntheticGenerator::with_budget(
                     rate,
@@ -208,7 +239,9 @@ pub fn idle(config: &ColumnConfig) -> GeneratorSet {
 /// Number of packets a source offers when sending `rate` flits per cycle for
 /// `budget_cycles` cycles with the given size mix.
 pub fn packet_budget(rate: f64, mix: PacketSizeMix, budget_cycles: u64) -> u64 {
-    ((rate * budget_cycles as f64) / mix.mean_len_flits()).round().max(1.0) as u64
+    ((rate * budget_cycles as f64) / mix.mean_len_flits())
+        .round()
+        .max(1.0) as u64
 }
 
 /// Demands (flits per cycle) offered by each flow of a generator set built by
@@ -253,7 +286,10 @@ mod tests {
     #[test]
     fn all_workloads_cover_every_injector() {
         let config = ColumnConfig::paper();
-        assert_eq!(uniform_random(&config, 0.1, PacketSizeMix::paper(), 1).len(), 64);
+        assert_eq!(
+            uniform_random(&config, 0.1, PacketSizeMix::paper(), 1).len(),
+            64
+        );
         assert_eq!(tornado(&config, 0.1, PacketSizeMix::paper(), 1).len(), 64);
         assert_eq!(
             hotspot(&config, 0.1, PacketSizeMix::paper(), NodeId(0), 1).len(),
@@ -358,7 +394,10 @@ mod tests {
 
     #[test]
     fn budgets_scale_with_rate_and_mix() {
-        assert_eq!(packet_budget(0.1, PacketSizeMix::requests_only(), 10_000), 1_000);
+        assert_eq!(
+            packet_budget(0.1, PacketSizeMix::requests_only(), 10_000),
+            1_000
+        );
         assert_eq!(packet_budget(0.1, PacketSizeMix::paper(), 10_000), 400);
         assert_eq!(packet_budget(0.0001, PacketSizeMix::paper(), 100), 1);
     }

@@ -79,9 +79,7 @@ fn summarise(column: &ColumnConfig, stats: &NetStats) -> (f64, f64, f64) {
         .collect();
     let attackers: Vec<u64> = ATTACKER_NODES
         .iter()
-        .flat_map(|&node| {
-            (0..column.injectors_per_node()).map(move |inj| (node, inj))
-        })
+        .flat_map(|&node| (0..column.injectors_per_node()).map(move |inj| (node, inj)))
         .map(|(node, inj)| per_flow[column.flow_of(node, inj).index()])
         .collect();
     let victim_mean = victims.iter().sum::<u64>() as f64 / victims.len() as f64;

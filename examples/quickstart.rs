@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    println!("delivered       : {} packets ({} flits)", stats.delivered_packets, stats.delivered_flits);
+    println!(
+        "delivered       : {} packets ({} flits)",
+        stats.delivered_packets, stats.delivered_flits
+    );
     println!("avg latency     : {:.1} cycles", stats.avg_latency());
     println!("max latency     : {} cycles", stats.max_latency);
     println!(

@@ -98,9 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!();
-    println!(
-        "higher-weight tenants receive proportionally more of the contended memory port,"
-    );
+    println!("higher-weight tenants receive proportionally more of the contended memory port,");
     println!("while no row is starved — the guarantee PVC provides inside the shared region.");
     Ok(())
 }

@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let area_model = AreaModel::nm32();
     let energy_model = EnergyModel::nm32();
 
-    println!(
-        "uniform-random traffic at {rate_pct:.0}% injection per injector, PVC, 32 nm models"
-    );
+    println!("uniform-random traffic at {rate_pct:.0}% injection per injector, PVC, 32 nm models");
     println!("{:-<100}", "");
     println!(
         "{:<10} {:>12} {:>14} {:>14} {:>14} {:>16} {:>12}",

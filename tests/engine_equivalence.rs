@@ -1,0 +1,151 @@
+//! Equivalence and determinism guarantees of the optimized hot-path engine.
+//!
+//! The optimized engine (generational slab packet store, timing-wheel event
+//! queue, scratch-buffer arbitration, active-set tracking) must be
+//! *cycle-for-cycle equivalent* to the reference engine that reproduces the
+//! seed implementation's data structures (hash-map store, binary-heap queue,
+//! per-cycle allocations, full scans). These tests compare entire
+//! [`NetStats`] values with `==` — every counter, per-flow vector and energy
+//! figure must match exactly, on every topology family, with and without
+//! preemption in play.
+
+use taqos::prelude::*;
+use taqos::traffic::workloads;
+use taqos_netsim::config::EngineKind;
+use taqos_netsim::network::Network;
+use taqos_qos::pvc::PvcPolicy;
+use taqos_topology::mesh2d::Mesh2dConfig;
+
+fn open_loop_stats(topology: ColumnTopology, engine: EngineKind, seed: u64) -> NetStats {
+    let sim =
+        SharedRegionSim::new(topology).with_sim_config(SimConfig::default().with_engine(engine));
+    let generators = workloads::uniform_random(sim.column(), 0.08, PacketSizeMix::paper(), seed);
+    sim.run_open(
+        Box::new(sim.default_policy()),
+        generators,
+        OpenLoopConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_000,
+        },
+    )
+    .expect("open-loop run succeeds")
+}
+
+fn closed_stats(topology: ColumnTopology, engine: EngineKind, seed: u64) -> NetStats {
+    let sim =
+        SharedRegionSim::new(topology).with_sim_config(SimConfig::default().with_engine(engine));
+    let generators = workloads::workload1(
+        sim.column(),
+        &workloads::WORKLOAD1_RATES,
+        PacketSizeMix::paper(),
+        NodeId(0),
+        1_000,
+        seed,
+    );
+    sim.run_closed(
+        Box::new(sim.default_policy()),
+        generators,
+        Some(1_000),
+        300_000,
+    )
+    .expect("closed workload completes")
+}
+
+/// The slab/wheel/scratch-buffer engine produces statistics identical to the
+/// reference (seed-semantics) engine on an open-loop uniform-random run, for
+/// the mesh, MECS and DPS topology families.
+#[test]
+fn open_loop_stats_match_reference_engine() {
+    for topology in [
+        ColumnTopology::MeshX1,
+        ColumnTopology::Mecs,
+        ColumnTopology::Dps,
+    ] {
+        let optimized = open_loop_stats(topology, EngineKind::Optimized, 42);
+        let reference = open_loop_stats(topology, EngineKind::Reference, 42);
+        assert_eq!(optimized, reference, "engines diverged on {topology}");
+        assert!(
+            optimized.delivered_packets > 0,
+            "{topology} delivered nothing"
+        );
+    }
+}
+
+/// Engine equivalence holds through closed adversarial workloads where PVC
+/// preemption, NACKs and retransmissions are exercised.
+#[test]
+fn closed_preemption_stats_match_reference_engine() {
+    for topology in [ColumnTopology::MeshX1, ColumnTopology::Dps] {
+        let optimized = closed_stats(topology, EngineKind::Optimized, 7);
+        let reference = closed_stats(topology, EngineKind::Reference, 7);
+        assert_eq!(optimized, reference, "engines diverged on {topology}");
+        assert_eq!(optimized.generated_packets, optimized.delivered_packets);
+    }
+}
+
+/// Flit conservation: on a completed closed workload every generated flit is
+/// delivered exactly once, per flow and in aggregate.
+#[test]
+fn closed_workloads_conserve_flits() {
+    for engine in [EngineKind::Optimized, EngineKind::Reference] {
+        let stats = closed_stats(ColumnTopology::Dps, engine, 3);
+        assert_eq!(stats.generated_packets, stats.delivered_packets);
+        let generated_flits: u64 = stats.flows.iter().map(|f| f.generated_flits).sum();
+        assert_eq!(
+            stats.delivered_flits, generated_flits,
+            "{engine:?} lost flits"
+        );
+        for (i, flow) in stats.flows.iter().enumerate() {
+            assert_eq!(
+                flow.generated_flits, flow.delivered_flits,
+                "flow {i} lost flits under {engine:?}"
+            );
+        }
+        assert!(stats.completion_cycle.is_some());
+    }
+}
+
+fn mesh2d_stats(engine: EngineKind, seed: u64) -> NetStats {
+    let config = Mesh2dConfig::paper_8x8();
+    let spec = config.build();
+    let generators =
+        workloads::uniform_random_terminals(config.num_nodes(), 0.08, PacketSizeMix::paper(), seed);
+    let policy: Box<dyn QosPolicy> = Box::new(PvcPolicy::equal_rates(config.num_nodes()));
+    let mut network = Network::new(
+        spec,
+        policy,
+        generators,
+        SimConfig::default().with_engine(engine),
+    )
+    .expect("mesh builds");
+    network.run_for(3_000);
+    network.into_stats()
+}
+
+/// Engine equivalence holds on the chip-scale two-dimensional 8×8 mesh.
+#[test]
+fn mesh2d_stats_match_reference_engine() {
+    let optimized = mesh2d_stats(EngineKind::Optimized, 11);
+    let reference = mesh2d_stats(EngineKind::Reference, 11);
+    assert_eq!(optimized, reference, "engines diverged on the 8x8 mesh");
+    assert!(optimized.delivered_packets > 0);
+}
+
+/// Determinism: the same seed produces bit-identical statistics across two
+/// independent runs of the optimized engine (the timing wheel and active-set
+/// bookkeeping introduce no iteration-order dependence).
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    for topology in [
+        ColumnTopology::MeshX2,
+        ColumnTopology::Mecs,
+        ColumnTopology::Dps,
+    ] {
+        let a = open_loop_stats(topology, EngineKind::Optimized, 1234);
+        let b = open_loop_stats(topology, EngineKind::Optimized, 1234);
+        assert_eq!(a, b, "nondeterminism on {topology}");
+        let c = open_loop_stats(topology, EngineKind::Optimized, 1235);
+        assert_ne!(a, c, "different seeds should differ on {topology}");
+    }
+}

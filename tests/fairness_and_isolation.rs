@@ -18,10 +18,7 @@ fn every_topology_is_fair_under_pvc_on_the_hotspot() {
     for topology in ColumnTopology::all() {
         let result = hotspot_fairness(topology, FairnessPolicy::Pvc, &config);
         assert!(result.mean > 0.0, "{topology}: hotspot delivered nothing");
-        assert!(
-            result.min > 0.0,
-            "{topology}: some flow starved under PVC"
-        );
+        assert!(result.min > 0.0, "{topology}: some flow starved under PVC");
         assert!(
             result.jain > 0.85,
             "{topology}: Jain index {:.3} too low",

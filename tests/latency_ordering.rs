@@ -111,7 +111,11 @@ fn the_baseline_mesh_congests_before_the_high_bisection_topologies() {
 #[test]
 fn accepted_throughput_tracks_offered_load_before_saturation() {
     let config = quick_config();
-    for topology in [ColumnTopology::Mecs, ColumnTopology::Dps, ColumnTopology::MeshX4] {
+    for topology in [
+        ColumnTopology::Mecs,
+        ColumnTopology::Dps,
+        ColumnTopology::MeshX4,
+    ] {
         let point = latency_point(topology, SweepPattern::UniformRandom, 0.03, &config);
         // 64 injectors x 0.03 flits/cycle ~ 1.9 flits/cycle offered.
         let offered = 64.0 * 0.03;

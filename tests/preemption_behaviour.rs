@@ -78,7 +78,11 @@ fn replayed_hops_do_not_exceed_preempted_packets_by_much() {
 #[test]
 fn workload2_pressures_the_far_node_and_still_completes() {
     let config = quick_config();
-    for topology in [ColumnTopology::Mecs, ColumnTopology::Dps, ColumnTopology::MeshX2] {
+    for topology in [
+        ColumnTopology::Mecs,
+        ColumnTopology::Dps,
+        ColumnTopology::MeshX2,
+    ] {
         let impact = preemption_impact(topology, AdversarialWorkload::Workload2, &config)
             .unwrap_or_else(|e| panic!("{topology}: {e}"));
         assert!(impact.completion_cycles > 0);
