@@ -6,8 +6,10 @@
 //! active-set tracking) and once with the reference engine (the seed
 //! implementation's hash-map store, binary-heap queue, per-cycle allocations
 //! and full scans), on the chip-scale 8×8 mesh (the headline case, 64
-//! routers, one injector per node) and on every column topology family
-//! (mesh x1/x2/x4, MECS, DPS; the paper's 8-node / 64-injector shared
+//! routers, one injector per node), on the hybrid chip fabric (`chip_8x8`:
+//! the mesh plus per-row MECS express channels and the shared-column QOS
+//! overlay, under its memory-access workload) and on every column topology
+//! family (mesh x1/x2/x4, MECS, DPS; the paper's 8-node / 64-injector shared
 //! region). It prints a table, cross-checks that both engines produced
 //! identical statistics, and writes `BENCH_netsim.json` so future changes
 //! have a performance trajectory to regress against.
@@ -21,6 +23,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::chip_sim::ChipSim;
 use taqos_core::shared_region::SharedRegionSim;
 use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
@@ -44,10 +47,12 @@ struct EngineRun {
     stats: NetStats,
 }
 
-/// One benchmark case: a column topology or the chip-scale 8x8 mesh.
+/// One benchmark case: a column topology, the plain chip-scale 8x8 mesh, or
+/// the hybrid chip fabric (mesh + MECS express + shared-column QOS overlay).
 #[derive(Debug, Clone, Copy)]
 enum BenchCase {
     Mesh8x8,
+    Chip8x8,
     Column(ColumnTopology),
 }
 
@@ -55,7 +60,24 @@ impl BenchCase {
     fn name(self) -> &'static str {
         match self {
             BenchCase::Mesh8x8 => "mesh_8x8",
+            BenchCase::Chip8x8 => "chip_8x8",
             BenchCase::Column(topology) => topology.name(),
+        }
+    }
+
+    /// Workload pattern of the case, recorded per row in the JSON report.
+    fn workload_name(self) -> &'static str {
+        match self {
+            BenchCase::Chip8x8 => "nearest_mc_fixed",
+            _ => "uniform_random",
+        }
+    }
+
+    /// QOS policy of the case, recorded per row in the JSON report.
+    fn policy_name(self) -> &'static str {
+        match self {
+            BenchCase::Chip8x8 => "pvc@columns",
+            _ => "pvc",
         }
     }
 
@@ -79,6 +101,18 @@ impl BenchCase {
                     SimConfig::default().with_engine(engine),
                 )
                 .expect("mesh builds")
+            }
+            BenchCase::Chip8x8 => {
+                // The hybrid fabric under its common-case workload: every
+                // non-column node streams memory requests to the controller
+                // on its own row of the shared column, over the MECS express
+                // channels, with PVC confined to the column routers.
+                let sim = ChipSim::paper_default()
+                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let plan = sim.nearest_mc_plan(rate);
+                let generators = workloads::per_node_fixed(&plan, PacketSizeMix::paper(), SEED);
+                sim.build(sim.default_policy(), generators)
+                    .expect("chip builds")
             }
             BenchCase::Column(topology) => {
                 let sim = SharedRegionSim::new(topology)
@@ -143,6 +177,7 @@ fn main() {
     let samples: u32 = args.value_or("samples", 3);
     let cases = [
         BenchCase::Mesh8x8,
+        BenchCase::Chip8x8,
         BenchCase::Column(ColumnTopology::MeshX1),
         BenchCase::Column(ColumnTopology::MeshX2),
         BenchCase::Column(ColumnTopology::MeshX4),
@@ -151,7 +186,8 @@ fn main() {
     ];
 
     println!(
-        "netsim throughput: {cycles} cycles, uniform random @ {rate} flits/cycle/injector, PVC"
+        "netsim throughput: {cycles} cycles @ {rate} flits/cycle/injector; uniform random + PVC \
+         (columns, meshes), nearest-MC + column-scoped PVC (chip_8x8)"
     );
     println!("{}", rule(96));
     println!(
@@ -216,17 +252,20 @@ fn render_json(cycles: u64, rate: f64, results: &[TopologyResult]) -> String {
     let _ = writeln!(json, "  \"cycles\": {cycles},");
     let _ = writeln!(
         json,
-        "  \"workload\": {{ \"pattern\": \"uniform_random\", \"rate_flits_per_cycle\": {rate}, \
-         \"mix\": \"paper\", \"policy\": \"pvc\", \"seed\": {SEED} }},"
+        "  \"workload\": {{ \"rate_flits_per_cycle\": {rate}, \"mix\": \"paper\", \
+         \"seed\": {SEED} }},"
     );
     json.push_str("  \"topologies\": [\n");
     for (i, result) in results.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{ \"topology\": \"{}\", \"optimized_cycles_per_sec\": {:.1}, \
+            "    {{ \"topology\": \"{}\", \"pattern\": \"{}\", \"policy\": \"{}\", \
+             \"optimized_cycles_per_sec\": {:.1}, \
              \"reference_cycles_per_sec\": {:.1}, \"speedup\": {:.3}, \
              \"delivered_packets\": {} }}",
             result.case.name(),
+            result.case.workload_name(),
+            result.case.policy_name(),
             result.optimized.cycles_per_sec,
             result.reference.cycles_per_sec,
             result.speedup(),

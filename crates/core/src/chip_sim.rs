@@ -1,0 +1,380 @@
+//! Chip-scale simulation facade.
+//!
+//! [`ChipSim`] is the chip-level sibling of
+//! [`crate::shared_region::SharedRegionSim`]: it bundles the architectural
+//! chip model ([`TopologyAwareChip`] — shared columns, convex domains,
+//! topology-aware routes) with the executable hybrid fabric of
+//! [`taqos_topology::chip`] (2-D mesh + per-row MECS express channels +
+//! shared-column QOS overlay) and builds ready-to-run
+//! [`Network`] instances on the cycle engine.
+//!
+//! Flows are **domain-tagged**: every node owns one flow (its terminal
+//! injector), and [`ChipSim::domain_flows`] maps an allocated domain to the
+//! flows its nodes inject on, so per-domain latency and throughput fall
+//! directly out of the per-flow statistics. Memory traffic follows exactly
+//! the route [`TopologyAwareChip::memory_access_route`] prescribes — one
+//! MECS express hop along the source's own row into the shared column, then
+//! the QOS-protected column to the memory controller — because the fabric's
+//! routing tables are generated from the same topology-aware rule.
+
+use crate::chip::{ChipError, DomainId, TopologyAwareChip};
+use std::collections::BTreeSet;
+use taqos_netsim::error::SimError;
+use taqos_netsim::network::Network;
+use taqos_netsim::qos::{FifoPolicy, QosPolicy};
+use taqos_netsim::sim::{run_closed, run_open_loop, OpenLoopConfig};
+use taqos_netsim::stats::NetStats;
+use taqos_netsim::{Cycle, FlowId, NodeId, SimConfig};
+use taqos_qos::pvc::PvcPolicy;
+use taqos_qos::scoped::ScopedQosPolicy;
+use taqos_topology::chip::{ChipConfig, ChipSpec};
+use taqos_topology::grid::Coord;
+use taqos_traffic::injection::PacketSizeMix;
+use taqos_traffic::workloads::{self, GeneratorSet, NodePlan};
+
+/// QOS configuration of a chip simulation.
+#[derive(Debug, Clone)]
+pub enum ChipPolicy {
+    /// The paper's architecture: the given PVC policy confined to the
+    /// shared-column routers; every other router stays QOS-free.
+    ColumnPvc(PvcPolicy),
+    /// No QOS anywhere — the comparison fabric used to demonstrate
+    /// interference (reserved VCs are not provisioned either).
+    NoQos,
+}
+
+/// A configured chip-scale simulation.
+#[derive(Debug, Clone)]
+pub struct ChipSim {
+    chip: TopologyAwareChip,
+    config: ChipConfig,
+    sim: SimConfig,
+}
+
+impl ChipSim {
+    /// Creates a simulation of the given architectural chip, deriving the
+    /// fabric dimensions and shared columns from it.
+    pub fn new(chip: TopologyAwareChip) -> Self {
+        let config = ChipConfig::with_size(
+            usize::from(chip.grid().width),
+            usize::from(chip.grid().height),
+            chip.shared_columns().clone(),
+        );
+        ChipSim {
+            chip,
+            config,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// The paper's target system: a 256-tile CMP (8×8 grid) with one shared
+    /// column in the middle of the die.
+    pub fn paper_default() -> Self {
+        ChipSim::new(TopologyAwareChip::paper_default())
+    }
+
+    /// Uses custom fabric provisioning (the grid dimensions and shared
+    /// columns must match the architectural chip).
+    pub fn with_chip_config(mut self, config: ChipConfig) -> Self {
+        assert_eq!(config.width, usize::from(self.chip.grid().width));
+        assert_eq!(config.height, usize::from(self.chip.grid().height));
+        assert_eq!(&config.shared_columns, self.chip.shared_columns());
+        self.config = config;
+        self
+    }
+
+    /// Uses custom simulation constants.
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The architectural chip model (domains, routes, shared columns).
+    pub fn chip(&self) -> &TopologyAwareChip {
+        &self.chip
+    }
+
+    /// Mutable access to the architectural chip (domain allocation).
+    pub fn chip_mut(&mut self) -> &mut TopologyAwareChip {
+        &mut self.chip
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Node identifier of a grid coordinate.
+    pub fn node_id(&self, c: Coord) -> NodeId {
+        self.config.node_at(usize::from(c.x), usize::from(c.y))
+    }
+
+    /// Grid coordinate of a node identifier.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        let (x, y) = self.config.coords(node);
+        Coord::new(x as u16, y as u16)
+    }
+
+    /// The memory controller serving `from`: the terminal of the nearest
+    /// shared column on the node's own row (one MECS express hop away).
+    pub fn memory_controller_for(&self, from: Coord) -> NodeId {
+        let column = self.chip.nearest_shared_column(from);
+        self.node_id(Coord::new(column, from.y))
+    }
+
+    /// Fraction of the chip's routers that carry QOS hardware. Equal to
+    /// [`TopologyAwareChip::qos_router_fraction`] by construction: the
+    /// fabric's per-router QOS flags are generated from the same shared
+    /// columns.
+    pub fn qos_router_fraction(&self) -> f64 {
+        self.chip.qos_router_fraction()
+    }
+
+    /// Builds the hybrid fabric specification (with the QOS overlay's buffer
+    /// reservations provisioned).
+    pub fn build_spec(&self) -> ChipSpec {
+        self.config.build()
+    }
+
+    /// The default QOS overlay: Preemptive Virtual Clock with equal rates
+    /// for every node's flow, confined to the shared columns.
+    pub fn default_policy(&self) -> ChipPolicy {
+        ChipPolicy::ColumnPvc(PvcPolicy::equal_rates(self.config.num_nodes()))
+    }
+
+    /// Flows injected by the nodes of a domain, in node order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the domain does not exist.
+    pub fn domain_flows(&self, id: DomainId) -> Result<Vec<FlowId>, ChipError> {
+        let domain = self.chip.domain(id).ok_or(ChipError::UnknownDomain(id))?;
+        Ok(domain
+            .nodes
+            .iter()
+            .map(|&c| FlowId(self.node_id(c).0))
+            .collect())
+    }
+
+    /// Memory-hotspot workload plan: every node of each listed domain
+    /// streams at the domain's per-node rate (flits/cycle) to the memory
+    /// controller at `mc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mc` is not a shared-column terminal or a domain
+    /// does not exist.
+    pub fn memory_hotspot_plan(
+        &self,
+        demands: &[(DomainId, f64)],
+        mc: Coord,
+    ) -> Result<NodePlan, ChipError> {
+        if !self.chip.is_shared(mc) {
+            return Err(ChipError::NotASharedResource(mc));
+        }
+        let mc_node = self.node_id(mc);
+        let mut plan: NodePlan = vec![None; self.config.num_nodes()];
+        for &(id, rate) in demands {
+            let domain = self.chip.domain(id).ok_or(ChipError::UnknownDomain(id))?;
+            for &c in &domain.nodes {
+                plan[self.node_id(c).index()] = Some((rate, mc_node));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Nearest-controller workload plan: every node outside the shared
+    /// columns streams at `rate` to the memory controller on its own row of
+    /// the nearest shared column (the paper's common-case access pattern; it
+    /// exercises every express channel of the fabric).
+    pub fn nearest_mc_plan(&self, rate: f64) -> NodePlan {
+        (0..self.config.num_nodes())
+            .map(|node| {
+                let c = self.coord(NodeId(node as u16));
+                if self.chip.is_shared(c) {
+                    None
+                } else {
+                    Some((rate, self.memory_controller_for(c)))
+                }
+            })
+            .collect()
+    }
+
+    /// Builds a [`Network`] with the given QOS configuration and one
+    /// generator per node (in node order).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the generator count does not match the node count.
+    pub fn build(&self, policy: ChipPolicy, generators: GeneratorSet) -> Result<Network, SimError> {
+        let (spec, policy): (ChipSpec, Box<dyn QosPolicy>) = match policy {
+            ChipPolicy::ColumnPvc(pvc) => {
+                let spec = self.config.build();
+                let qos_nodes: BTreeSet<NodeId> = spec.qos_nodes.clone();
+                (spec, Box::new(ScopedQosPolicy::new(pvc, qos_nodes)))
+            }
+            // The QOS-free comparison fabric drops the overlay's buffer
+            // reservations along with the policy.
+            ChipPolicy::NoQos => (
+                self.config.clone().without_reservations().build(),
+                Box::new(FifoPolicy::new()),
+            ),
+        };
+        Network::new(spec.spec, policy, generators, self.sim)
+    }
+
+    /// Builds and runs an open-loop experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build`].
+    pub fn run_open(
+        &self,
+        policy: ChipPolicy,
+        generators: GeneratorSet,
+        config: OpenLoopConfig,
+    ) -> Result<NetStats, SimError> {
+        let network = self.build(policy, generators)?;
+        Ok(run_open_loop(network, config))
+    }
+
+    /// Builds and runs a closed (fixed) workload to completion, measuring
+    /// per-flow throughput during the first `measure_window` cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and reports a timeout if the workload
+    /// does not complete within `max_cycles`.
+    pub fn run_closed(
+        &self,
+        policy: ChipPolicy,
+        generators: GeneratorSet,
+        measure_window: Option<Cycle>,
+        max_cycles: Cycle,
+    ) -> Result<NetStats, SimError> {
+        let mut network = self.build(policy, generators)?;
+        if let Some(window) = measure_window {
+            network.stats_mut().measure_start = Some(0);
+            network.stats_mut().measure_end = Some(window);
+        }
+        run_closed(network, max_cycles)
+    }
+
+    /// Convenience: open-loop run of a [`NodePlan`] with the paper's packet
+    /// size mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build`].
+    pub fn run_plan(
+        &self,
+        policy: ChipPolicy,
+        plan: &NodePlan,
+        config: OpenLoopConfig,
+        seed: u64,
+    ) -> Result<NetStats, SimError> {
+        let generators = workloads::per_node_fixed(plan, PacketSizeMix::paper(), seed);
+        self.run_open(policy, generators, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taqos_topology::grid::ChipGrid;
+
+    #[test]
+    fn facade_defaults_match_the_paper_chip() {
+        let sim = ChipSim::paper_default();
+        assert_eq!(sim.config().num_nodes(), 64);
+        assert_eq!(sim.config().shared_columns.len(), 1);
+        assert!((sim.qos_router_fraction() - 0.125).abs() < 1e-12);
+        // The fabric's QOS flag count agrees with the architectural model.
+        let spec = sim.build_spec();
+        assert!((spec.qos_router_fraction() - sim.qos_router_fraction()).abs() < 1e-12);
+        assert_eq!(
+            spec.qos_router_count(),
+            (sim.qos_router_fraction() * spec.spec.routers.len() as f64).round() as usize
+        );
+    }
+
+    #[test]
+    fn coordinates_round_trip_and_mcs_sit_on_the_own_row() {
+        let sim = ChipSim::paper_default();
+        let c = Coord::new(2, 5);
+        assert_eq!(sim.coord(sim.node_id(c)), c);
+        let mc = sim.memory_controller_for(c);
+        assert_eq!(sim.coord(mc), Coord::new(4, 5));
+        // The architectural route enters the column exactly at that node.
+        let route = sim
+            .chip()
+            .memory_access_route(c, Coord::new(4, 0))
+            .expect("valid memory route");
+        assert_eq!(route[1], sim.coord(mc));
+    }
+
+    #[test]
+    fn domain_flows_are_the_domain_node_terminals() {
+        let mut sim = ChipSim::paper_default();
+        let id = sim.chip_mut().allocate_rectangle("vm", 2, 2, 1).unwrap();
+        let flows = sim.domain_flows(id).unwrap();
+        assert_eq!(flows.len(), 4);
+        for flow in &flows {
+            let c = sim.coord(NodeId(flow.0));
+            assert_eq!(sim.chip().domain_at(c), Some(id));
+        }
+        assert!(sim.domain_flows(DomainId(99)).is_err());
+    }
+
+    #[test]
+    fn memory_plans_target_shared_columns_only() {
+        let mut sim = ChipSim::paper_default();
+        let id = sim.chip_mut().allocate_rectangle("vm", 2, 2, 1).unwrap();
+        let plan = sim
+            .memory_hotspot_plan(&[(id, 0.1)], Coord::new(4, 7))
+            .unwrap();
+        assert_eq!(plan.iter().filter(|e| e.is_some()).count(), 4);
+        assert!(sim
+            .memory_hotspot_plan(&[(id, 0.1)], Coord::new(3, 7))
+            .is_err());
+        let nearest = sim.nearest_mc_plan(0.05);
+        // All 56 non-column nodes are active.
+        assert_eq!(nearest.iter().filter(|e| e.is_some()).count(), 56);
+        for (node, entry) in nearest.iter().enumerate() {
+            if let Some((_, mc)) = entry {
+                let from = sim.coord(NodeId(node as u16));
+                let mc = sim.coord(*mc);
+                assert_eq!(mc.y, from.y, "MC on the node's own row");
+                assert!(sim.chip().is_shared(mc));
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_chip_run_delivers_memory_traffic() {
+        let sim = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        let plan = sim.nearest_mc_plan(0.05);
+        let stats = sim
+            .run_plan(
+                sim.default_policy(),
+                &plan,
+                OpenLoopConfig {
+                    warmup: 200,
+                    measure: 2_000,
+                    drain: 500,
+                },
+                7,
+            )
+            .expect("chip run succeeds");
+        assert!(stats.delivered_packets > 0);
+        assert!(stats.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_generator_count_is_rejected() {
+        let sim = ChipSim::paper_default();
+        assert!(sim.build(sim.default_policy(), Vec::new()).is_err());
+    }
+}

@@ -43,43 +43,41 @@ pub fn frame_length_sweep(
     measure: Cycle,
     seed: u64,
 ) -> Vec<FrameAblationPoint> {
-    frame_lengths
-        .iter()
-        .map(|&frame_len| {
-            let sim = SharedRegionSim::new(topology).with_column(*column);
-            let policy = PvcPolicy::new(
-                PvcConfig {
-                    frame_len,
-                    ..PvcConfig::paper()
-                },
-                RateAllocation::equal(column.num_flows()),
-            );
-            let generators =
-                workloads::hotspot(column, 0.05, PacketSizeMix::paper(), NodeId(0), seed);
-            let stats = sim
-                .run_open(
-                    Box::new(policy),
-                    generators,
-                    OpenLoopConfig {
-                        warmup: measure / 8,
-                        measure,
-                        drain: 1_000,
-                    },
-                )
-                .expect("hotspot ablation runs");
-            let per_flow = stats.measured_flits_per_flow();
-            let mean = per_flow.iter().sum::<u64>() as f64 / per_flow.len().max(1) as f64;
-            let max_dev = per_flow
-                .iter()
-                .map(|&f| ((f as f64 - mean) / mean.max(1.0)).abs())
-                .fold(0.0, f64::max);
-            FrameAblationPoint {
+    // Frame lengths are independent simulation points: shard them across
+    // threads.
+    crate::experiment::parallel_map(frame_lengths.to_vec(), |frame_len| {
+        let sim = SharedRegionSim::new(topology).with_column(*column);
+        let policy = PvcPolicy::new(
+            PvcConfig {
                 frame_len,
-                max_deviation_pct: max_dev * 100.0,
-                preempted_packet_fraction: stats.preempted_packet_fraction(),
-            }
-        })
-        .collect()
+                ..PvcConfig::paper()
+            },
+            RateAllocation::equal(column.num_flows()),
+        );
+        let generators = workloads::hotspot(column, 0.05, PacketSizeMix::paper(), NodeId(0), seed);
+        let stats = sim
+            .run_open(
+                Box::new(policy),
+                generators,
+                OpenLoopConfig {
+                    warmup: measure / 8,
+                    measure,
+                    drain: 1_000,
+                },
+            )
+            .expect("hotspot ablation runs");
+        let per_flow = stats.measured_flits_per_flow();
+        let mean = per_flow.iter().sum::<u64>() as f64 / per_flow.len().max(1) as f64;
+        let max_dev = per_flow
+            .iter()
+            .map(|&f| ((f as f64 - mean) / mean.max(1.0)).abs())
+            .fold(0.0, f64::max);
+        FrameAblationPoint {
+            frame_len,
+            max_deviation_pct: max_dev * 100.0,
+            preempted_packet_fraction: stats.preempted_packet_fraction(),
+        }
+    })
 }
 
 /// Result of the reserved-quota / preemption ablation on Workload 1.
@@ -128,12 +126,20 @@ pub fn reserved_quota_ablation(
             stats.completion_cycle.unwrap_or(stats.cycles),
         ))
     };
-    let (with_quota, completion_with_quota) = run(PvcConfig::paper())?;
-    let (without_quota, completion_without_quota) = run(PvcConfig {
-        reserved_fraction: 0.0,
-        ..PvcConfig::paper()
-    })?;
-    let (without_preemption, _) = run(PvcConfig::without_preemption())?;
+    // The three PVC variants are independent simulations: run them across
+    // threads and surface the first error, if any.
+    let configs = vec![
+        PvcConfig::paper(),
+        PvcConfig {
+            reserved_fraction: 0.0,
+            ..PvcConfig::paper()
+        },
+        PvcConfig::without_preemption(),
+    ];
+    let mut results = crate::experiment::parallel_map(configs, run).into_iter();
+    let (with_quota, completion_with_quota) = results.next().expect("three variants")?;
+    let (without_quota, completion_without_quota) = results.next().expect("three variants")?;
+    let (without_preemption, _) = results.next().expect("three variants")?;
     Ok(QuotaAblation {
         with_quota,
         without_quota,
@@ -164,26 +170,25 @@ pub fn vc_count_sweep(
     open_loop: OpenLoopConfig,
     seed: u64,
 ) -> Vec<VcAblationPoint> {
-    vc_counts
-        .iter()
-        .map(|&network_vcs| {
-            let params = TopologyParams {
-                network_vcs,
-                ..topology.params()
-            };
-            let spec = topology.build_with_params(column, &params);
-            let generators = workloads::uniform_random(column, rate, PacketSizeMix::paper(), seed);
-            let policy = Box::new(PvcPolicy::equal_rates(column.num_flows()));
-            let network = Network::new(spec, policy, generators, SimConfig::default())
-                .expect("ablation configuration is valid");
-            let stats = run_open_loop(network, open_loop);
-            VcAblationPoint {
-                network_vcs,
-                avg_latency: stats.avg_latency(),
-                accepted_flits_per_cycle: stats.accepted_throughput(),
-            }
-        })
-        .collect()
+    // Each VC provisioning is an independent simulation point: shard them
+    // across threads.
+    crate::experiment::parallel_map(vc_counts.to_vec(), |network_vcs| {
+        let params = TopologyParams {
+            network_vcs,
+            ..topology.params()
+        };
+        let spec = topology.build_with_params(column, &params);
+        let generators = workloads::uniform_random(column, rate, PacketSizeMix::paper(), seed);
+        let policy = Box::new(PvcPolicy::equal_rates(column.num_flows()));
+        let network = Network::new(spec, policy, generators, SimConfig::default())
+            .expect("ablation configuration is valid");
+        let stats = run_open_loop(network, open_loop);
+        VcAblationPoint {
+            network_vcs,
+            avg_latency: stats.avg_latency(),
+            accepted_flits_per_cycle: stats.accepted_throughput(),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,306 @@
+//! Chip-scale experiments: performance isolation on the full hybrid fabric
+//! and the area cost of confining QOS to the shared columns.
+//!
+//! This is the headline claim of the paper run end-to-end on the cycle
+//! engine: a 256-tile CMP where a hog domain floods a memory controller
+//! while a well-behaved victim domain issues modest memory traffic.
+//!
+//! * With the **shared-column QOS overlay** (PVC confined to the column
+//!   routers), the victim's memory latency and throughput stay close to its
+//!   solo (interference-free) baseline — the hog cannot push the victim
+//!   beyond its fair share.
+//! * On the **same fabric without the overlay** the classic parking-lot
+//!   effect appears: the hog's nodes enter the column closer to the
+//!   controller and starve the victim's upstream traffic.
+//!
+//! The three scenarios are independent simulations and run across threads
+//! via [`crate::experiment::parallel_map`].
+//!
+//! [`chip_qos_area`] quantifies the cost side of the argument with the
+//! `taqos-power` area model: flow-state tables are only provisioned at
+//! shared-column routers, so the QOS area scales with
+//! [`ChipSpec::qos_router_fraction`] instead of the whole chip.
+
+use crate::chip_sim::{ChipPolicy, ChipSim};
+use crate::experiment::parallel_map;
+use serde::{Deserialize, Serialize};
+use taqos_netsim::sim::OpenLoopConfig;
+use taqos_netsim::stats::NetStats;
+use taqos_netsim::{Cycle, FlowId};
+use taqos_power::area::AreaModel;
+use taqos_topology::chip::ChipSpec;
+use taqos_topology::grid::Coord;
+
+/// Configuration of the chip-scale isolation experiment.
+#[derive(Debug, Clone)]
+pub struct ChipIsolationConfig {
+    /// Memory request rate of each victim node, flits/cycle (well below the
+    /// victim's fair share of the contended controller).
+    pub victim_rate: f64,
+    /// Memory request rate of each hog node, flits/cycle (collectively far
+    /// above the controller's capacity).
+    pub hog_rate: f64,
+    /// Warm-up cycles.
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Drain cycles after the window.
+    pub drain: Cycle,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for ChipIsolationConfig {
+    fn default() -> Self {
+        ChipIsolationConfig {
+            victim_rate: 0.02,
+            hog_rate: 0.30,
+            warmup: 5_000,
+            measure: 30_000,
+            drain: 5_000,
+            seed: 0xC41,
+        }
+    }
+}
+
+impl ChipIsolationConfig {
+    /// A shorter configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        ChipIsolationConfig {
+            warmup: 1_000,
+            measure: 10_000,
+            drain: 2_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Measured behaviour of one domain in one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainOutcome {
+    /// Average memory-access latency of the domain's flows, cycles; `0.0`
+    /// when not a single packet born in the window completed (check
+    /// [`Self::starved`] — under the unprotected fabric the hog can starve
+    /// the victim outright).
+    pub avg_latency: f64,
+    /// Flits delivered for the domain during the measurement window.
+    pub delivered_flits: u64,
+    /// Flits the domain offered during the window (demand).
+    pub offered_flits: f64,
+}
+
+impl DomainOutcome {
+    /// Delivered fraction of the offered traffic (1.0 = demand fully met).
+    pub fn delivered_fraction(&self) -> f64 {
+        if self.offered_flits <= 0.0 {
+            0.0
+        } else {
+            self.delivered_flits as f64 / self.offered_flits
+        }
+    }
+
+    /// Whether the domain offered traffic but delivered nothing measurable —
+    /// the extreme interference outcome.
+    pub fn starved(&self) -> bool {
+        self.offered_flits > 0.0 && self.delivered_flits == 0
+    }
+}
+
+/// Result of the chip-scale isolation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipIsolationResult {
+    /// Victim behaviour with the shared-column QOS overlay, hog active.
+    pub protected: DomainOutcome,
+    /// Victim behaviour on the same fabric without any QOS, hog active.
+    pub unprotected: DomainOutcome,
+    /// Victim behaviour running alone (no hog) with the overlay — the
+    /// interference-free baseline.
+    pub solo: DomainOutcome,
+    /// Hog behaviour in the protected scenario (it still gets the residual
+    /// bandwidth; QOS does not starve it).
+    pub protected_hog: DomainOutcome,
+}
+
+impl ChipIsolationResult {
+    /// Victim slowdown versus its solo baseline with the overlay in place.
+    pub fn protected_slowdown(&self) -> f64 {
+        slowdown(self.protected.avg_latency, self.solo.avg_latency)
+    }
+
+    /// Victim slowdown versus its solo baseline without the overlay.
+    pub fn unprotected_slowdown(&self) -> f64 {
+        slowdown(self.unprotected.avg_latency, self.solo.avg_latency)
+    }
+}
+
+fn slowdown(latency: f64, baseline: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        latency / baseline
+    }
+}
+
+fn domain_outcome(stats: &NetStats, flows: &[FlowId], rate: f64, measure: Cycle) -> DomainOutcome {
+    let mut latency_sum = 0u64;
+    let mut latency_samples = 0u64;
+    let mut delivered = 0u64;
+    for flow in flows {
+        let fs = &stats.flows[flow.index()];
+        latency_sum += fs.latency_sum;
+        latency_samples += fs.latency_samples;
+        delivered += fs.measured_delivered_flits;
+    }
+    DomainOutcome {
+        avg_latency: if latency_samples == 0 {
+            0.0
+        } else {
+            latency_sum as f64 / latency_samples as f64
+        },
+        delivered_flits: delivered,
+        offered_flits: rate * flows.len() as f64 * measure as f64,
+    }
+}
+
+/// The three scenarios of the isolation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Protected,
+    Unprotected,
+    Solo,
+}
+
+/// Builds the paper-default chip with a distant victim domain and a hog
+/// domain seated close to the contended memory controller.
+///
+/// The victim occupies the north-west 2×2 corner (rows 0–1), the hog a 4×4
+/// block on rows 2–5, and both stream to the memory controller at the
+/// *south* end of the shared column — so the hog's traffic enters the column
+/// downstream of the victim's, the adversarial placement for round-robin
+/// arbitration.
+fn isolation_chip() -> (ChipSim, crate::chip::DomainId, crate::chip::DomainId, Coord) {
+    let mut sim = ChipSim::paper_default();
+    let grid = *sim.chip().grid();
+    let victim = sim
+        .chip_mut()
+        .allocate_domain("victim", grid.rectangle(Coord::new(0, 0), 2, 2), 1)
+        .expect("victim domain fits");
+    let hog = sim
+        .chip_mut()
+        .allocate_domain("hog", grid.rectangle(Coord::new(0, 2), 4, 4), 1)
+        .expect("hog domain fits");
+    let mc = Coord::new(4, 7);
+    (sim, victim, hog, mc)
+}
+
+/// Runs the chip-scale isolation experiment (the three scenarios run in
+/// parallel across threads; each simulation is deterministic).
+pub fn chip_isolation(config: &ChipIsolationConfig) -> ChipIsolationResult {
+    let (sim, victim, hog, mc) = isolation_chip();
+    let victim_flows = sim.domain_flows(victim).expect("victim exists");
+    let hog_flows = sim.domain_flows(hog).expect("hog exists");
+    let open_loop = OpenLoopConfig {
+        warmup: config.warmup,
+        measure: config.measure,
+        drain: config.drain,
+    };
+
+    let scenarios = vec![Scenario::Protected, Scenario::Unprotected, Scenario::Solo];
+    let stats = parallel_map(scenarios, |scenario| {
+        let demands = match scenario {
+            Scenario::Solo => vec![(victim, config.victim_rate)],
+            _ => vec![(victim, config.victim_rate), (hog, config.hog_rate)],
+        };
+        let plan = sim
+            .memory_hotspot_plan(&demands, mc)
+            .expect("mc is a shared terminal");
+        let policy = match scenario {
+            Scenario::Unprotected => ChipPolicy::NoQos,
+            _ => sim.default_policy(),
+        };
+        sim.run_plan(policy, &plan, open_loop, config.seed)
+            .expect("chip isolation scenario runs")
+    });
+
+    let victim_outcome =
+        |s: &NetStats| domain_outcome(s, &victim_flows, config.victim_rate, config.measure);
+    ChipIsolationResult {
+        protected: victim_outcome(&stats[0]),
+        unprotected: victim_outcome(&stats[1]),
+        solo: victim_outcome(&stats[2]),
+        protected_hog: domain_outcome(&stats[0], &hog_flows, config.hog_rate, config.measure),
+    }
+}
+
+/// Area cost of QOS support on a chip, per the paper's cost argument.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosAreaReport {
+    /// Flow-state table area of one QOS router, mm².
+    pub per_router_mm2: f64,
+    /// Total QOS area if every router of the chip carried flow state, mm².
+    pub chip_wide_mm2: f64,
+    /// Total QOS area with flow state confined to the shared columns, mm².
+    pub column_confined_mm2: f64,
+    /// Fraction of the chip-wide QOS area saved by confinement; equals one
+    /// minus the chip's QOS-router fraction.
+    pub saving_fraction: f64,
+}
+
+/// Computes the QOS area saving of the topology-aware approach for a built
+/// chip fabric, using the 32 nm SRAM parameters of the power model.
+pub fn chip_qos_area(chip: &ChipSpec) -> QosAreaReport {
+    let tech = *AreaModel::nm32().technology();
+    let per_router_mm2 =
+        chip.spec.num_flows() as f64 * tech.flow_entry_bits * tech.sram_mm2_per_bit;
+    let routers = chip.spec.routers.len() as f64;
+    let chip_wide_mm2 = per_router_mm2 * routers;
+    let column_confined_mm2 = per_router_mm2 * chip.qos_router_count() as f64;
+    QosAreaReport {
+        per_router_mm2,
+        chip_wide_mm2,
+        column_confined_mm2,
+        saving_fraction: 1.0 - chip.qos_router_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taqos_topology::chip::ChipConfig;
+
+    // The end-to-end isolation assertions (three full chip simulations) live
+    // in `tests/chip_sim.rs::shared_column_overlay_isolates_domains` — the
+    // experiment is too expensive to run twice per test suite.
+
+    #[test]
+    fn domain_outcome_fractions_and_starvation() {
+        let outcome = DomainOutcome {
+            avg_latency: 0.0,
+            delivered_flits: 0,
+            offered_flits: 100.0,
+        };
+        assert!(outcome.starved());
+        assert_eq!(outcome.delivered_fraction(), 0.0);
+        let healthy = DomainOutcome {
+            avg_latency: 20.0,
+            delivered_flits: 90,
+            offered_flits: 100.0,
+        };
+        assert!(!healthy.starved());
+        assert!((healthy.delivered_fraction() - 0.9).abs() < 1e-12);
+        assert_eq!(slowdown(40.0, 20.0), 2.0);
+        assert_eq!(slowdown(40.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn qos_area_saving_matches_the_router_fraction() {
+        let chip = ChipConfig::paper_8x8().build();
+        let report = chip_qos_area(&chip);
+        assert!(report.per_router_mm2 > 0.0);
+        assert!((report.saving_fraction - 0.875).abs() < 1e-12);
+        assert!(
+            (report.column_confined_mm2 / report.chip_wide_mm2 - 0.125).abs() < 1e-12,
+            "confined area should be 1/8 of chip-wide"
+        );
+    }
+}

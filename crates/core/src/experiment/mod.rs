@@ -12,11 +12,13 @@
 //! | Figure 7 (router energy per hop type)        | [`energy_area`] |
 //! | Ablations beyond the paper (frame length, reserved quota, VCs) | [`ablation`] |
 //! | Differentiated service (SLA weights) beyond the paper | [`differentiated`] |
+//! | Chip-scale isolation & QOS area saving (§2, the headline claim) | [`chip_scale`] |
 //!
 //! The experiment functions are deterministic given their seed and are reused
 //! by the `taqos-bench` binaries that print the paper-style tables.
 
 pub mod ablation;
+pub mod chip_scale;
 pub mod differentiated;
 pub mod energy_area;
 pub mod fairness;
@@ -26,9 +28,11 @@ pub mod preemption;
 /// Runs `f` over `items` in parallel (bounded by the available parallelism)
 /// and returns the results in input order.
 ///
-/// Used to spread independent simulation points (topology × load) over cores;
-/// each point is itself fully deterministic.
-pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+/// Used to spread independent simulation points (topology × load, ablation
+/// variants, isolation scenarios) over cores via `std::thread::scope`; each
+/// point is itself a fully deterministic single-threaded simulation, so the
+/// sharding changes wall-clock time and nothing else.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,

@@ -11,6 +11,9 @@
 //!   single-hop MECS access, convex application/VM domains, inter-domain
 //!   routing through protected columns, and the operating-system services
 //!   (friendly co-scheduling, domain allocation, rate programming);
+//! * [`chip_sim`] — the chip-scale *simulation*: the hybrid 2-D-mesh +
+//!   MECS-express fabric with the QOS overlay confined to the shared
+//!   columns, run on the same cycle engine as the column experiments;
 //! * [`experiment`] — the experiments reproducing every table and figure of
 //!   the paper's evaluation (area, latency/throughput, fairness, preemption
 //!   behaviour, slowdown, energy).
@@ -37,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chip;
+pub mod chip_sim;
 pub mod experiment;
 pub mod shared_region;
 
@@ -45,8 +49,13 @@ pub mod prelude {
     pub use crate::chip::{
         ChipError, Domain, DomainId, Hypervisor, Placement, TopologyAwareChip, VmSpec,
     };
+    pub use crate::chip_sim::{ChipPolicy, ChipSim};
     pub use crate::experiment::ablation::{
         frame_length_sweep, reserved_quota_ablation, vc_count_sweep, QuotaAblation,
+    };
+    pub use crate::experiment::chip_scale::{
+        chip_isolation, chip_qos_area, ChipIsolationConfig, ChipIsolationResult, DomainOutcome,
+        QosAreaReport,
     };
     pub use crate::experiment::differentiated::{sla_experiment, SlaConfig, SlaResult};
     pub use crate::experiment::energy_area::{

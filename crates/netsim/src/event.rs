@@ -15,53 +15,67 @@
 //! reference engine uses as the measurable baseline.
 
 use crate::config::EngineKind;
-use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
+use crate::ids::{Cycle, FlowId, PacketId, VcId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// An event scheduled for a future cycle.
+///
+/// The variants are deliberately narrow: router/sink/source indices are
+/// `u32`, port and target indices `u16`, and fields the event application
+/// never reads (a flit's flow, a router flit's tail flag) are not carried at
+/// all. Head and body flit maturation are separate variants, so the per-flit
+/// payload of a multi-flit packet is a 24-byte copy of a template built once
+/// per transfer (see `Transfer::body_event`) rather than a re-assembled wide
+/// record — the event queue stores millions of these under saturation, and
+/// the wheel-slot traffic is the dominant common cost of both engines.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
-    /// A flit matures at a router input VC.
-    FlitToRouter {
+    /// A head flit matures at a router input VC, claiming it for `packet`.
+    HeadToRouter {
         /// Destination router index.
-        router: usize,
+        router: u32,
         /// Destination input port.
-        in_port: InPortId,
+        in_port: u16,
+        /// Destination VC.
+        vc: VcId,
+        /// Packet length in flits.
+        len: u8,
+        /// Packet the flit belongs to.
+        packet: PacketId,
+    },
+    /// A body (or tail) flit matures at a router input VC.
+    BodyToRouter {
+        /// Destination router index.
+        router: u32,
+        /// Destination input port.
+        in_port: u16,
         /// Destination VC.
         vc: VcId,
         /// Packet the flit belongs to.
         packet: PacketId,
-        /// Flow of the packet.
-        flow: FlowId,
-        /// Packet length in flits.
-        len: u8,
-        /// Whether this is the head flit.
-        is_head: bool,
-        /// Whether this is the tail flit.
-        is_tail: bool,
     },
     /// A flit matures at an ejection sink slot.
     FlitToSink {
         /// Destination sink index.
-        sink: usize,
+        sink: u32,
         /// Destination slot.
         slot: VcId,
-        /// Packet the flit belongs to.
-        packet: PacketId,
         /// Whether this is the head flit.
         is_head: bool,
         /// Whether this is the tail flit.
         is_tail: bool,
+        /// Packet the flit belongs to.
+        packet: PacketId,
     },
     /// A credit (freed VC) returns to an upstream router output port.
     CreditToRouter {
         /// Upstream router index.
-        router: usize,
+        router: u32,
         /// Output port at the upstream router.
-        out_port: usize,
+        out_port: u16,
         /// Target index within the output port.
-        target_idx: usize,
+        target_idx: u16,
         /// Freed VC.
         vc: VcId,
         /// Whether the freed VC was a reserved VC.
@@ -70,14 +84,14 @@ pub enum Event {
     /// A credit (freed injection VC) returns to a source.
     CreditToSource {
         /// Source index.
-        source: usize,
+        source: u32,
         /// Freed injection VC.
         vc: VcId,
     },
     /// Positive acknowledgement: the packet was delivered.
     Ack {
         /// Source index.
-        source: usize,
+        source: u32,
         /// Delivered packet.
         packet: PacketId,
     },
@@ -85,7 +99,7 @@ pub enum Event {
     /// must be retransmitted.
     Nack {
         /// Source index.
-        source: usize,
+        source: u32,
         /// Discarded packet.
         packet: PacketId,
     },
@@ -94,9 +108,9 @@ pub enum Event {
     /// lower-priority resident packet.
     PreemptionProbe {
         /// Router holding the contended input port.
-        router: usize,
+        router: u32,
         /// Contended input port.
-        in_port: InPortId,
+        in_port: u16,
         /// Flow of the blocked (contending) packet.
         contender: FlowId,
     },
@@ -337,9 +351,16 @@ mod tests {
 
     fn ack(source: usize) -> Event {
         Event::Ack {
-            source,
+            source: source as u32,
             packet: PacketId(source as u64),
         }
+    }
+
+    #[test]
+    fn events_are_narrow() {
+        // The queue stores millions of events; regressing the size of the
+        // widest variant is a real throughput regression.
+        assert!(std::mem::size_of::<Event>() <= 24);
     }
 
     #[test]

@@ -321,51 +321,56 @@ impl Network {
 
     fn apply_event(&mut self, event: Event) {
         match event {
-            Event::FlitToRouter {
+            Event::HeadToRouter {
                 router,
                 in_port,
                 vc,
-                packet,
-                flow: _,
                 len,
-                is_head,
-                is_tail: _,
+                packet,
             } => {
+                let router = router as usize;
                 let router_state = &mut self.routers[router];
-                let port = &mut router_state.inputs[in_port.0];
+                let port = &mut router_state.inputs[in_port as usize];
                 if port.vcs.len() <= vc.index() {
                     // VC counts are fully provisioned from the spec at
                     // construction; only ideal per-flow queuing manufactures
                     // VC ids beyond that count.
                     assert!(
                         self.unlimited,
-                        "flit addressed VC {} beyond the {} provisioned at router {router} port {}",
+                        "flit addressed VC {} beyond the {} provisioned at router {router} port {in_port}",
                         vc.index(),
                         port.vcs.len(),
-                        in_port.0
                     );
                     port.vcs.resize_with(vc.index() + 1, || VcState::new(false));
                 }
+                port.vcs[vc.index()].accept_head(packet, len, self.now);
+                port.occupied += 1;
+                port.unrouted += 1;
+                router_state.active_vcs += 1;
+                router_state.unrouted_vcs += 1;
+                self.stats.energy.buffer_writes += 1;
+            }
+            Event::BodyToRouter {
+                router,
+                in_port,
+                vc,
+                packet,
+            } => {
+                // Body flits always follow their head into an already-claimed
+                // (and, under unlimited buffering, already-grown) VC.
+                let port = &mut self.routers[router as usize].inputs[in_port as usize];
                 debug_assert!(vc.index() < port.vcs.len());
-                let state = &mut port.vcs[vc.index()];
-                if is_head {
-                    state.accept_head(packet, len, self.now);
-                    port.occupied += 1;
-                    port.unrouted += 1;
-                    router_state.active_vcs += 1;
-                    router_state.unrouted_vcs += 1;
-                } else {
-                    state.accept_body(packet);
-                }
+                port.vcs[vc.index()].accept_body(packet);
                 self.stats.energy.buffer_writes += 1;
             }
             Event::FlitToSink {
                 sink,
                 slot,
-                packet,
                 is_head,
                 is_tail,
+                packet,
             } => {
+                let sink = sink as usize;
                 if is_head {
                     self.sinks[sink].accept_head(slot, packet);
                 } else {
@@ -382,29 +387,30 @@ impl Network {
                 vc,
                 reserved_vc,
             } => {
-                let router_state = &mut self.routers[router];
-                router_state.outputs[out_port].targets[target_idx].refund(vc, reserved_vc);
-                router_state.mark_output_dirty(out_port);
+                let router_state = &mut self.routers[router as usize];
+                router_state.outputs[out_port as usize].targets[target_idx as usize]
+                    .refund(vc, reserved_vc);
+                router_state.mark_output_dirty(out_port as usize);
             }
             Event::CreditToSource { source, vc } => {
-                self.sources[source].free_vcs.push(vc);
+                self.sources[source as usize].free_vcs.push(vc);
             }
             Event::Ack { source, packet } => {
-                self.sources[source].acknowledge(packet);
+                self.sources[source as usize].acknowledge(packet);
                 self.packets.remove(packet);
             }
             Event::Nack { source, packet } => {
                 if let Some(pkt) = self.packets.get_mut(packet) {
                     pkt.retransmissions += 1;
                 }
-                self.sources[source].retransmit(packet);
+                self.sources[source as usize].retransmit(packet);
             }
             Event::PreemptionProbe {
                 router,
                 in_port,
                 contender,
             } => {
-                self.handle_preemption_probe(router, in_port, contender);
+                self.handle_preemption_probe(router as usize, in_port as usize, contender);
             }
         }
     }
@@ -432,9 +438,9 @@ impl Network {
             self.events.schedule(
                 self.now + self.config.credit_delay,
                 Event::CreditToRouter {
-                    router,
-                    out_port,
-                    target_idx,
+                    router: router as u32,
+                    out_port: out_port as u16,
+                    target_idx: target_idx as u16,
                     vc: slot,
                     reserved_vc: false,
                 },
@@ -445,7 +451,7 @@ impl Network {
         self.events.schedule(
             self.now + self.config.ack_latency(hops),
             Event::Ack {
-                source,
+                source: source as u32,
                 packet: packet_id,
             },
         );
@@ -767,6 +773,23 @@ impl Network {
                     } else {
                         rspec.va_latency + rspec.xt_latency
                     };
+                    // Per-packet flit-maturation template: every non-head
+                    // flit of this transfer schedules a copy of this event.
+                    let body_event = match target.endpoint {
+                        TargetEndpoint::Router { router, in_port } => Event::BodyToRouter {
+                            router: router as u32,
+                            in_port: in_port.0 as u16,
+                            vc: to_vc,
+                            packet: req.packet,
+                        },
+                        TargetEndpoint::Sink { sink } => Event::FlitToSink {
+                            sink: sink as u32,
+                            slot: to_vc,
+                            is_head: false,
+                            is_tail: false,
+                            packet: req.packet,
+                        },
+                    };
                     out_state.granted.push(Transfer {
                         packet: req.packet,
                         flow: req.flow,
@@ -781,6 +804,7 @@ impl Network {
                         launch_start: self.now + Cycle::from(router_latency),
                         wire_delay: target.wire_delay,
                         passthrough: req.passthrough,
+                        body_event,
                     });
                     out_state.rr_cursor = widx + 1;
                     if let Some(mask) = router.granted_mask.as_mut() {
@@ -824,8 +848,8 @@ impl Network {
                             let target = &ospec.targets[req.target_idx as usize];
                             if let TargetEndpoint::Router { router, in_port } = target.endpoint {
                                 probe = Some(Event::PreemptionProbe {
-                                    router,
-                                    in_port,
+                                    router: router as u32,
+                                    in_port: in_port.0 as u16,
                                     contender: req.flow,
                                 });
                             }
@@ -930,35 +954,37 @@ impl Network {
                 }
 
                 let due = now + Cycle::from(transfer.wire_delay);
-                match transfer.endpoint {
+                let event = match transfer.endpoint {
                     TargetEndpoint::Router { router, in_port } => {
-                        self.events.schedule(
-                            due,
-                            Event::FlitToRouter {
-                                router,
-                                in_port,
+                        if is_head {
+                            Event::HeadToRouter {
+                                router: router as u32,
+                                in_port: in_port.0 as u16,
                                 vc: transfer.to_vc,
-                                packet: transfer.packet,
-                                flow: transfer.flow,
                                 len: transfer.len,
-                                is_head,
-                                is_tail,
-                            },
-                        );
+                                packet: transfer.packet,
+                            }
+                        } else {
+                            // Body and tail flits replay the per-packet
+                            // template built at grant time.
+                            transfer.body_event.clone()
+                        }
                     }
                     TargetEndpoint::Sink { sink } => {
-                        self.events.schedule(
-                            due,
+                        if is_head || is_tail {
                             Event::FlitToSink {
-                                sink,
+                                sink: sink as u32,
                                 slot: transfer.to_vc,
-                                packet: transfer.packet,
                                 is_head,
                                 is_tail,
-                            },
-                        );
+                                packet: transfer.packet,
+                            }
+                        } else {
+                            transfer.body_event.clone()
+                        }
                     }
-                }
+                };
+                self.events.schedule(due, event);
 
                 // Transfer complete: free the upstream VC and return its
                 // credit to whoever feeds it.
@@ -989,9 +1015,9 @@ impl Network {
                             self.events.schedule(
                                 now + self.config.credit_delay,
                                 Event::CreditToRouter {
-                                    router: fr,
-                                    out_port: fo,
-                                    target_idx: ft,
+                                    router: fr as u32,
+                                    out_port: fo as u16,
+                                    target_idx: ft as u16,
                                     vc: VcId(from_vc as u16),
                                     reserved_vc: was_reserved_vc,
                                 },
@@ -1001,7 +1027,7 @@ impl Network {
                             self.events.schedule(
                                 now + self.config.credit_delay,
                                 Event::CreditToSource {
-                                    source,
+                                    source: source as u32,
                                     vc: VcId(from_vc as u16),
                                 },
                             );
@@ -1013,7 +1039,7 @@ impl Network {
         }
     }
 
-    fn handle_preemption_probe(&mut self, router: usize, in_port: InPortId, contender: FlowId) {
+    fn handle_preemption_probe(&mut self, router: usize, in_port: usize, contender: FlowId) {
         let node = self.routers[router].node;
         // Victim candidates are gathered into a reusable buffer: under
         // saturation a probe fires for every blocked output every cycle, so
@@ -1025,7 +1051,7 @@ impl Network {
             std::mem::take(&mut self.probe_scratch)
         };
         candidates.clear();
-        for vc in &self.routers[router].inputs[in_port.0].vcs {
+        for vc in &self.routers[router].inputs[in_port].vcs {
             if vc.is_resident_idle() {
                 let pid = vc.packet.expect("resident VC has a packet");
                 if let Some(packet) = self.packets.get(pid) {
@@ -1063,7 +1089,7 @@ impl Network {
             return;
         };
         // Locate and flush the victim VC.
-        let port = &mut self.routers[router].inputs[in_port.0];
+        let port = &mut self.routers[router].inputs[in_port];
         let Some(vc_idx) = port
             .vcs
             .iter()
@@ -1092,7 +1118,7 @@ impl Network {
                 // invalidate that output's cached decision.
                 let bucket = &mut router_state.alloc_buckets[out.0];
                 let pos = bucket
-                    .binary_search_by_key(&(in_port.0 as u16, vc_idx as u16), |r| (r.in_port, r.vc))
+                    .binary_search_by_key(&(in_port as u16, vc_idx as u16), |r| (r.in_port, r.vc))
                     .expect("preempted packet must have a pending request");
                 bucket.remove(pos);
                 if let Some(mask) = router_state.alloc_dirty.as_mut() {
@@ -1124,9 +1150,9 @@ impl Network {
                 self.events.schedule(
                     self.now + self.config.credit_delay,
                     Event::CreditToRouter {
-                        router: fr,
-                        out_port: fo,
-                        target_idx: ft,
+                        router: fr as u32,
+                        out_port: fo as u16,
+                        target_idx: ft as u16,
                         vc: VcId(vc_idx as u16),
                         reserved_vc: was_reserved_vc,
                     },
@@ -1136,7 +1162,7 @@ impl Network {
                 self.events.schedule(
                     self.now + self.config.credit_delay,
                     Event::CreditToSource {
-                        source,
+                        source: source as u32,
                         vc: VcId(vc_idx as u16),
                     },
                 );
@@ -1149,7 +1175,7 @@ impl Network {
         self.events.schedule(
             self.now + self.config.ack_latency(wasted_hops),
             Event::Nack {
-                source,
+                source: source as u32,
                 packet: victim_id,
             },
         );

@@ -1,5 +1,6 @@
 //! Runtime state of router ports, credits, and in-progress transfers.
 
+use crate::event::Event;
 use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
 use crate::spec::{InputPortSpec, OutputPortSpec, TargetEndpoint};
 use crate::vc::VcState;
@@ -191,6 +192,10 @@ pub struct Transfer {
     pub wire_delay: u32,
     /// Whether this transfer bypasses the crossbar (DPS intermediate hop).
     pub passthrough: bool,
+    /// Maturation event template for this packet's non-head flits, built once
+    /// at grant time; each body flit schedules a copy of it instead of
+    /// re-deriving destination fields per flit.
+    pub body_event: Event,
 }
 
 impl Transfer {

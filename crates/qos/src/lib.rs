@@ -11,6 +11,8 @@
 //!   preemption-free baseline when measuring slowdown (Figure 6).
 //! * [`rates`] — per-flow service-rate allocations programmed by the
 //!   operating system / hypervisor.
+//! * [`scoped`] — the node-scoped overlay confining any policy's hardware to
+//!   a set of protected routers (the shared columns of the chip).
 //! * [`fairness`] — max-min fair shares, Jain's index, and deviation
 //!   summaries used to evaluate fairness (Table 2, Figure 6).
 //!
@@ -40,6 +42,7 @@ pub mod fairness;
 pub mod per_flow;
 pub mod pvc;
 pub mod rates;
+pub mod scoped;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -49,6 +52,7 @@ pub mod prelude {
     pub use crate::per_flow::{PerFlowConfig, PerFlowQueuedPolicy};
     pub use crate::pvc::{PvcConfig, PvcPolicy, PvcRouterQos};
     pub use crate::rates::RateAllocation;
+    pub use crate::scoped::ScopedQosPolicy;
     pub use taqos_netsim::qos::{FifoPolicy, QosPolicy, RouterQos};
 }
 

@@ -15,7 +15,10 @@
 //!   average hop counts;
 //! * [`grid`] — chip-level primitives (8x8 concentrated grid, XY
 //!   dimension-order routing, MECS single-hop reachability, convex-region
-//!   checks) used by the chip-level architecture in `taqos-core`.
+//!   checks) used by the chip-level architecture in `taqos-core`;
+//! * [`mesh2d`] — the plain two-dimensional XY mesh;
+//! * [`chip`] — the hybrid chip fabric: the 2-D mesh plus per-row MECS
+//!   express channels into the QOS-protected shared columns.
 //!
 //! ## Example
 //!
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chip;
 pub mod column;
 pub mod geometry;
 pub mod grid;
@@ -45,6 +49,7 @@ pub mod properties;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::chip::{ChipConfig, ChipSpec};
     pub use crate::column::{ColumnConfig, ColumnTopology, TopologyParams};
     pub use crate::geometry::{geometry_from_spec, router_geometry, RouterGeometry};
     pub use crate::grid::{ChipGrid, Coord};

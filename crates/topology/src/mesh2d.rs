@@ -52,6 +52,69 @@ impl Default for Mesh2dConfig {
     }
 }
 
+/// Grid-geometry helpers shared by the plain mesh and the hybrid chip
+/// builder ([`crate::chip`]), so the XY substrate is defined exactly once.
+pub(crate) mod grid_geometry {
+    use super::Direction;
+    use taqos_netsim::NodeId;
+
+    /// The upstream neighbour of `(x, y)` on a `width`×`height` grid whose
+    /// traffic arrives travelling in `dir`, if it exists. Travelling East
+    /// arrives from the western neighbour, etc. Per `Direction`'s
+    /// convention, South travels towards increasing row index.
+    pub(crate) fn upstream(
+        width: usize,
+        height: usize,
+        x: usize,
+        y: usize,
+        dir: Direction,
+    ) -> Option<(usize, usize)> {
+        match dir {
+            Direction::East if x > 0 => Some((x - 1, y)),
+            Direction::West if x + 1 < width => Some((x + 1, y)),
+            Direction::South if y > 0 => Some((x, y - 1)),
+            Direction::North if y + 1 < height => Some((x, y + 1)),
+            _ => None,
+        }
+    }
+
+    /// The downstream neighbour of `(x, y)` reached by sending in `dir`, if
+    /// it exists.
+    pub(crate) fn downstream(
+        width: usize,
+        height: usize,
+        x: usize,
+        y: usize,
+        dir: Direction,
+    ) -> Option<(usize, usize)> {
+        match dir {
+            Direction::East if x + 1 < width => Some((x + 1, y)),
+            Direction::West if x > 0 => Some((x - 1, y)),
+            Direction::South if y + 1 < height => Some((x, y + 1)),
+            Direction::North if y > 0 => Some((x, y - 1)),
+            _ => None,
+        }
+    }
+
+    /// XY dimension-order routing: the direction a packet at `(x, y)` headed
+    /// for `dst` (row-major on a `width`-wide grid) takes next, or `None` if
+    /// it ejects here.
+    pub(crate) fn xy_direction(width: usize, x: usize, y: usize, dst: NodeId) -> Option<Direction> {
+        let (dx, dy) = (dst.index() % width, dst.index() / width);
+        if dx > x {
+            Some(Direction::East)
+        } else if dx < x {
+            Some(Direction::West)
+        } else if dy > y {
+            Some(Direction::South)
+        } else if dy < y {
+            Some(Direction::North)
+        } else {
+            None
+        }
+    }
+}
+
 impl Mesh2dConfig {
     /// The paper's chip-scale grid: an 8×8 mesh.
     pub fn paper_8x8() -> Self {
@@ -84,26 +147,12 @@ impl Mesh2dConfig {
     /// The upstream neighbour whose traffic arrives travelling in `dir`, if
     /// it exists. Travelling East arrives from the western neighbour, etc.
     fn upstream(&self, x: usize, y: usize, dir: Direction) -> Option<(usize, usize)> {
-        match dir {
-            Direction::East if x > 0 => Some((x - 1, y)),
-            Direction::West if x + 1 < self.width => Some((x + 1, y)),
-            // Per `Direction`'s convention, South travels towards increasing
-            // row index.
-            Direction::South if y > 0 => Some((x, y - 1)),
-            Direction::North if y + 1 < self.height => Some((x, y + 1)),
-            _ => None,
-        }
+        grid_geometry::upstream(self.width, self.height, x, y, dir)
     }
 
     /// The downstream neighbour reached by sending in `dir`, if it exists.
     fn downstream(&self, x: usize, y: usize, dir: Direction) -> Option<(usize, usize)> {
-        match dir {
-            Direction::East if x + 1 < self.width => Some((x + 1, y)),
-            Direction::West if x > 0 => Some((x - 1, y)),
-            Direction::South if y + 1 < self.height => Some((x, y + 1)),
-            Direction::North if y > 0 => Some((x, y - 1)),
-            _ => None,
-        }
+        grid_geometry::downstream(self.width, self.height, x, y, dir)
     }
 
     /// Input port index at `(x, y)` receiving traffic travelling in `dir`
@@ -141,18 +190,7 @@ impl Mesh2dConfig {
     /// XY dimension-order routing: the direction a packet at `(x, y)` headed
     /// for `dst` takes next, or `None` if it ejects here.
     fn xy_direction(&self, x: usize, y: usize, dst: NodeId) -> Option<Direction> {
-        let (dx, dy) = self.coords(dst.index());
-        if dx > x {
-            Some(Direction::East)
-        } else if dx < x {
-            Some(Direction::West)
-        } else if dy > y {
-            Some(Direction::South)
-        } else if dy < y {
-            Some(Direction::North)
-        } else {
-            None
-        }
+        grid_geometry::xy_direction(self.width, x, y, dst)
     }
 
     /// Builds the mesh specification.

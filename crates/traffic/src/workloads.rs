@@ -229,6 +229,53 @@ pub fn workload2(
     generators
 }
 
+/// Per-node traffic plan for chip-scale workloads: node `i` either stays
+/// idle (`None`) or streams at the given rate (flits/cycle) to a fixed
+/// destination — e.g. a domain node sending memory requests to its memory
+/// controller in a shared column.
+pub type NodePlan = Vec<Option<(f64, NodeId)>>;
+
+/// Open-loop chip workload from a per-node plan: one generator per node, in
+/// node order (the source order of the chip and mesh topologies).
+pub fn per_node_fixed(plan: &NodePlan, mix: PacketSizeMix, seed: u64) -> GeneratorSet {
+    plan.iter()
+        .enumerate()
+        .map(|(node, entry)| match entry {
+            Some((rate, dst)) => Box::new(SyntheticGenerator::open_loop(
+                *rate,
+                mix,
+                DestinationPattern::Fixed(*dst),
+                seed_for(seed, node),
+            )) as Box<dyn PacketGenerator>,
+            None => Box::new(IdleGenerator) as Box<dyn PacketGenerator>,
+        })
+        .collect()
+}
+
+/// Closed chip workload from a per-node plan: each active node offers
+/// `rate * budget_cycles` flits worth of packets, then stops, so the run has
+/// a completion time.
+pub fn per_node_fixed_budget(
+    plan: &NodePlan,
+    mix: PacketSizeMix,
+    budget_cycles: u64,
+    seed: u64,
+) -> GeneratorSet {
+    plan.iter()
+        .enumerate()
+        .map(|(node, entry)| match entry {
+            Some((rate, dst)) => Box::new(SyntheticGenerator::with_budget(
+                *rate,
+                mix,
+                DestinationPattern::Fixed(*dst),
+                packet_budget(*rate, mix, budget_cycles),
+                seed_for(seed, node),
+            )) as Box<dyn PacketGenerator>,
+            None => Box::new(IdleGenerator) as Box<dyn PacketGenerator>,
+        })
+        .collect()
+}
+
 /// An entirely idle generator set (useful for tests and as a template).
 pub fn idle(config: &ColumnConfig) -> GeneratorSet {
     (0..config.num_flows())
@@ -390,6 +437,26 @@ mod tests {
                 assert_ne!(p.dst, NodeId(node as u16));
             }
         }
+    }
+
+    #[test]
+    fn per_node_plans_activate_exactly_the_planned_nodes() {
+        let plan: NodePlan = vec![Some((1.0, NodeId(9))), None, Some((1.0, NodeId(9))), None];
+        let mut open = per_node_fixed(&plan, PacketSizeMix::requests_only(), 3);
+        assert_eq!(open.len(), 4);
+        let counts = count_active(&mut open, 500);
+        assert!(counts[0] > 0 && counts[2] > 0);
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[3], 0);
+
+        let mut closed = per_node_fixed_budget(&plan, PacketSizeMix::requests_only(), 100, 3);
+        let counts = count_active(&mut closed, 5_000);
+        assert_eq!(counts[0], 100, "budgeted generator stops at its budget");
+        assert!(closed[0].exhausted());
+        assert!(
+            closed[1].exhausted(),
+            "idle generators are always exhausted"
+        );
     }
 
     #[test]

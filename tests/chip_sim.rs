@@ -1,0 +1,240 @@
+//! Cross-crate integration tests of the chip-scale simulation subsystem: the
+//! hybrid 2-D-mesh + MECS-express fabric, the shared-column QOS overlay, and
+//! the `ChipSim` facade.
+//!
+//! Covers the acceptance criteria of the subsystem: engine equivalence
+//! (bit-identical `NetStats` between the optimized and reference engines),
+//! flit conservation on closed chip workloads, the one-MECS-hop reachability
+//! property of the built `NetworkSpec` (seeded ChaCha8 sweep over chip
+//! shapes), and agreement between the architectural model's
+//! `qos_router_fraction` and the fabric's per-router QOS flags.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::BTreeSet;
+use taqos::prelude::*;
+use taqos::traffic::workloads;
+use taqos_netsim::config::EngineKind;
+use taqos_netsim::spec::{OutputKind, TargetEndpoint};
+
+fn paper_chip_sim(engine: EngineKind) -> ChipSim {
+    ChipSim::paper_default().with_sim_config(SimConfig::default().with_engine(engine))
+}
+
+/// A demanding mixed plan: every non-column node streams to its nearest
+/// memory controller hard enough to saturate the column and trigger PVC
+/// preemption at the protected routers.
+fn saturating_plan(sim: &ChipSim, rate: f64) -> workloads::NodePlan {
+    sim.nearest_mc_plan(rate)
+}
+
+fn open_loop_chip_stats(engine: EngineKind, rate: f64, seed: u64) -> NetStats {
+    let sim = paper_chip_sim(engine);
+    // All 56 non-column nodes flood one memory controller, and the reserved
+    // quota is disabled so every buffered packet is fair game: the blocked
+    // column saturates and PVC preempts at the protected routers.
+    let mc = sim.node_id(taqos::topology::grid::Coord::new(4, 7));
+    let plan: workloads::NodePlan = (0..sim.config().num_nodes())
+        .map(|node| {
+            let c = sim.coord(NodeId(node as u16));
+            (!sim.chip().is_shared(c)).then_some((rate, mc))
+        })
+        .collect();
+    let policy = ChipPolicy::ColumnPvc(PvcPolicy::new(
+        PvcConfig {
+            reserved_fraction: 0.0,
+            ..PvcConfig::paper()
+        },
+        RateAllocation::equal(sim.config().num_nodes()),
+    ));
+    sim.run_plan(
+        policy,
+        &plan,
+        OpenLoopConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 1_000,
+        },
+        seed,
+    )
+    .expect("chip open-loop run succeeds")
+}
+
+fn closed_chip_stats(engine: EngineKind, seed: u64) -> NetStats {
+    let sim = paper_chip_sim(engine);
+    let plan = saturating_plan(&sim, 0.10);
+    let generators = workloads::per_node_fixed_budget(&plan, PacketSizeMix::paper(), 1_500, seed);
+    sim.run_closed(sim.default_policy(), generators, Some(1_500), 500_000)
+        .expect("closed chip workload completes")
+}
+
+/// The optimized engine produces statistics identical to the reference
+/// engine on the hybrid chip fabric, with the scoped PVC overlay (and its
+/// preemptions) in play.
+#[test]
+fn chip_open_loop_stats_match_reference_engine() {
+    let optimized = open_loop_chip_stats(EngineKind::Optimized, 0.20, 42);
+    let reference = open_loop_chip_stats(EngineKind::Reference, 0.20, 42);
+    assert_eq!(optimized, reference, "engines diverged on the chip fabric");
+    assert!(optimized.delivered_packets > 0, "chip delivered nothing");
+    assert!(
+        optimized.preemption_events > 0,
+        "saturating the column should exercise preemption at the QOS routers"
+    );
+}
+
+/// Engine equivalence holds through closed chip workloads where NACKs and
+/// retransmissions are exercised, and the same seed is bit-identical across
+/// runs of the optimized engine.
+#[test]
+fn chip_closed_stats_match_reference_engine_and_are_deterministic() {
+    let optimized = closed_chip_stats(EngineKind::Optimized, 7);
+    let reference = closed_chip_stats(EngineKind::Reference, 7);
+    assert_eq!(optimized, reference, "engines diverged on the closed chip");
+    let again = closed_chip_stats(EngineKind::Optimized, 7);
+    assert_eq!(optimized, again, "nondeterminism on the chip fabric");
+    let other_seed = closed_chip_stats(EngineKind::Optimized, 8);
+    assert_ne!(optimized, other_seed, "different seeds should differ");
+}
+
+/// Flit conservation: on a completed closed chip workload every generated
+/// flit is delivered exactly once, per flow and in aggregate, on both
+/// engines.
+#[test]
+fn chip_closed_workloads_conserve_flits() {
+    for engine in [EngineKind::Optimized, EngineKind::Reference] {
+        let stats = closed_chip_stats(engine, 3);
+        assert_eq!(stats.generated_packets, stats.delivered_packets);
+        let generated_flits: u64 = stats.flows.iter().map(|f| f.generated_flits).sum();
+        assert_eq!(
+            stats.delivered_flits, generated_flits,
+            "{engine:?} lost flits"
+        );
+        for (i, flow) in stats.flows.iter().enumerate() {
+            assert_eq!(
+                flow.generated_flits, flow.delivered_flits,
+                "flow {i} lost flits under {engine:?}"
+            );
+        }
+        assert!(stats.completion_cycle.is_some());
+    }
+}
+
+/// One-MECS-hop reachability, as a property over random chip shapes: in
+/// every built `NetworkSpec`, every node outside a shared column reaches
+/// every shared-column destination through a single express (multidrop)
+/// channel that drops off on the node's own row, with wire delay equal to
+/// the row distance — i.e. one network hop into the QOS-protected column.
+#[test]
+fn every_node_reaches_a_shared_column_in_one_mecs_hop() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xC41F_0001);
+    for round in 0..24 {
+        let width = rng.gen_range(2usize..10);
+        let height = rng.gen_range(1usize..9);
+        let num_columns = rng.gen_range(1usize..width.min(3) + 1);
+        let mut shared: BTreeSet<u16> = BTreeSet::new();
+        while shared.len() < num_columns {
+            shared.insert(rng.gen_range(0..width) as u16);
+        }
+        // At least one node must lie outside the shared columns.
+        if shared.len() == width {
+            shared.remove(&(0u16));
+        }
+        let config = ChipConfig::with_size(width, height, shared.clone());
+        let chip = config.build();
+        assert_eq!(
+            chip.qos_router_count(),
+            shared.len() * height,
+            "round {round}: QOS flags must cover exactly the shared columns"
+        );
+
+        for router in &chip.spec.routers {
+            let (x, y) = config.coords(router.node);
+            if config.is_shared_column(x) {
+                continue;
+            }
+            for &c in &shared {
+                for dy in 0..height {
+                    let dst = config.node_at(usize::from(c), dy);
+                    let out = router.route_table[&dst][0];
+                    let port = &router.outputs[out.0];
+                    // The route uses an express channel, not a mesh link.
+                    let OutputKind::Network { channel, .. } = port.kind else {
+                        panic!("round {round}: route to {dst} ejects");
+                    };
+                    assert_eq!(channel, 1, "round {round}: mesh link used for {dst}");
+                    // Its drop-off point for this destination is the column
+                    // router on the sender's own row, one wire away by the
+                    // row distance: a single network hop into the column.
+                    let target = port
+                        .targets
+                        .iter()
+                        .find(|t| t.covers.is_empty() || t.covers.contains(&dst))
+                        .expect("a target covers the destination");
+                    let TargetEndpoint::Router { router: drop, .. } = target.endpoint else {
+                        panic!("round {round}: express target is not a router");
+                    };
+                    assert_eq!(
+                        drop,
+                        config.node_at(usize::from(c), y).index(),
+                        "round {round}: drop-off leaves the sender's row"
+                    );
+                    assert_eq!(
+                        target.wire_delay,
+                        (i64::from(c) - x as i64).unsigned_abs() as u32,
+                        "round {round}: wire delay is not the row distance"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The architectural chip model and the executable fabric agree on the QOS
+/// cost: `TopologyAwareChip::qos_router_fraction` equals the fraction of
+/// routers the spec flags as QOS routers, and the per-router flag count
+/// matches column-count × height.
+#[test]
+fn qos_router_fraction_matches_the_spec_flags() {
+    let sim = ChipSim::paper_default();
+    let spec = sim.build_spec();
+    assert_eq!(
+        sim.chip().qos_router_fraction(),
+        spec.qos_router_fraction(),
+        "architectural model and fabric disagree on the QOS fraction"
+    );
+    let flags = spec.qos_flags();
+    assert_eq!(flags.len(), spec.spec.routers.len());
+    assert_eq!(
+        flags.iter().filter(|&&f| f).count(),
+        sim.chip().shared_columns().len() * usize::from(sim.chip().grid().height)
+    );
+    // And the flagged routers are exactly the ones whose x lies in a shared
+    // column.
+    for (router, flagged) in spec.spec.routers.iter().zip(&flags) {
+        let coord = sim.coord(router.node);
+        assert_eq!(*flagged, sim.chip().is_shared(coord));
+    }
+}
+
+/// The isolation acceptance criterion end-to-end: with the overlay a hog
+/// domain cannot degrade another domain's memory traffic beyond its fair
+/// share, while the same workload without the overlay shows interference.
+#[test]
+fn shared_column_overlay_isolates_domains() {
+    let result = chip_isolation(&ChipIsolationConfig::quick());
+    // The protected victim meets its demand at a latency within a small
+    // multiple of the interference-free baseline.
+    assert!(result.solo.avg_latency > 0.0);
+    assert!(result.protected.delivered_fraction() > 0.8);
+    assert!(result.protected_slowdown() < 4.0);
+    // Without QOS the hog visibly degrades (here: outright starves) the
+    // victim.
+    assert!(
+        result.unprotected.starved()
+            || result.unprotected_slowdown() > 2.0 * result.protected_slowdown()
+            || result.unprotected.delivered_fraction()
+                < 0.5 * result.protected.delivered_fraction(),
+        "no interference without the overlay"
+    );
+}
