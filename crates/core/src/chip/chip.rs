@@ -167,6 +167,38 @@ impl TopologyAwareChip {
         Ok(route)
     }
 
+    /// Route of a memory reply from the shared resource at `mc` back to the
+    /// requester at `to`: down the QOS-protected column to the requester's
+    /// row, then out along that row over the mesh. The reply mirrors
+    /// [`Self::memory_access_route`] — every direction change happens inside
+    /// the protected column, so replies never turn at an unprotected
+    /// third-party router. Unlike the request's single MECS express hop, the
+    /// return row segment is expanded hop by hop (mesh links).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is outside the grid or `mc` is not
+    /// in a shared column.
+    pub fn memory_reply_route(&self, mc: Coord, to: Coord) -> Result<Vec<Coord>, ChipError> {
+        if !self.grid.contains(mc) {
+            return Err(ChipError::OutsideGrid(mc));
+        }
+        if !self.grid.contains(to) {
+            return Err(ChipError::OutsideGrid(to));
+        }
+        if !self.is_shared(mc) {
+            return Err(ChipError::NotASharedResource(mc));
+        }
+        let exit = Coord::new(mc.x, to.y);
+        let mut route = self.grid.xy_route(mc, exit);
+        if to != exit {
+            let mut row = self.grid.xy_route(exit, to);
+            row.remove(0);
+            route.extend(row);
+        }
+        Ok(route)
+    }
+
     /// Route of an inter-domain (inter-VM) transfer: such traffic must
     /// transit through a shared column so that it never turns inside an
     /// unprotected third-party node. The route uses the source's row to reach
@@ -364,6 +396,41 @@ mod tests {
         for c in &route[1..] {
             assert!(chip.is_shared(*c));
         }
+    }
+
+    #[test]
+    fn memory_replies_leave_the_column_on_the_requesters_row() {
+        let chip = TopologyAwareChip::paper_default();
+        let route = chip
+            .memory_reply_route(Coord::new(4, 6), Coord::new(1, 2))
+            .unwrap();
+        assert_eq!(route.first(), Some(&Coord::new(4, 6)));
+        assert_eq!(route.last(), Some(&Coord::new(1, 2)));
+        // The reply stays inside the column until it reaches the requester's
+        // row, then travels only along that row.
+        let exit_idx = route
+            .iter()
+            .position(|&c| c == Coord::new(4, 2))
+            .expect("reply passes the exit point");
+        for c in &route[..=exit_idx] {
+            assert!(chip.is_shared(*c), "{c} should be in the column");
+        }
+        for c in &route[exit_idx..] {
+            assert_eq!(c.y, 2, "{c} should stay on the requester's row");
+        }
+        // Hop-by-hop expansion: consecutive cells are grid neighbours.
+        for w in route.windows(2) {
+            assert_eq!(w[0].manhattan(w[1]), 1);
+        }
+        // A reply to a node in the column never leaves it.
+        let inner = chip
+            .memory_reply_route(Coord::new(4, 6), Coord::new(4, 0))
+            .unwrap();
+        assert!(inner.iter().all(|&c| chip.is_shared(c)));
+        // Replies only originate at shared resources.
+        assert!(chip
+            .memory_reply_route(Coord::new(3, 6), Coord::new(1, 2))
+            .is_err());
     }
 
     #[test]

@@ -12,13 +12,23 @@
 //! injector), and [`ChipSim::domain_flows`] maps an allocated domain to the
 //! flows its nodes inject on, so per-domain latency and throughput fall
 //! directly out of the per-flow statistics. Memory traffic follows exactly
-//! the route [`TopologyAwareChip::memory_access_route`] prescribes — one
-//! MECS express hop along the source's own row into the shared column, then
-//! the QOS-protected column to the memory controller — because the fabric's
-//! routing tables are generated from the same topology-aware rule.
+//! the routes the architectural model prescribes in both directions —
+//! requests take [`TopologyAwareChip::memory_access_route`] (one MECS
+//! express hop along the source's own row into the shared column, then the
+//! QOS-protected column to the memory controller), replies take
+//! [`TopologyAwareChip::memory_reply_route`] (down the column to the
+//! requester's row, then the mesh back out) — because the fabric's routing
+//! tables are generated from the same topology-aware rules.
+//!
+//! Memory traffic can run **closed-loop**: [`ChipSim::run_closed_loop`]
+//! gives every requester node an MLP window (outstanding-miss budget), the
+//! controllers answer each delivered request with a cache-line reply, and
+//! per-domain round-trip latency and accepted request throughput fall out of
+//! the round-trip statistics.
 
 use crate::chip::{ChipError, DomainId, TopologyAwareChip};
 use std::collections::BTreeSet;
+use taqos_netsim::closed_loop::ClosedLoopSpec;
 use taqos_netsim::error::SimError;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::{FifoPolicy, QosPolicy};
@@ -30,7 +40,7 @@ use taqos_qos::scoped::ScopedQosPolicy;
 use taqos_topology::chip::{ChipConfig, ChipSpec};
 use taqos_topology::grid::Coord;
 use taqos_traffic::injection::PacketSizeMix;
-use taqos_traffic::workloads::{self, GeneratorSet, NodePlan};
+use taqos_traffic::workloads::{self, GeneratorSet, MlpPlan, NodePlan};
 
 /// QOS configuration of a chip simulation.
 #[derive(Debug, Clone)]
@@ -71,6 +81,25 @@ impl ChipSim {
     /// column in the middle of the die.
     pub fn paper_default() -> Self {
         ChipSim::new(TopologyAwareChip::paper_default())
+    }
+
+    /// A chip of the given dimensions with `columns` shared-resource columns
+    /// spread evenly across the die (the multi-column scaling configuration
+    /// of larger chips, e.g. 16×16 with 2–4 columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is zero or exceeds the width.
+    pub fn multi_column(width: u16, height: u16, columns: usize) -> Self {
+        assert!(
+            columns >= 1 && columns <= usize::from(width),
+            "need between 1 and {width} shared columns"
+        );
+        let shared: BTreeSet<u16> = (0..columns)
+            .map(|i| ((2 * i + 1) * usize::from(width) / (2 * columns)) as u16)
+            .collect();
+        let grid = taqos_topology::grid::ChipGrid::new(width, height, 4);
+        ChipSim::new(TopologyAwareChip::new(grid, shared).expect("evenly spaced columns are valid"))
     }
 
     /// Uses custom fabric provisioning (the grid dimensions and shared
@@ -200,6 +229,50 @@ impl ChipSim {
             .collect()
     }
 
+    /// Closed-loop memory-hotspot plan: every node of each listed domain runs
+    /// an MLP-limited request/reply loop against the memory controller at
+    /// `mc` with the domain's outstanding-miss budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `mc` is not a shared-column terminal or a domain
+    /// does not exist.
+    pub fn memory_mlp_plan(
+        &self,
+        demands: &[(DomainId, usize)],
+        mc: Coord,
+    ) -> Result<MlpPlan, ChipError> {
+        if !self.chip.is_shared(mc) {
+            return Err(ChipError::NotASharedResource(mc));
+        }
+        let mc_node = self.node_id(mc);
+        let mut plan: MlpPlan = vec![None; self.config.num_nodes()];
+        for &(id, mlp) in demands {
+            let domain = self.chip.domain(id).ok_or(ChipError::UnknownDomain(id))?;
+            for &c in &domain.nodes {
+                plan[self.node_id(c).index()] = Some((mlp, mc_node));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Closed-loop nearest-controller plan: every node outside the shared
+    /// columns runs an MLP-limited loop against the controller on its own
+    /// row of the nearest shared column (requests over the MECS express
+    /// channels, replies down the column and back over the mesh).
+    pub fn nearest_mc_mlp_plan(&self, mlp: usize) -> MlpPlan {
+        (0..self.config.num_nodes())
+            .map(|node| {
+                let c = self.coord(NodeId(node as u16));
+                if self.chip.is_shared(c) {
+                    None
+                } else {
+                    Some((mlp, self.memory_controller_for(c)))
+                }
+            })
+            .collect()
+    }
+
     /// Builds a [`Network`] with the given QOS configuration and one
     /// generator per node (in node order).
     ///
@@ -239,7 +312,9 @@ impl ChipSim {
     }
 
     /// Builds and runs a closed (fixed) workload to completion, measuring
-    /// per-flow throughput during the first `measure_window` cycles.
+    /// per-flow throughput and latency over `[warmup, warmup + window)` when
+    /// a measurement window is given — the same convention as the open-loop
+    /// driver, so closed measurements can exclude the cold-start transient.
     ///
     /// # Errors
     ///
@@ -249,15 +324,52 @@ impl ChipSim {
         &self,
         policy: ChipPolicy,
         generators: GeneratorSet,
+        warmup: Cycle,
         measure_window: Option<Cycle>,
         max_cycles: Cycle,
     ) -> Result<NetStats, SimError> {
         let mut network = self.build(policy, generators)?;
         if let Some(window) = measure_window {
-            network.stats_mut().measure_start = Some(0);
-            network.stats_mut().measure_end = Some(window);
+            network.stats_mut().measure_start = Some(warmup);
+            network.stats_mut().measure_end = Some(warmup + window);
         }
         run_closed(network, max_cycles)
+    }
+
+    /// Builds a [`Network`] with idle generators and the given closed-loop
+    /// configuration installed: every packet of the run is produced by the
+    /// MLP request loops and the controllers' reply ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build`] and closed-loop
+    /// validation errors.
+    pub fn build_closed_loop(
+        &self,
+        policy: ChipPolicy,
+        spec: ClosedLoopSpec,
+    ) -> Result<Network, SimError> {
+        self.build(policy, workloads::idle_terminals(self.config.num_nodes()))?
+            .with_closed_loop(spec)
+    }
+
+    /// Builds and runs a closed-loop request/reply experiment from an
+    /// [`MlpPlan`] with the paper's packet mix, using the open-loop phases
+    /// (warm-up, measurement window, drain). The returned statistics carry
+    /// per-flow round-trip latency and completed-round-trip throughput; map
+    /// flows to domains with [`Self::domain_flows`] for per-domain figures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build_closed_loop`].
+    pub fn run_closed_loop(
+        &self,
+        policy: ChipPolicy,
+        plan: &MlpPlan,
+        config: OpenLoopConfig,
+    ) -> Result<NetStats, SimError> {
+        let network = self.build_closed_loop(policy, workloads::mlp_closed_loop(plan))?;
+        Ok(run_open_loop(network, config))
     }
 
     /// Convenience: open-loop run of a [`NodePlan`] with the paper's packet
@@ -370,6 +482,77 @@ mod tests {
             .expect("chip run succeeds");
         assert!(stats.delivered_packets > 0);
         assert!(stats.avg_latency() > 0.0);
+    }
+
+    #[test]
+    fn closed_loop_chip_run_completes_round_trips() {
+        let sim = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        let plan = sim.nearest_mc_mlp_plan(2);
+        assert_eq!(plan.iter().filter(|e| e.is_some()).count(), 12);
+        let stats = sim
+            .run_closed_loop(
+                sim.default_policy(),
+                &plan,
+                OpenLoopConfig {
+                    warmup: 500,
+                    measure: 2_000,
+                    drain: 500,
+                },
+            )
+            .expect("closed-loop chip run succeeds");
+        assert!(stats.round_trips > 0, "no round trips completed");
+        let rt = stats.avg_round_trip().expect("round trips measured");
+        // A round trip spans both directions, so it exceeds the one-way
+        // request latency.
+        assert!(rt > stats.avg_latency());
+        assert!(stats.round_trip_throughput() > 0.0);
+        // Requests issued and round trips completed only at requester flows.
+        for (node, entry) in plan.iter().enumerate() {
+            let fs = &stats.flows[node];
+            if entry.is_some() {
+                assert!(fs.issued_requests > 0, "node {node} issued nothing");
+            } else {
+                assert_eq!(fs.issued_requests, 0);
+                assert_eq!(fs.round_trips, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_plans_cover_domains_and_validate_controllers() {
+        let mut sim = ChipSim::paper_default();
+        let id = sim.chip_mut().allocate_rectangle("vm", 2, 2, 1).unwrap();
+        let plan = sim.memory_mlp_plan(&[(id, 8)], Coord::new(4, 7)).unwrap();
+        assert_eq!(plan.iter().filter(|e| e.is_some()).count(), 4);
+        for entry in plan.iter().flatten() {
+            assert_eq!(entry.0, 8);
+            assert_eq!(entry.1, sim.node_id(Coord::new(4, 7)));
+        }
+        assert!(sim.memory_mlp_plan(&[(id, 8)], Coord::new(3, 7)).is_err());
+        assert!(sim
+            .memory_mlp_plan(&[(DomainId(99), 8)], Coord::new(4, 7))
+            .is_err());
+    }
+
+    #[test]
+    fn closed_measurement_window_starts_at_the_warmup_offset() {
+        let sim = ChipSim::paper_default();
+        let plan = sim.nearest_mc_plan(0.05);
+        let generators = workloads::per_node_fixed_budget(&plan, PacketSizeMix::paper(), 400, 11);
+        let stats = sim
+            .run_closed(sim.default_policy(), generators, 300, Some(1_000), 200_000)
+            .expect("closed run completes");
+        assert_eq!(stats.measure_start, Some(300));
+        assert_eq!(stats.measure_end, Some(1_300));
+        // Deliveries before the offset are excluded from the window.
+        let measured: u64 = stats
+            .flows
+            .iter()
+            .map(|f| f.measured_delivered_packets)
+            .sum();
+        assert!(measured < stats.delivered_packets);
     }
 
     #[test]

@@ -120,7 +120,13 @@ pub fn reserved_quota_ablation(
             budget_cycles,
             seed,
         );
-        let stats = sim.run_closed(Box::new(policy), generators, Some(budget_cycles), 2_000_000)?;
+        let stats = sim.run_closed(
+            Box::new(policy),
+            generators,
+            0,
+            Some(budget_cycles),
+            2_000_000,
+        )?;
         Ok((
             stats.preempted_packet_fraction(),
             stats.completion_cycle.unwrap_or(stats.cycles),

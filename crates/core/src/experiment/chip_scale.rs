@@ -1,20 +1,29 @@
-//! Chip-scale experiments: performance isolation on the full hybrid fabric
-//! and the area cost of confining QOS to the shared columns.
+//! Chip-scale experiments: closed-loop performance isolation on the full
+//! hybrid fabric, multi-column scaling, and the area cost of confining QOS
+//! to the shared columns.
 //!
 //! This is the headline claim of the paper run end-to-end on the cycle
-//! engine: a 256-tile CMP where a hog domain floods a memory controller
-//! while a well-behaved victim domain issues modest memory traffic.
+//! engine as a **closed-loop request/reply workload**: a 256-tile CMP where
+//! a hog domain with a deep memory-level-parallelism window saturates a
+//! memory controller while a well-behaved victim domain issues memory
+//! traffic through a shallow window. Requests take the MECS express hop into
+//! the QOS column, replies return down the column and out over the mesh, and
+//! every node's injection rate is self-limited by its outstanding-miss
+//! budget — the paper's shared-resource scenario rather than an open-loop
+//! approximation.
 //!
 //! * With the **shared-column QOS overlay** (PVC confined to the column
-//!   routers), the victim's memory latency and throughput stay close to its
-//!   solo (interference-free) baseline — the hog cannot push the victim
-//!   beyond its fair share.
+//!   routers and the controllers' reply ports), the victim's round-trip
+//!   latency stays close to its solo (interference-free) baseline — the hog
+//!   cannot push the victim beyond its fair share.
 //! * On the **same fabric without the overlay** the classic parking-lot
-//!   effect appears: the hog's nodes enter the column closer to the
-//!   controller and starve the victim's upstream traffic.
+//!   effect appears on both legs of the round trip: the hog's requests merge
+//!   closer to the controller and its replies monopolise the controller's
+//!   reply port, multiplying the victim's round-trip latency.
 //!
 //! The three scenarios are independent simulations and run across threads
-//! via [`crate::experiment::parallel_map`].
+//! via [`crate::experiment::parallel_map`], as does the
+//! [`multi_column_scaling`] sweep (16×16 chips with 1–4 shared columns).
 //!
 //! [`chip_qos_area`] quantifies the cost side of the argument with the
 //! `taqos-power` area model: flow-state tables are only provisioned at
@@ -31,34 +40,31 @@ use taqos_power::area::AreaModel;
 use taqos_topology::chip::ChipSpec;
 use taqos_topology::grid::Coord;
 
-/// Configuration of the chip-scale isolation experiment.
+/// Configuration of the closed-loop chip-scale isolation experiment.
 #[derive(Debug, Clone)]
 pub struct ChipIsolationConfig {
-    /// Memory request rate of each victim node, flits/cycle (well below the
-    /// victim's fair share of the contended controller).
-    pub victim_rate: f64,
-    /// Memory request rate of each hog node, flits/cycle (collectively far
-    /// above the controller's capacity).
-    pub hog_rate: f64,
+    /// MLP window of each victim node: a well-behaved domain with few
+    /// outstanding misses.
+    pub victim_mlp: usize,
+    /// MLP window of each hog node: a memory-bound domain that keeps the
+    /// controller saturated.
+    pub hog_mlp: usize,
     /// Warm-up cycles.
     pub warmup: Cycle,
     /// Measurement window in cycles.
     pub measure: Cycle,
     /// Drain cycles after the window.
     pub drain: Cycle,
-    /// Random seed.
-    pub seed: u64,
 }
 
 impl Default for ChipIsolationConfig {
     fn default() -> Self {
         ChipIsolationConfig {
-            victim_rate: 0.02,
-            hog_rate: 0.30,
+            victim_mlp: 2,
+            hog_mlp: 16,
             warmup: 5_000,
             measure: 30_000,
             drain: 5_000,
-            seed: 0xC41,
         }
     }
 }
@@ -68,41 +74,34 @@ impl ChipIsolationConfig {
     pub fn quick() -> Self {
         ChipIsolationConfig {
             warmup: 1_000,
-            measure: 10_000,
-            drain: 2_000,
+            measure: 8_000,
+            drain: 1_000,
             ..Self::default()
         }
     }
 }
 
-/// Measured behaviour of one domain in one scenario.
+/// Measured closed-loop behaviour of one domain in one scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DomainOutcome {
-    /// Average memory-access latency of the domain's flows, cycles; `0.0`
-    /// when not a single packet born in the window completed (check
-    /// [`Self::starved`] — under the unprotected fabric the hog can starve
-    /// the victim outright).
-    pub avg_latency: f64,
-    /// Flits delivered for the domain during the measurement window.
-    pub delivered_flits: u64,
-    /// Flits the domain offered during the window (demand).
-    pub offered_flits: f64,
+    /// Average round-trip latency (request issue to reply delivery) of the
+    /// domain's flows, in cycles. `None` when not a single request issued in
+    /// the window completed — the starved outcome. Latency ratios must treat
+    /// `None` explicitly instead of dividing by a phantom `0.0`.
+    pub avg_round_trip: Option<f64>,
+    /// Round trips completed during the measurement window.
+    pub round_trips: u64,
+    /// Requests issued over the whole run.
+    pub issued_requests: u64,
+    /// Completed round trips per cycle over the measurement window.
+    pub throughput: f64,
 }
 
 impl DomainOutcome {
-    /// Delivered fraction of the offered traffic (1.0 = demand fully met).
-    pub fn delivered_fraction(&self) -> f64 {
-        if self.offered_flits <= 0.0 {
-            0.0
-        } else {
-            self.delivered_flits as f64 / self.offered_flits
-        }
-    }
-
-    /// Whether the domain offered traffic but delivered nothing measurable —
-    /// the extreme interference outcome.
+    /// Whether the domain completed nothing measurable — the extreme
+    /// interference outcome of a closed loop whose windows never drain.
     pub fn starved(&self) -> bool {
-        self.offered_flits > 0.0 && self.delivered_flits == 0
+        self.round_trips == 0
     }
 }
 
@@ -122,43 +121,48 @@ pub struct ChipIsolationResult {
 }
 
 impl ChipIsolationResult {
-    /// Victim slowdown versus its solo baseline with the overlay in place.
-    pub fn protected_slowdown(&self) -> f64 {
-        slowdown(self.protected.avg_latency, self.solo.avg_latency)
+    /// Victim round-trip slowdown versus its solo baseline with the overlay
+    /// in place; `None` when either side starved (no meaningful ratio).
+    pub fn protected_slowdown(&self) -> Option<f64> {
+        slowdown(&self.protected, &self.solo)
     }
 
-    /// Victim slowdown versus its solo baseline without the overlay.
-    pub fn unprotected_slowdown(&self) -> f64 {
-        slowdown(self.unprotected.avg_latency, self.solo.avg_latency)
-    }
-}
-
-fn slowdown(latency: f64, baseline: f64) -> f64 {
-    if baseline <= 0.0 {
-        0.0
-    } else {
-        latency / baseline
+    /// Victim round-trip slowdown versus its solo baseline without the
+    /// overlay; `None` when either side starved.
+    pub fn unprotected_slowdown(&self) -> Option<f64> {
+        slowdown(&self.unprotected, &self.solo)
     }
 }
 
-fn domain_outcome(stats: &NetStats, flows: &[FlowId], rate: f64, measure: Cycle) -> DomainOutcome {
-    let mut latency_sum = 0u64;
-    let mut latency_samples = 0u64;
-    let mut delivered = 0u64;
+/// Latency ratio of `outcome` over `baseline`, or `None` when either side
+/// has no completed round trips — a starved flow must surface as "starved",
+/// never as an `inf`/`NaN` ratio.
+fn slowdown(outcome: &DomainOutcome, baseline: &DomainOutcome) -> Option<f64> {
+    match (outcome.avg_round_trip, baseline.avg_round_trip) {
+        (Some(latency), Some(base)) if base > 0.0 => Some(latency / base),
+        _ => None,
+    }
+}
+
+/// Folds the per-flow round-trip counters of a domain's flows into one
+/// outcome.
+fn domain_outcome(stats: &NetStats, flows: &[FlowId], measure: Cycle) -> DomainOutcome {
+    let mut rt_sum = 0u64;
+    let mut rt_samples = 0u64;
+    let mut completed = 0u64;
+    let mut issued = 0u64;
     for flow in flows {
         let fs = &stats.flows[flow.index()];
-        latency_sum += fs.latency_sum;
-        latency_samples += fs.latency_samples;
-        delivered += fs.measured_delivered_flits;
+        rt_sum += fs.rt_latency_sum;
+        rt_samples += fs.rt_samples;
+        completed += fs.measured_round_trips;
+        issued += fs.issued_requests;
     }
     DomainOutcome {
-        avg_latency: if latency_samples == 0 {
-            0.0
-        } else {
-            latency_sum as f64 / latency_samples as f64
-        },
-        delivered_flits: delivered,
-        offered_flits: rate * flows.len() as f64 * measure as f64,
+        avg_round_trip: (rt_samples > 0).then(|| rt_sum as f64 / rt_samples as f64),
+        round_trips: completed,
+        issued_requests: issued,
+        throughput: completed as f64 / measure.max(1) as f64,
     }
 }
 
@@ -174,10 +178,10 @@ enum Scenario {
 /// domain seated close to the contended memory controller.
 ///
 /// The victim occupies the north-west 2×2 corner (rows 0–1), the hog a 4×4
-/// block on rows 2–5, and both stream to the memory controller at the
-/// *south* end of the shared column — so the hog's traffic enters the column
-/// downstream of the victim's, the adversarial placement for round-robin
-/// arbitration.
+/// block on rows 2–5, and both loop against the memory controller at the
+/// *south* end of the shared column — so the hog's requests enter the column
+/// downstream of the victim's and its replies leave the controller first,
+/// the adversarial placement for round-robin arbitration on both legs.
 fn isolation_chip() -> (ChipSim, crate::chip::DomainId, crate::chip::DomainId, Coord) {
     let mut sim = ChipSim::paper_default();
     let grid = *sim.chip().grid();
@@ -193,8 +197,9 @@ fn isolation_chip() -> (ChipSim, crate::chip::DomainId, crate::chip::DomainId, C
     (sim, victim, hog, mc)
 }
 
-/// Runs the chip-scale isolation experiment (the three scenarios run in
-/// parallel across threads; each simulation is deterministic).
+/// Runs the closed-loop chip-scale isolation experiment (the three scenarios
+/// run in parallel across threads; each simulation is deterministic — the
+/// closed loop consumes no randomness at all).
 pub fn chip_isolation(config: &ChipIsolationConfig) -> ChipIsolationResult {
     let (sim, victim, hog, mc) = isolation_chip();
     let victim_flows = sim.domain_flows(victim).expect("victim exists");
@@ -208,28 +213,117 @@ pub fn chip_isolation(config: &ChipIsolationConfig) -> ChipIsolationResult {
     let scenarios = vec![Scenario::Protected, Scenario::Unprotected, Scenario::Solo];
     let stats = parallel_map(scenarios, |scenario| {
         let demands = match scenario {
-            Scenario::Solo => vec![(victim, config.victim_rate)],
-            _ => vec![(victim, config.victim_rate), (hog, config.hog_rate)],
+            Scenario::Solo => vec![(victim, config.victim_mlp)],
+            _ => vec![(victim, config.victim_mlp), (hog, config.hog_mlp)],
         };
         let plan = sim
-            .memory_hotspot_plan(&demands, mc)
+            .memory_mlp_plan(&demands, mc)
             .expect("mc is a shared terminal");
         let policy = match scenario {
             Scenario::Unprotected => ChipPolicy::NoQos,
             _ => sim.default_policy(),
         };
-        sim.run_plan(policy, &plan, open_loop, config.seed)
+        sim.run_closed_loop(policy, &plan, open_loop)
             .expect("chip isolation scenario runs")
     });
 
-    let victim_outcome =
-        |s: &NetStats| domain_outcome(s, &victim_flows, config.victim_rate, config.measure);
+    let victim_outcome = |s: &NetStats| domain_outcome(s, &victim_flows, config.measure);
     ChipIsolationResult {
         protected: victim_outcome(&stats[0]),
         unprotected: victim_outcome(&stats[1]),
         solo: victim_outcome(&stats[2]),
-        protected_hog: domain_outcome(&stats[0], &hog_flows, config.hog_rate, config.measure),
+        protected_hog: domain_outcome(&stats[0], &hog_flows, config.measure),
     }
+}
+
+/// Configuration of the multi-column scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ColumnScalingConfig {
+    /// Chip width in nodes.
+    pub width: u16,
+    /// Chip height in nodes.
+    pub height: u16,
+    /// Shared-column counts to sweep.
+    pub columns: Vec<usize>,
+    /// MLP window of every requester node.
+    pub mlp: usize,
+    /// Warm-up cycles.
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Drain cycles after the window.
+    pub drain: Cycle,
+}
+
+impl Default for ColumnScalingConfig {
+    fn default() -> Self {
+        ColumnScalingConfig {
+            width: 16,
+            height: 16,
+            columns: vec![1, 2, 4],
+            mlp: 4,
+            warmup: 2_000,
+            measure: 20_000,
+            drain: 2_000,
+        }
+    }
+}
+
+impl ColumnScalingConfig {
+    /// A shorter configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        ColumnScalingConfig {
+            warmup: 500,
+            measure: 4_000,
+            drain: 500,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of the multi-column scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnScalingPoint {
+    /// Number of shared columns.
+    pub columns: usize,
+    /// Requester nodes (nodes outside the shared columns).
+    pub requesters: usize,
+    /// Round trips completed during the measurement window.
+    pub round_trips: u64,
+    /// Completed round trips per cycle over the window.
+    pub throughput: f64,
+    /// Average round-trip latency in cycles; `None` when nothing completed.
+    pub avg_round_trip: Option<f64>,
+}
+
+/// Sweeps the shared-column count on a larger chip under the closed-loop
+/// nearest-controller workload: more columns mean more memory-controller
+/// ports and shorter express hops, so accepted request throughput grows with
+/// the column count (the ROADMAP's multi-column scaling study).
+pub fn multi_column_scaling(config: &ColumnScalingConfig) -> Vec<ColumnScalingPoint> {
+    let open_loop = OpenLoopConfig {
+        warmup: config.warmup,
+        measure: config.measure,
+        drain: config.drain,
+    };
+    let points = config.columns.clone();
+    let (width, height, mlp) = (config.width, config.height, config.mlp);
+    parallel_map(points, move |columns| {
+        let sim = ChipSim::multi_column(width, height, columns);
+        let plan = sim.nearest_mc_mlp_plan(mlp);
+        let requesters = plan.iter().filter(|e| e.is_some()).count();
+        let stats = sim
+            .run_closed_loop(sim.default_policy(), &plan, open_loop)
+            .expect("scaling point runs");
+        let measured: u64 = stats.flows.iter().map(|f| f.measured_round_trips).sum();
+        ColumnScalingPoint {
+            columns,
+            requesters,
+            round_trips: measured,
+            throughput: stats.round_trip_throughput(),
+            avg_round_trip: stats.avg_round_trip(),
+        }
+    })
 }
 
 /// Area cost of QOS support on a chip, per the paper's cost argument.
@@ -273,23 +367,40 @@ mod tests {
     // experiment is too expensive to run twice per test suite.
 
     #[test]
-    fn domain_outcome_fractions_and_starvation() {
-        let outcome = DomainOutcome {
-            avg_latency: 0.0,
-            delivered_flits: 0,
-            offered_flits: 100.0,
-        };
-        assert!(outcome.starved());
-        assert_eq!(outcome.delivered_fraction(), 0.0);
-        let healthy = DomainOutcome {
-            avg_latency: 20.0,
-            delivered_flits: 90,
-            offered_flits: 100.0,
-        };
+    fn starved_domains_produce_no_ratio_instead_of_inf() {
+        // Regression for the division-by-phantom-zero bug: a fully starved
+        // flow set (zero samples) must surface as `starved()` with no
+        // slowdown, not as an `inf`/`NaN` latency ratio.
+        let mut stats = NetStats::new(4);
+        stats.measure_start = Some(0);
+        stats.measure_end = Some(100);
+        // Flows 0 and 1 starve outright; flows 2 and 3 complete round trips.
+        for flow in [2u16, 3] {
+            stats.record_request_issued(FlowId(flow));
+            stats.record_round_trip(FlowId(flow), 10, 40);
+        }
+        let starved = domain_outcome(&stats, &[FlowId(0), FlowId(1)], 100);
+        assert!(starved.starved());
+        assert_eq!(starved.avg_round_trip, None);
+        assert_eq!(starved.throughput, 0.0);
+        let healthy = domain_outcome(&stats, &[FlowId(2), FlowId(3)], 100);
         assert!(!healthy.starved());
-        assert!((healthy.delivered_fraction() - 0.9).abs() < 1e-12);
-        assert_eq!(slowdown(40.0, 20.0), 2.0);
-        assert_eq!(slowdown(40.0, 0.0), 0.0);
+        assert_eq!(healthy.avg_round_trip, Some(30.0));
+
+        // Every ratio involving a starved side is refused.
+        assert_eq!(slowdown(&starved, &healthy), None);
+        assert_eq!(slowdown(&healthy, &starved), None);
+        let ratio = slowdown(&healthy, &healthy).expect("healthy ratio exists");
+        assert!((ratio - 1.0).abs() < 1e-12 && ratio.is_finite());
+
+        let result = ChipIsolationResult {
+            protected: healthy,
+            unprotected: starved,
+            solo: healthy,
+            protected_hog: healthy,
+        };
+        assert_eq!(result.unprotected_slowdown(), None);
+        assert!(result.protected_slowdown().unwrap().is_finite());
     }
 
     #[test]

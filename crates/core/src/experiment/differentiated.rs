@@ -70,11 +70,21 @@ impl SlaConfig {
 
     /// Per-flow rate allocation implied by the node weights (every injector
     /// of a node shares the node's weight equally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count does not match the column or a weight is
+    /// zero — a zero service weight would make the share-error ratio
+    /// (`(actual - expected) / expected`) divide by zero downstream.
     pub fn rate_allocation(&self) -> RateAllocation {
         assert_eq!(
             self.node_weights.len(),
             self.column.nodes,
             "one weight per column node required"
+        );
+        assert!(
+            self.node_weights.iter().all(|&w| w > 0),
+            "service weights must be positive"
         );
         let injectors = self.column.injectors_per_node();
         let total: f64 = self

@@ -170,6 +170,7 @@ pub fn preemption_impact(
     let pvc_stats = sim.run_closed(
         Box::new(PvcPolicy::equal_rates(num_flows)),
         config.generators(workload),
+        0,
         Some(config.budget_cycles),
         config.max_cycles,
     )?;
@@ -177,6 +178,7 @@ pub fn preemption_impact(
     let baseline_stats = sim.run_closed(
         Box::new(PerFlowQueuedPolicy::equal_rates(num_flows)),
         config.generators(workload),
+        0,
         Some(config.budget_cycles),
         config.max_cycles,
     )?;

@@ -94,7 +94,9 @@ impl SharedRegionSim {
     }
 
     /// Builds and runs a closed (fixed) workload to completion, measuring
-    /// per-flow throughput during the first `measure_window` cycles.
+    /// per-flow throughput and latency over `[warmup, warmup + window)` when
+    /// a measurement window is given (pass `warmup = 0` to measure from the
+    /// cold start, e.g. for fixed-budget workloads that inject from cycle 0).
     ///
     /// # Errors
     ///
@@ -104,13 +106,14 @@ impl SharedRegionSim {
         &self,
         policy: Box<dyn QosPolicy>,
         generators: Vec<Box<dyn PacketGenerator>>,
+        warmup: Cycle,
         measure_window: Option<Cycle>,
         max_cycles: Cycle,
     ) -> Result<NetStats, SimError> {
         let mut network = self.build(policy, generators)?;
         if let Some(window) = measure_window {
-            network.stats_mut().measure_start = Some(0);
-            network.stats_mut().measure_end = Some(window);
+            network.stats_mut().measure_start = Some(warmup);
+            network.stats_mut().measure_end = Some(warmup + window);
         }
         run_closed(network, max_cycles)
     }
@@ -164,7 +167,7 @@ mod tests {
         );
         let policy = Box::new(sim.default_policy());
         let stats = sim
-            .run_closed(policy, generators, Some(2_000), 200_000)
+            .run_closed(policy, generators, 0, Some(2_000), 200_000)
             .expect("workload completes");
         assert!(stats.completion_cycle.is_some());
         assert_eq!(stats.generated_packets, stats.delivered_packets);

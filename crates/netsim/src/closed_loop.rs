@@ -1,0 +1,317 @@
+//! Closed-loop request/reply traffic with per-node memory-level-parallelism
+//! (MLP) windows.
+//!
+//! Open-loop generators inject at a configured rate regardless of network
+//! state, which models load/latency curves but not real memory traffic: a
+//! core can only have a bounded number of cache misses outstanding, so its
+//! injection rate is *self-limited* by the round-trip time of its requests.
+//! This module closes the loop:
+//!
+//! * a **requester** flow owns an MLP window (`mlp` outstanding requests);
+//!   whenever the window has room it issues a short request packet to its
+//!   memory controller node;
+//! * the **memory controller** answers every delivered request with a
+//!   cache-line reply streamed back from its own injection port;
+//! * a delivered reply credits the requester's window, triggering the next
+//!   request — accepted throughput and round-trip latency fall out of the
+//!   [`crate::stats::NetStats`] round-trip counters.
+//!
+//! Replies travel on the **requester's flow**: at QOS routers the reply
+//! inherits the requester's priority and bandwidth accounting (the reply is
+//! the requester's traffic on the return path), and the controller's reply
+//! port picks the pending reply of the highest-priority flow rather than
+//! serving head-of-line — the controller sits inside the QOS-protected
+//! region, so its injection port is a QOS arbitration point like any other.
+//! Mechanically the reply is injected, windowed and retransmitted by the
+//! controller's source ([`crate::packet::Packet::origin_source`]).
+//!
+//! The runtime lives in [`crate::network::Network`]
+//! (see `Network::with_closed_loop`); this module defines the specification
+//! types and the per-requester state.
+
+use crate::error::{SimError, SpecError};
+use crate::ids::{FlowId, NodeId, PacketId};
+use crate::spec::NetworkSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Closed-loop behaviour of one requester flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequesterSpec {
+    /// Memory controller node the requests are sent to.
+    pub mc: NodeId,
+    /// MLP window: maximum outstanding (un-replied) requests.
+    pub mlp: usize,
+    /// Total requests to issue; `None` keeps the loop running forever (use
+    /// the open-loop driver phases to bound such runs in time).
+    pub total: Option<u64>,
+    /// Request packet length in flits.
+    pub request_len: u8,
+    /// Reply packet length in flits.
+    pub reply_len: u8,
+}
+
+impl RequesterSpec {
+    /// A requester with the paper's packet mix: single-flit read requests,
+    /// four-flit cache-line replies, no request budget.
+    pub fn paper(mc: NodeId, mlp: usize) -> Self {
+        RequesterSpec {
+            mc,
+            mlp,
+            total: None,
+            request_len: crate::packet::PacketClass::Request.default_len_flits(),
+            reply_len: crate::packet::PacketClass::Reply.default_len_flits(),
+        }
+    }
+
+    /// Bounds the requester to a total request budget, so a closed run has a
+    /// completion time.
+    pub fn with_total(mut self, total: u64) -> Self {
+        self.total = Some(total);
+        self
+    }
+}
+
+/// Closed-loop configuration of a network: at most one requester per flow.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosedLoopSpec {
+    /// Requester behaviour per flow, indexed by flow identifier.
+    pub requesters: Vec<Option<RequesterSpec>>,
+}
+
+impl ClosedLoopSpec {
+    /// Creates a spec with no requesters for a network of `num_flows` flows.
+    pub fn new(num_flows: usize) -> Self {
+        ClosedLoopSpec {
+            requesters: vec![None; num_flows],
+        }
+    }
+
+    /// Registers a requester for `flow`.
+    pub fn with_requester(mut self, flow: FlowId, spec: RequesterSpec) -> Self {
+        self.requesters[flow.index()] = Some(spec);
+        self
+    }
+
+    /// Number of flows with a requester attached.
+    pub fn active_requesters(&self) -> usize {
+        self.requesters.iter().flatten().count()
+    }
+
+    /// Validates the spec against a network specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the requester list length does not match the flow
+    /// count, a window or packet length is zero, or a referenced memory
+    /// controller node has no source (to inject replies) or no sink.
+    pub fn validate(&self, spec: &NetworkSpec) -> Result<(), SimError> {
+        if self.requesters.len() != spec.num_flows() {
+            return Err(SimError::Spec(SpecError::new(format!(
+                "closed-loop spec covers {} flows but the network has {}",
+                self.requesters.len(),
+                spec.num_flows()
+            ))));
+        }
+        for (flow, requester) in self.requesters.iter().enumerate() {
+            let Some(requester) = requester else { continue };
+            if requester.mlp == 0 || requester.request_len == 0 || requester.reply_len == 0 {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "flow {flow}: MLP window and packet lengths must be non-zero"
+                ))));
+            }
+            if let Some(0) = requester.total {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "flow {flow}: a bounded requester needs a non-zero total"
+                ))));
+            }
+            if !spec.sources.iter().any(|s| s.node == requester.mc) {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "flow {flow}: memory controller node {} has no source to inject replies",
+                    requester.mc
+                ))));
+            }
+            if !spec.sinks.iter().any(|s| s.node == requester.mc) {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "flow {flow}: memory controller node {} has no sink",
+                    requester.mc
+                ))));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of one requester flow.
+#[derive(Debug, Clone)]
+pub(crate) struct RequesterState {
+    /// The specification this state was created from.
+    pub(crate) spec: RequesterSpec,
+    /// Requests issued whose reply has not yet been delivered.
+    pub(crate) outstanding: usize,
+    /// Requests issued so far.
+    pub(crate) issued: u64,
+}
+
+impl RequesterState {
+    pub(crate) fn new(spec: RequesterSpec) -> Self {
+        RequesterState {
+            spec,
+            outstanding: 0,
+            issued: 0,
+        }
+    }
+
+    /// Whether the requester may issue another request this cycle.
+    pub(crate) fn can_issue(&self) -> bool {
+        self.outstanding < self.spec.mlp && self.spec.total.is_none_or(|t| self.issued < t)
+    }
+}
+
+/// Runtime state of the closed loop, owned by the network.
+#[derive(Debug)]
+pub(crate) struct ClosedLoopState {
+    /// Per-flow requester state, indexed by flow identifier.
+    pub(crate) requesters: Vec<Option<RequesterState>>,
+    /// Pending replies per source, in arrival order as `(packet, flow)`.
+    /// Replies wait here (not in the source's FIFO queue) so the controller
+    /// can inject the highest-priority flow's reply first.
+    pub(crate) pending_replies: Vec<VecDeque<(PacketId, FlowId)>>,
+    /// For each node: the source index that injects that node's replies,
+    /// if the node hosts a source (the lowest-indexed one).
+    pub(crate) node_reply_source: Vec<Option<usize>>,
+}
+
+impl ClosedLoopState {
+    pub(crate) fn new(spec: &ClosedLoopSpec, net: &NetworkSpec) -> Self {
+        // Node identifiers are labels: size the per-node table to cover the
+        // largest id any source or sink declares, not just the router count.
+        let num_nodes = net
+            .routers
+            .len()
+            .max(
+                net.sources
+                    .iter()
+                    .map(|s| s.node.index() + 1)
+                    .max()
+                    .unwrap_or(0),
+            )
+            .max(
+                net.sinks
+                    .iter()
+                    .map(|s| s.node.index() + 1)
+                    .max()
+                    .unwrap_or(0),
+            );
+        let mut node_reply_source: Vec<Option<usize>> = vec![None; num_nodes];
+        for (si, source) in net.sources.iter().enumerate() {
+            let slot = &mut node_reply_source[source.node.index()];
+            if slot.is_none() {
+                *slot = Some(si);
+            }
+        }
+        ClosedLoopState {
+            requesters: spec
+                .requesters
+                .iter()
+                .map(|r| r.map(RequesterState::new))
+                .collect(),
+            pending_replies: vec![VecDeque::new(); net.sources.len()],
+            node_reply_source,
+        }
+    }
+
+    /// Picks the pending reply at `source` whose flow has the best (lowest)
+    /// priority under `priority`, breaking ties by arrival order, and removes
+    /// it from the pending set.
+    pub(crate) fn pop_best_reply(
+        &mut self,
+        source: usize,
+        mut priority: impl FnMut(FlowId) -> u64,
+    ) -> Option<(PacketId, FlowId)> {
+        let pending = &mut self.pending_replies[source];
+        let mut best: Option<(usize, u64)> = None;
+        for (idx, &(_, flow)) in pending.iter().enumerate() {
+            let p = priority(flow);
+            if best.is_none_or(|(_, bp)| p < bp) {
+                best = Some((idx, p));
+            }
+        }
+        best.and_then(|(idx, _)| pending.remove(idx))
+    }
+
+    /// Whether any reply is waiting at `source`.
+    pub(crate) fn has_pending_replies(&self, source: usize) -> bool {
+        !self.pending_replies[source].is_empty()
+    }
+
+    /// Whether every requester has spent its budget and seen all replies. An
+    /// unbounded requester (`total: None`) never completes — bound such runs
+    /// in time with the open-loop driver phases instead of `run_closed`.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.requesters
+            .iter()
+            .flatten()
+            .all(|r| r.outstanding == 0 && r.spec.total.is_some_and(|total| r.issued >= total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_requester_uses_the_paper_packet_mix() {
+        let spec = RequesterSpec::paper(NodeId(9), 4);
+        assert_eq!(spec.request_len, 1);
+        assert_eq!(spec.reply_len, 4);
+        assert_eq!(spec.mlp, 4);
+        assert!(spec.total.is_none());
+        assert_eq!(spec.with_total(100).total, Some(100));
+    }
+
+    #[test]
+    fn requester_state_window_and_budget_gate_issue() {
+        let mut state = RequesterState::new(RequesterSpec::paper(NodeId(0), 2).with_total(3));
+        assert!(state.can_issue());
+        state.outstanding = 2;
+        assert!(!state.can_issue(), "window full");
+        state.outstanding = 1;
+        state.issued = 3;
+        assert!(!state.can_issue(), "budget spent");
+    }
+
+    #[test]
+    fn spec_builder_registers_requesters() {
+        let spec = ClosedLoopSpec::new(4)
+            .with_requester(FlowId(1), RequesterSpec::paper(NodeId(3), 8))
+            .with_requester(FlowId(2), RequesterSpec::paper(NodeId(3), 8));
+        assert_eq!(spec.active_requesters(), 2);
+        assert!(spec.requesters[0].is_none());
+        assert_eq!(spec.requesters[1].unwrap().mlp, 8);
+    }
+
+    #[test]
+    fn best_reply_selection_prefers_low_priority_then_arrival() {
+        let spec = ClosedLoopSpec::new(0);
+        let net = NetworkSpec {
+            name: "empty".to_string(),
+            routers: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            flit_bytes: 16,
+        };
+        let mut state = ClosedLoopState::new(&spec, &net);
+        state.pending_replies = vec![VecDeque::new()];
+        state.pending_replies[0].push_back((PacketId(10), FlowId(0)));
+        state.pending_replies[0].push_back((PacketId(11), FlowId(1)));
+        state.pending_replies[0].push_back((PacketId(12), FlowId(2)));
+        // Flow 1 holds the best priority.
+        let picked = state.pop_best_reply(0, |f| if f == FlowId(1) { 1 } else { 5 });
+        assert_eq!(picked, Some((PacketId(11), FlowId(1))));
+        // Remaining ties resolve in arrival order.
+        let picked = state.pop_best_reply(0, |_| 7);
+        assert_eq!(picked, Some((PacketId(10), FlowId(0))));
+        assert!(state.has_pending_replies(0));
+    }
+}

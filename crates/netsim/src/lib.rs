@@ -12,6 +12,9 @@
 //!   [`router`], [`network`]),
 //! * traffic sources with retransmission windows and ejection sinks
 //!   ([`source`], [`sink`]),
+//! * closed-loop request/reply traffic with per-node memory-level-
+//!   parallelism windows and priority-ordered controller reply ports
+//!   ([`closed_loop`]),
 //! * a pluggable quality-of-service policy interface ([`qos`]) used by the
 //!   Preemptive Virtual Clock implementation in `taqos-qos`,
 //! * statistics for latency, throughput, fairness, preemption behaviour and
@@ -83,6 +86,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod closed_loop;
 pub mod config;
 pub mod error;
 pub mod event;
@@ -101,6 +105,7 @@ pub mod vc;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
+    pub use crate::closed_loop::{ClosedLoopSpec, RequesterSpec};
     pub use crate::config::SimConfig;
     pub use crate::error::{SimError, SpecError};
     pub use crate::ids::{Cycle, Direction, FlowId, InPortId, NodeId, OutPortId, PacketId, VcId};

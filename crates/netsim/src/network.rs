@@ -20,11 +20,12 @@
 //! resident packets to resolve priority inversion; discarded packets are
 //! NACKed over a dedicated ACK network and retransmitted by their source.
 
+use crate::closed_loop::{ClosedLoopSpec, ClosedLoopState};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
-use crate::ids::{Cycle, FlowId, InPortId, PacketId, VcId};
-use crate::packet::{Packet, PacketGenerator, PacketStore};
+use crate::ids::{Cycle, FlowId, InPortId, NodeId, PacketId, VcId};
+use crate::packet::{GeneratedPacket, Packet, PacketClass, PacketGenerator, PacketStore};
 use crate::port::{Feeder, TargetCreditState, Transfer};
 use crate::qos::{QosPolicy, RouterQos};
 use crate::router::{compute_route, resolve_target_idx, RouterState};
@@ -75,6 +76,8 @@ pub struct Network {
     /// Whether the policy uses ideal per-flow queuing: downstream VC ids may
     /// then exceed the spec-provisioned count and ports grow on demand.
     unlimited: bool,
+    /// Closed-loop request/reply state, if the workload is MLP-limited.
+    closed_loop: Option<ClosedLoopState>,
 }
 
 impl Network {
@@ -209,7 +212,51 @@ impl Network {
             probe_scratch: Vec::new(),
             probe_prioritized_scratch: Vec::new(),
             unlimited,
+            closed_loop: None,
         })
+    }
+
+    /// Installs a closed-loop request/reply workload: each requester flow
+    /// issues MLP-window-limited requests to its memory controller, and every
+    /// delivered request is answered with a reply injected at the
+    /// controller's source (see [`crate::closed_loop`]). Both requester and
+    /// controller sources must carry idle (exhausted) generators: a
+    /// requester flow never polls its generator (a producing one would be
+    /// silently ignored yet block quiescence forever), and a controller's
+    /// reply port only injects while its source is otherwise idle (a
+    /// producing generator would starve the replies and livelock the loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec does not match this network (see
+    /// [`ClosedLoopSpec::validate`]) or a requester's or controller's source
+    /// has a non-exhausted generator.
+    pub fn with_closed_loop(mut self, spec: ClosedLoopSpec) -> Result<Self, SimError> {
+        spec.validate(&self.spec)?;
+        let state = ClosedLoopState::new(&spec, &self.spec);
+        for (flow, requester) in spec.requesters.iter().enumerate() {
+            let Some(requester) = requester else { continue };
+            let requester_source = &self.sources[self.flow_to_source[flow]];
+            if !requester_source.generator.exhausted() {
+                return Err(SimError::Spec(crate::error::SpecError::new(format!(
+                    "requester flow {flow} needs an idle (exhausted) generator at its source \
+                     {}: the closed loop replaces generation for that flow",
+                    requester_source.name
+                ))));
+            }
+            let mc_source = state.node_reply_source[requester.mc.index()]
+                .expect("validated: controller node has a source");
+            let mc_source = &self.sources[mc_source];
+            if !mc_source.generator.exhausted() {
+                return Err(SimError::Spec(crate::error::SpecError::new(format!(
+                    "memory controller node {} needs an idle (exhausted) generator at its \
+                     source {} to inject replies",
+                    requester.mc, mc_source.name
+                ))));
+            }
+        }
+        self.closed_loop = Some(state);
+        Ok(self)
     }
 
     /// Current simulation time in cycles.
@@ -233,10 +280,13 @@ impl Network {
         &mut self.stats
     }
 
-    /// Whether every source is drained and no packet is live anywhere in the
-    /// network — i.e. a closed (fixed) workload has completed.
+    /// Whether every source is drained, no packet is live anywhere in the
+    /// network, and every closed-loop requester has spent its budget — i.e. a
+    /// closed (fixed) workload has completed.
     pub fn is_quiescent(&self) -> bool {
-        self.sources.iter().all(|s| s.is_drained()) && self.packets.is_empty()
+        self.sources.iter().all(|s| s.is_drained())
+            && self.packets.is_empty()
+            && self.closed_loop.as_ref().is_none_or(|cl| cl.is_complete())
     }
 
     /// Number of packets currently live (queued, in flight, or awaiting ACK).
@@ -417,9 +467,10 @@ impl Network {
 
     fn complete_delivery(&mut self, sink: usize, slot: VcId) {
         let packet_id = self.sinks[sink].complete(slot);
-        // Only four scalars of the packet feed the stats recorder; copying
-        // them out avoids cloning the whole packet on every delivery.
-        let (flow, len_flits, hops, birth) = {
+        // Only scalar fields of the packet feed the stats recorder and the
+        // closed-loop hook; copying them out avoids cloning the whole packet
+        // on every delivery.
+        let (flow, len_flits, hops, birth, class, src, request_birth, origin_source) = {
             let packet = self
                 .packets
                 .get(packet_id)
@@ -429,10 +480,17 @@ impl Network {
                 packet.len_flits,
                 packet.column_hops(),
                 packet.birth,
+                packet.class,
+                packet.src,
+                packet.request_birth,
+                packet.origin_source,
             )
         };
         self.stats
             .record_delivery(flow, len_flits, hops, birth, self.now);
+        if self.closed_loop.is_some() {
+            self.on_closed_loop_delivery(sink, flow, class, src, birth, request_birth);
+        }
         // Free the sink slot credit at the feeding ejection port.
         if let Some((router, out_port, target_idx)) = self.sink_feeders[sink] {
             self.events.schedule(
@@ -446,8 +504,12 @@ impl Network {
                 },
             );
         }
-        // Acknowledge delivery to the source over the ACK network.
-        let source = self.flow_to_source[flow.index()];
+        // Acknowledge delivery over the ACK network, to the source that
+        // physically injected the packet (for closed-loop replies that is the
+        // memory controller's source, not the requester flow's).
+        let source = origin_source
+            .map(|s| s as usize)
+            .unwrap_or_else(|| self.flow_to_source[flow.index()]);
         self.events.schedule(
             self.now + self.config.ack_latency(hops),
             Event::Ack {
@@ -455,6 +517,70 @@ impl Network {
                 packet: packet_id,
             },
         );
+    }
+
+    /// Closed-loop bookkeeping of one delivered packet: a requester's request
+    /// arriving at its memory controller queues a reply on the controller's
+    /// injection port; a reply arriving back at the requester credits the MLP
+    /// window and records the round trip.
+    fn on_closed_loop_delivery(
+        &mut self,
+        sink: usize,
+        flow: FlowId,
+        class: PacketClass,
+        src: NodeId,
+        birth: Cycle,
+        request_birth: Option<Cycle>,
+    ) {
+        match class {
+            PacketClass::Request => {
+                let sink_node = self.sinks[sink].node;
+                let cl = self.closed_loop.as_ref().expect("closed loop active");
+                let reply_len = match &cl.requesters[flow.index()] {
+                    // Only requests of a requester flow arriving at that
+                    // flow's controller are answered; everything else is
+                    // ordinary traffic.
+                    Some(r) if r.spec.mc == sink_node => r.spec.reply_len,
+                    _ => return,
+                };
+                let reply_source = cl.node_reply_source[sink_node.index()]
+                    .expect("validated: controller node has a source");
+                let now = self.now;
+                // The reply travels on the requester's flow (QOS priority and
+                // per-flow accounting) but is injected and retransmitted by
+                // the controller's source; it carries the request's birth so
+                // the round trip can be measured at delivery.
+                let reply_id = self.packets.insert_with(|id| {
+                    let mut reply =
+                        Packet::new(id, flow, sink_node, src, reply_len, PacketClass::Reply, now);
+                    reply.request_birth = Some(birth);
+                    reply.origin_source = Some(reply_source as u32);
+                    reply
+                });
+                let source = &mut self.sources[reply_source];
+                source.generated_packets += 1;
+                source.generated_flits += u64::from(reply_len);
+                self.closed_loop
+                    .as_mut()
+                    .expect("closed loop active")
+                    .pending_replies[reply_source]
+                    .push_back((reply_id, flow));
+            }
+            PacketClass::Reply => {
+                // Closed-loop replies are marked by the request birth they
+                // carry; plain reply-class traffic passes through untouched.
+                let Some(request_birth) = request_birth else {
+                    return;
+                };
+                let cl = self.closed_loop.as_mut().expect("closed loop active");
+                let Some(requester) = cl.requesters[flow.index()].as_mut() else {
+                    return;
+                };
+                debug_assert!(requester.outstanding > 0, "reply without a request");
+                requester.outstanding -= 1;
+                self.stats.record_round_trip(flow, request_birth, self.now);
+            }
+        }
     }
 
     fn phase_sources(&mut self) {
@@ -468,21 +594,71 @@ impl Network {
             packets,
             stats,
             policy,
+            qos,
+            closed_loop,
             ..
         } = self;
-        for source in sources.iter_mut() {
+        for (si, source) in sources.iter_mut().enumerate() {
             // 1. Traffic generation — one generator call per cycle. An
             // exhausted generator returns `None` without consuming entropy
             // (the `PacketGenerator` contract), and a source that also has
             // nothing queued or streaming has no per-cycle work at all
             // (outstanding-window packets only need event handling).
-            let generated = source.generator.generate(now);
+            // Closed-loop requester flows issue from their MLP window instead
+            // of polling a generator: one request whenever the window has
+            // room and the budget allows.
+            let generated = match closed_loop
+                .as_mut()
+                .and_then(|cl| cl.requesters[source.flow.index()].as_mut())
+            {
+                Some(requester) => {
+                    if requester.can_issue() {
+                        requester.outstanding += 1;
+                        requester.issued += 1;
+                        stats.record_request_issued(source.flow);
+                        Some(GeneratedPacket {
+                            dst: requester.spec.mc,
+                            len_flits: requester.spec.request_len,
+                            class: PacketClass::Request,
+                        })
+                    } else {
+                        None
+                    }
+                }
+                None => source.generator.generate(now),
+            };
             if let Some(gen) = generated {
+                // `origin_source` stays `None` here: a packet generated at
+                // its own flow's source routes ACK/NACK via `flow_to_source`;
+                // only controller-injected replies carry an explicit origin.
                 let (flow, node) = (source.flow, source.node);
                 let id = packets.insert_with(|id| {
                     Packet::new(id, flow, node, gen.dst, gen.len_flits, gen.class, now)
                 });
                 source.enqueue_generated(id, gen.len_flits);
+            } else if closed_loop
+                .as_ref()
+                .is_some_and(|cl| cl.has_pending_replies(si))
+            {
+                // Controller reply port: when the source queue is free, pull
+                // the pending reply of the highest-priority flow into it —
+                // the controller is a QOS arbitration point, so the reply
+                // order follows flow priority, not head-of-line arrival.
+                // NACKed replies re-queued at the front drain first.
+                if source.active.is_none()
+                    && source.queue.is_empty()
+                    && source.window.len() < source.window_limit
+                    && !source.free_vcs.is_empty()
+                {
+                    let router_qos = &qos[source.router];
+                    let picked = closed_loop
+                        .as_mut()
+                        .expect("pending replies imply closed loop")
+                        .pop_best_reply(si, |flow| router_qos.priority(flow));
+                    if let Some((reply, _)) = picked {
+                        source.queue.push_back(reply);
+                    }
+                }
             } else if source.is_idle_this_cycle() {
                 continue;
             }
@@ -1129,12 +1305,12 @@ impl Network {
         }
 
         // As in delivery, only scalar fields of the victim are needed.
-        let (victim_flow, victim_src) = {
+        let (victim_flow, victim_src, victim_origin) = {
             let victim = self
                 .packets
                 .get(victim_id)
                 .expect("victim packet must be live");
-            (victim.flow, victim.src)
+            (victim.flow, victim.src, victim.origin_source)
         };
         let wasted_hops = victim_src.column_distance(node);
         self.stats.record_preemption(victim_flow, wasted_hops);
@@ -1170,8 +1346,11 @@ impl Network {
             None => {}
         }
 
-        // NACK the victim's source over the ACK network; it will retransmit.
-        let source = self.flow_to_source[victim_flow.index()];
+        // NACK the injecting source over the ACK network; it will retransmit
+        // (for closed-loop replies, the controller's source).
+        let source = victim_origin
+            .map(|s| s as usize)
+            .unwrap_or_else(|| self.flow_to_source[victim_flow.index()]);
         self.events.schedule(
             self.now + self.config.ack_latency(wasted_hops),
             Event::Nack {
@@ -1549,6 +1728,181 @@ mod tests {
         let delivered = net.delivered_flits();
         assert!(delivered > 2_300, "delivered only {delivered} flits");
         assert!(delivered <= 3_000);
+    }
+
+    /// Two routers wired in both directions, a source and a sink at each
+    /// node: the smallest fabric on which a request/reply round trip runs.
+    fn bidirectional_spec() -> NetworkSpec {
+        let vcs = VcConfig::new(4, 4);
+        let router = |node: u16, peer: u16| RouterSpec {
+            node: NodeId(node),
+            inputs: vec![
+                InputPortSpec::injection("term", VcConfig::new(2, 4), 0),
+                InputPortSpec::network(
+                    "in",
+                    NodeId(peer),
+                    if node == 1 {
+                        Direction::South
+                    } else {
+                        Direction::North
+                    },
+                    0,
+                    vcs,
+                    1,
+                ),
+            ],
+            outputs: vec![
+                OutputPortSpec::network(
+                    "out",
+                    if node == 0 {
+                        Direction::South
+                    } else {
+                        Direction::North
+                    },
+                    0,
+                    vec![TargetSpec::single(
+                        TargetEndpoint::Router {
+                            router: peer as usize,
+                            in_port: InPortId(1),
+                        },
+                        1,
+                    )],
+                ),
+                OutputPortSpec::ejection("eject", node as usize, 0),
+            ],
+            route_table: BTreeMap::from([
+                (NodeId(peer), vec![OutPortId(0)]),
+                (NodeId(node), vec![OutPortId(1)]),
+            ]),
+            va_latency: 1,
+            xt_latency: 1,
+        };
+        let source = |node: u16| SourceSpec {
+            flow: FlowId(node),
+            node: NodeId(node),
+            router: node as usize,
+            in_port: InPortId(0),
+            name: format!("n{node}.term"),
+            window: 8,
+        };
+        let sink = |node: u16| SinkSpec {
+            node: NodeId(node),
+            name: format!("n{node}.sink"),
+            slots: 2,
+        };
+        NetworkSpec {
+            name: "bidi".to_string(),
+            routers: vec![router(0, 1), router(1, 0)],
+            sources: vec![source(0), source(1)],
+            sinks: vec![sink(0), sink(1)],
+            flit_bytes: 16,
+        }
+    }
+
+    fn closed_loop_network(mlp: usize, total: Option<u64>) -> Network {
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![
+            Box::new(crate::packet::IdleGenerator),
+            Box::new(crate::packet::IdleGenerator),
+        ];
+        let mut requester = crate::closed_loop::RequesterSpec::paper(NodeId(1), mlp);
+        requester.total = total;
+        let spec = crate::closed_loop::ClosedLoopSpec::new(2).with_requester(FlowId(0), requester);
+        Network::new(
+            bidirectional_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("bidirectional network builds")
+        .with_closed_loop(spec)
+        .expect("closed loop installs")
+    }
+
+    #[test]
+    fn closed_loop_round_trips_complete_and_conserve() {
+        let mut net = closed_loop_network(2, Some(20));
+        for _ in 0..5_000 {
+            net.step();
+            if net.is_quiescent() {
+                break;
+            }
+        }
+        assert!(net.is_quiescent(), "bounded closed loop should complete");
+        let stats = net.into_stats();
+        // 20 requests and 20 replies, all delivered.
+        assert_eq!(stats.flows[0].issued_requests, 20);
+        assert_eq!(stats.round_trips, 20);
+        assert_eq!(stats.flows[0].round_trips, 20);
+        assert_eq!(stats.delivered_packets, 40);
+        // 20 single-flit requests + 20 four-flit replies.
+        assert_eq!(stats.delivered_flits, 20 + 80);
+        // Replies are generated at the controller's source but travel on the
+        // requester's flow.
+        assert_eq!(stats.flows[1].generated_packets, 20);
+        assert_eq!(stats.flows[0].delivered_flits, 80 + 20);
+        assert!(stats.avg_round_trip().expect("round trips measured") > 0.0);
+        // The round trip covers both directions, so it exceeds the one-way
+        // request latency.
+        assert!(stats.avg_round_trip().unwrap() > stats.avg_latency());
+    }
+
+    #[test]
+    fn mlp_window_self_limits_throughput() {
+        let run = |mlp: usize| {
+            let mut net = closed_loop_network(mlp, None);
+            net.run_for(2_000);
+            net.into_stats().round_trips
+        };
+        let shallow = run(1);
+        let deep = run(4);
+        assert!(shallow > 0, "even MLP 1 makes progress");
+        assert!(
+            deep > shallow,
+            "a deeper window must sustain more round trips ({deep} vs {shallow})"
+        );
+    }
+
+    #[test]
+    fn closed_loop_rejects_mismatched_specs() {
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![
+            Box::new(crate::packet::IdleGenerator),
+            Box::new(crate::packet::IdleGenerator),
+        ];
+        let net = Network::new(
+            bidirectional_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("network builds");
+        // Wrong flow count.
+        assert!(net
+            .with_closed_loop(crate::closed_loop::ClosedLoopSpec::new(1))
+            .is_err());
+
+        // A producing generator at the controller's source would starve the
+        // reply port: rejected at install time.
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![
+            Box::new(crate::packet::IdleGenerator),
+            Box::new(BurstGenerator {
+                dst: NodeId(0),
+                remaining: 100,
+                gap: 1,
+                len: 1,
+            }),
+        ];
+        let net = Network::new(
+            bidirectional_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("network builds");
+        let spec = crate::closed_loop::ClosedLoopSpec::new(2).with_requester(
+            FlowId(0),
+            crate::closed_loop::RequesterSpec::paper(NodeId(1), 2),
+        );
+        assert!(net.with_closed_loop(spec).is_err());
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub struct Packet {
     pub reserved: bool,
     /// Number of times this packet has been retransmitted after a preemption.
     pub retransmissions: u32,
+    /// For closed-loop reply packets: the cycle the matching request was
+    /// generated at its source, so the round trip can be measured at reply
+    /// delivery. `None` for every other packet.
+    pub request_birth: Option<Cycle>,
+    /// Source (injector) index that physically injected this packet when it
+    /// differs from the flow's own source. Closed-loop replies travel on the
+    /// *requester's* flow for QOS and accounting purposes but are injected,
+    /// windowed and retransmitted by the memory controller's source; ACK and
+    /// NACK messages must route there. `None` means "the flow's source".
+    pub origin_source: Option<u32>,
 }
 
 impl Packet {
@@ -83,6 +93,8 @@ impl Packet {
             injected_at: None,
             reserved: false,
             retransmissions: 0,
+            request_birth: None,
+            origin_source: None,
         }
     }
 

@@ -29,6 +29,18 @@ pub struct FlowStats {
     pub preemptions: u64,
     /// Retransmissions performed by this flow's source.
     pub retransmissions: u64,
+    /// Closed-loop requests issued by this flow's MLP-limited source.
+    pub issued_requests: u64,
+    /// Closed-loop round trips completed (reply delivered at the requester),
+    /// whole run.
+    pub round_trips: u64,
+    /// Round trips completed during the measurement window.
+    pub measured_round_trips: u64,
+    /// Sum of round-trip latencies of measured round trips (requests issued
+    /// during the window whose reply arrived).
+    pub rt_latency_sum: u64,
+    /// Number of measured round-trip samples.
+    pub rt_samples: u64,
 }
 
 impl FlowStats {
@@ -38,6 +50,18 @@ impl FlowStats {
             0.0
         } else {
             self.latency_sum as f64 / self.latency_samples as f64
+        }
+    }
+
+    /// Average round-trip latency of measured closed-loop requests, in
+    /// cycles. `None` when not a single request issued during the window
+    /// completed — the flow was starved; callers must not fold that into a
+    /// `0.0` that silently poisons latency ratios.
+    pub fn avg_round_trip(&self) -> Option<f64> {
+        if self.rt_samples == 0 {
+            None
+        } else {
+            Some(self.rt_latency_sum as f64 / self.rt_samples as f64)
         }
     }
 }
@@ -89,6 +113,14 @@ pub struct NetStats {
     pub latency_samples: u64,
     /// Largest measured packet latency.
     pub max_latency: u64,
+    /// Closed-loop round trips completed (whole run).
+    pub round_trips: u64,
+    /// Sum of measured round-trip latencies.
+    pub rt_latency_sum: u64,
+    /// Number of measured round-trip samples.
+    pub rt_samples: u64,
+    /// Largest measured round-trip latency.
+    pub max_round_trip: u64,
     /// Preemption events (a packet preempted twice counts twice).
     pub preemption_events: u64,
     /// Hop traversals wasted by preemptions (node-distance units).
@@ -148,6 +180,59 @@ impl NetStats {
             self.latency_samples += 1;
             self.max_latency = self.max_latency.max(latency);
         }
+    }
+
+    /// Records the issue of a closed-loop request by `flow`.
+    pub fn record_request_issued(&mut self, flow: FlowId) {
+        self.flows[flow.index()].issued_requests += 1;
+    }
+
+    /// Records a completed closed-loop round trip of `flow`: the matching
+    /// request was generated at `request_birth` and its reply was delivered
+    /// back to the requester at `delivered_at`. Throughput counts completions
+    /// inside the window; latency samples requests *issued* inside the window
+    /// (mirroring the one-way latency convention).
+    pub fn record_round_trip(&mut self, flow: FlowId, request_birth: Cycle, delivered_at: Cycle) {
+        self.round_trips += 1;
+        let measure_completion = self.in_measurement(delivered_at);
+        let measure_latency = self.in_measurement(request_birth);
+        let fs = &mut self.flows[flow.index()];
+        fs.round_trips += 1;
+        if measure_completion {
+            fs.measured_round_trips += 1;
+        }
+        if measure_latency {
+            let latency = delivered_at.saturating_sub(request_birth);
+            fs.rt_latency_sum += latency;
+            fs.rt_samples += 1;
+            self.rt_latency_sum += latency;
+            self.rt_samples += 1;
+            self.max_round_trip = self.max_round_trip.max(latency);
+        }
+    }
+
+    /// Average round-trip latency over measured closed-loop requests, or
+    /// `None` when nothing completed (see [`FlowStats::avg_round_trip`]).
+    pub fn avg_round_trip(&self) -> Option<f64> {
+        if self.rt_samples == 0 {
+            None
+        } else {
+            Some(self.rt_latency_sum as f64 / self.rt_samples as f64)
+        }
+    }
+
+    /// Completed closed-loop round trips per cycle over the measurement
+    /// window, aggregated across all flows (accepted request throughput).
+    pub fn round_trip_throughput(&self) -> f64 {
+        let (Some(start), Some(end)) = (self.measure_start, self.measure_end) else {
+            if self.cycles == 0 {
+                return 0.0;
+            }
+            return self.round_trips as f64 / self.cycles as f64;
+        };
+        let window = end.saturating_sub(start).max(1);
+        let measured: u64 = self.flows.iter().map(|f| f.measured_round_trips).sum();
+        measured as f64 / window as f64
     }
 
     /// Records a preemption of a packet of `flow` that had traversed `hops`

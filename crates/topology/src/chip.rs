@@ -374,7 +374,7 @@ impl<'a> ChipBuilder<'a> {
             let mut route_table: BTreeMap<NodeId, Vec<OutPortId>> = BTreeMap::new();
             for dst in 0..cfg.num_nodes() {
                 let dst = NodeId(dst as u16);
-                let (dx, _) = cfg.coords(dst);
+                let (dx, dy) = cfg.coords(dst);
                 let out = if !qos && cfg.is_shared_column(dx) {
                     // Topology-aware: destinations inside a shared column are
                     // one MECS express hop away along this node's own row.
@@ -384,6 +384,23 @@ impl<'a> ChipBuilder<'a> {
                         Direction::West
                     };
                     express_out[&dir]
+                } else if qos && !cfg.is_shared_column(dx) {
+                    // Reply path: traffic leaving a shared column for an
+                    // unprotected node first travels the QOS-protected column
+                    // to the destination's row, then exits along that row
+                    // over the mesh — so it never turns at an unprotected
+                    // third-party router. This is the fabric image of
+                    // `TopologyAwareChip::memory_reply_route`.
+                    let dir = if dy > y {
+                        Direction::South
+                    } else if dy < y {
+                        Direction::North
+                    } else if dx > x {
+                        Direction::East
+                    } else {
+                        Direction::West
+                    };
+                    mesh_out[&dir]
                 } else {
                     match cfg.xy_direction(x, y, dst) {
                         Some(dir) => mesh_out[&dir],
@@ -638,6 +655,29 @@ mod tests {
         assert_eq!(router.outputs[out.0].name, "out_E");
         // Self destination ejects.
         let eject = router.route_table[&config.node_at(1, 1)][0];
+        assert_eq!(router.outputs[eject.0].name, "eject");
+    }
+
+    #[test]
+    fn column_routers_route_replies_column_first() {
+        let config = ChipConfig::paper_8x8();
+        let chip = config.build();
+        let router = &chip.spec.routers[config.node_at(4, 2).index()];
+        // A destination on another row: stay inside the protected column
+        // until its row is reached (Y before X — the reply rule).
+        let out = router.route_table[&config.node_at(1, 5)][0];
+        assert_eq!(router.outputs[out.0].name, "out_S");
+        let out = router.route_table[&config.node_at(6, 0)][0];
+        assert_eq!(router.outputs[out.0].name, "out_N");
+        // On the destination's own row the reply exits over the mesh.
+        let out = router.route_table[&config.node_at(1, 2)][0];
+        assert_eq!(router.outputs[out.0].name, "out_W");
+        let out = router.route_table[&config.node_at(6, 2)][0];
+        assert_eq!(router.outputs[out.0].name, "out_E");
+        // Destinations inside the column keep plain column routing.
+        let out = router.route_table[&config.node_at(4, 7)][0];
+        assert_eq!(router.outputs[out.0].name, "out_S");
+        let eject = router.route_table[&config.node_at(4, 2)][0];
         assert_eq!(router.outputs[eject.0].name, "eject");
     }
 

@@ -7,8 +7,9 @@
 
 use crate::generators::{DestinationPattern, SyntheticGenerator};
 use crate::injection::PacketSizeMix;
+use taqos_netsim::closed_loop::{ClosedLoopSpec, RequesterSpec};
 use taqos_netsim::packet::{IdleGenerator, PacketGenerator};
-use taqos_netsim::NodeId;
+use taqos_netsim::{FlowId, NodeId};
 use taqos_topology::column::ColumnConfig;
 
 /// Injection rates (flits per cycle) of the eight terminal injectors in
@@ -276,6 +277,55 @@ pub fn per_node_fixed_budget(
         .collect()
 }
 
+/// Per-node closed-loop plan for chip-scale memory workloads: node `i`
+/// either stays idle (`None`) or runs an MLP-limited request/reply loop
+/// against a fixed memory controller — `(mlp, mc)` is the node's
+/// outstanding-miss budget and its controller. The injection rate is not a
+/// parameter: a closed-loop source is self-limited by its window and the
+/// round-trip time.
+pub type MlpPlan = Vec<Option<(usize, NodeId)>>;
+
+/// Builds the closed-loop spec of an [`MlpPlan`] with the paper's packet mix
+/// (single-flit requests, four-flit cache-line replies) and no request
+/// budget, for networks with one terminal injector per node whose flow ids
+/// equal node ids (the mesh and chip topologies).
+pub fn mlp_closed_loop(plan: &MlpPlan) -> ClosedLoopSpec {
+    plan.iter().enumerate().fold(
+        ClosedLoopSpec::new(plan.len()),
+        |spec, (node, entry)| match entry {
+            Some((mlp, mc)) => {
+                spec.with_requester(FlowId(node as u16), RequesterSpec::paper(*mc, *mlp))
+            }
+            None => spec,
+        },
+    )
+}
+
+/// Like [`mlp_closed_loop`], but every requester stops after `total`
+/// requests, so the run has a completion time (for `run_closed`-style
+/// drivers and flit-conservation checks).
+pub fn mlp_closed_loop_bounded(plan: &MlpPlan, total: u64) -> ClosedLoopSpec {
+    plan.iter().enumerate().fold(
+        ClosedLoopSpec::new(plan.len()),
+        |spec, (node, entry)| match entry {
+            Some((mlp, mc)) => spec.with_requester(
+                FlowId(node as u16),
+                RequesterSpec::paper(*mc, *mlp).with_total(total),
+            ),
+            None => spec,
+        },
+    )
+}
+
+/// One idle generator per node, for closed-loop runs where every packet is
+/// produced by the MLP loop (requests) or the controllers (replies) rather
+/// than a stochastic generator.
+pub fn idle_terminals(nodes: usize) -> GeneratorSet {
+    (0..nodes)
+        .map(|_| Box::new(IdleGenerator) as Box<dyn PacketGenerator>)
+        .collect()
+}
+
 /// An entirely idle generator set (useful for tests and as a template).
 pub fn idle(config: &ColumnConfig) -> GeneratorSet {
     (0..config.num_flows())
@@ -457,6 +507,28 @@ mod tests {
             closed[1].exhausted(),
             "idle generators are always exhausted"
         );
+    }
+
+    #[test]
+    fn mlp_plans_build_matching_closed_loop_specs() {
+        let plan: MlpPlan = vec![Some((4, NodeId(2))), None, None, Some((16, NodeId(2)))];
+        let spec = mlp_closed_loop(&plan);
+        assert_eq!(spec.requesters.len(), 4);
+        assert_eq!(spec.active_requesters(), 2);
+        let r = spec.requesters[0].expect("node 0 is a requester");
+        assert_eq!(r.mlp, 4);
+        assert_eq!(r.mc, NodeId(2));
+        assert_eq!(r.request_len, 1);
+        assert_eq!(r.reply_len, 4);
+        assert!(r.total.is_none());
+        assert!(spec.requesters[1].is_none());
+
+        let bounded = mlp_closed_loop_bounded(&plan, 250);
+        assert_eq!(bounded.requesters[3].unwrap().total, Some(250));
+
+        let idle = idle_terminals(4);
+        assert_eq!(idle.len(), 4);
+        assert!(idle.iter().all(|g| g.exhausted()));
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! the `ChipSim` facade.
 //!
 //! Covers the acceptance criteria of the subsystem: engine equivalence
-//! (bit-identical `NetStats` between the optimized and reference engines),
-//! flit conservation on closed chip workloads, the one-MECS-hop reachability
-//! property of the built `NetworkSpec` (seeded ChaCha8 sweep over chip
-//! shapes), and agreement between the architectural model's
-//! `qos_router_fraction` and the fabric's per-router QOS flags.
+//! (bit-identical `NetStats` between the optimized and reference engines) on
+//! open-loop *and* closed-loop request/reply workloads, flit conservation on
+//! closed chip workloads, the one-MECS-hop reachability property of the
+//! built `NetworkSpec` (seeded ChaCha8 sweep over chip shapes), exhaustive
+//! agreement between the fabric's routing tables and the architectural
+//! `memory_access_route`/`memory_reply_route` rules, and agreement between
+//! the architectural model's `qos_router_fraction` and the fabric's
+//! per-router QOS flags.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -64,7 +67,7 @@ fn closed_chip_stats(engine: EngineKind, seed: u64) -> NetStats {
     let sim = paper_chip_sim(engine);
     let plan = saturating_plan(&sim, 0.10);
     let generators = workloads::per_node_fixed_budget(&plan, PacketSizeMix::paper(), 1_500, seed);
-    sim.run_closed(sim.default_policy(), generators, Some(1_500), 500_000)
+    sim.run_closed(sim.default_policy(), generators, 200, Some(1_500), 500_000)
         .expect("closed chip workload completes")
 }
 
@@ -190,6 +193,152 @@ fn every_node_reaches_a_shared_column_in_one_mecs_hop() {
     }
 }
 
+fn closed_loop_chip_stats(engine: EngineKind, mlp: usize) -> NetStats {
+    let sim = paper_chip_sim(engine);
+    let plan = sim.nearest_mc_mlp_plan(mlp);
+    sim.run_closed_loop(
+        sim.default_policy(),
+        &plan,
+        OpenLoopConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 500,
+        },
+    )
+    .expect("closed-loop chip run succeeds")
+}
+
+/// Engine equivalence extends to the closed loop: the request/reply round
+/// trips, the controllers' priority-ordered reply ports and the MLP windows
+/// produce bit-identical `NetStats` on both engines, deterministically.
+#[test]
+fn chip_closed_loop_stats_match_reference_engine() {
+    let optimized = closed_loop_chip_stats(EngineKind::Optimized, 4);
+    let reference = closed_loop_chip_stats(EngineKind::Reference, 4);
+    assert_eq!(optimized, reference, "engines diverged on the closed loop");
+    let again = closed_loop_chip_stats(EngineKind::Optimized, 4);
+    assert_eq!(optimized, again, "closed loop is nondeterministic");
+    assert!(optimized.round_trips > 0, "no round trips completed");
+    assert!(optimized.avg_round_trip().expect("round trips measured") > 0.0);
+    // A different MLP budget is a different workload.
+    let other = closed_loop_chip_stats(EngineKind::Optimized, 2);
+    assert_ne!(optimized, other, "MLP window should change the run");
+}
+
+/// A bounded closed loop conserves traffic exactly: every issued request is
+/// answered by exactly one delivered reply, on both engines.
+#[test]
+fn bounded_closed_loop_conserves_round_trips() {
+    for engine in [EngineKind::Optimized, EngineKind::Reference] {
+        let sim = paper_chip_sim(engine);
+        let plan = sim.nearest_mc_mlp_plan(2);
+        let spec = workloads::mlp_closed_loop_bounded(&plan, 25);
+        let network = sim
+            .build_closed_loop(sim.default_policy(), spec)
+            .expect("closed-loop network builds");
+        let stats = taqos::netsim::sim::run_closed(network, 500_000)
+            .expect("bounded closed loop completes");
+        let requesters = plan.iter().filter(|e| e.is_some()).count() as u64;
+        assert_eq!(
+            stats.round_trips,
+            25 * requesters,
+            "{engine:?} lost replies"
+        );
+        for (node, entry) in plan.iter().enumerate() {
+            let fs = &stats.flows[node];
+            if entry.is_some() {
+                assert_eq!(fs.issued_requests, 25, "node {node} under {engine:?}");
+                assert_eq!(fs.round_trips, 25, "node {node} under {engine:?}");
+            }
+        }
+        // Requests (1 flit) + replies (4 flits), all delivered exactly once.
+        assert_eq!(stats.delivered_packets, 2 * 25 * requesters);
+        assert_eq!(stats.delivered_flits, (1 + 4) * 25 * requesters);
+        assert!(stats.completion_cycle.is_some());
+    }
+}
+
+/// Exhaustive (not sampled) agreement between the fabric's generated routing
+/// tables and the architectural routing rules, for every (node, controller)
+/// pair of the 8×8 paper chip: the request walk matches
+/// `memory_access_route` (one MECS express hop into the column, then the
+/// column) and the reply walk matches `memory_reply_route` (down the column
+/// to the requester's row, then the mesh back out).
+#[test]
+fn fabric_routes_match_architectural_rules_for_every_pair() {
+    let sim = ChipSim::paper_default();
+    let chip = sim.build_spec();
+    let config = &chip.config;
+
+    // Follows the fabric's route tables hop by hop from `from` to `dst`,
+    // returning the sequence of routers visited (multidrop express channels
+    // jump straight to the drop-off point covering the destination).
+    let walk = |from: NodeId, dst: NodeId| -> Vec<NodeId> {
+        let mut visited = vec![from];
+        let mut current = from.index();
+        for _hop in 0..=chip.spec.routers.len() {
+            let router = &chip.spec.routers[current];
+            let out = router.route_table[&dst][0];
+            let port = &router.outputs[out.0];
+            let target = port
+                .targets
+                .iter()
+                .find(|t| t.covers.is_empty() || t.covers.contains(&dst))
+                .expect("a target covers the destination");
+            match target.endpoint {
+                TargetEndpoint::Sink { sink } => {
+                    assert_eq!(
+                        chip.spec.sinks[sink].node, dst,
+                        "walk from {from} ejected at the wrong node"
+                    );
+                    return visited;
+                }
+                TargetEndpoint::Router { router: next, .. } => {
+                    current = next;
+                    visited.push(NodeId(next as u16));
+                }
+            }
+        }
+        panic!("walk from {from} to {dst} did not terminate");
+    };
+
+    let mcs = chip.memory_controllers();
+    assert_eq!(mcs.len(), 8);
+    for node in 0..config.num_nodes() {
+        let node = NodeId(node as u16);
+        let from = sim.coord(node);
+        for &mc_node in &mcs {
+            let mc = sim.coord(mc_node);
+            // Request direction: node → controller.
+            let expected: Vec<NodeId> = sim
+                .chip()
+                .memory_access_route(from, mc)
+                .expect("architectural request route exists")
+                .into_iter()
+                .map(|c| sim.node_id(c))
+                .collect();
+            assert_eq!(
+                walk(node, mc_node),
+                expected,
+                "request route {from} -> {mc} diverges from memory_access_route"
+            );
+            // Reply direction: controller → node.
+            let expected: Vec<NodeId> = sim
+                .chip()
+                .memory_reply_route(mc, from)
+                .expect("architectural reply route exists")
+                .into_iter()
+                .map(|c| sim.node_id(c))
+                .collect();
+            assert_eq!(
+                walk(mc_node, node),
+                expected,
+                "reply route {mc} -> {from} diverges from memory_reply_route"
+            );
+        }
+    }
+}
+
 /// The architectural chip model and the executable fabric agree on the QOS
 /// cost: `TopologyAwareChip::qos_router_fraction` equals the fraction of
 /// routers the spec flags as QOS routers, and the per-router flag count
@@ -217,24 +366,62 @@ fn qos_router_fraction_matches_the_spec_flags() {
     }
 }
 
-/// The isolation acceptance criterion end-to-end: with the overlay a hog
-/// domain cannot degrade another domain's memory traffic beyond its fair
-/// share, while the same workload without the overlay shows interference.
+/// The isolation acceptance criterion end-to-end, on the closed loop: with
+/// the overlay an MLP-deep hog saturating the controller cannot push a
+/// shallow-MLP victim's round-trip latency far beyond its solo baseline,
+/// while the same workload without the overlay multiplies it.
 #[test]
 fn shared_column_overlay_isolates_domains() {
     let result = chip_isolation(&ChipIsolationConfig::quick());
-    // The protected victim meets its demand at a latency within a small
-    // multiple of the interference-free baseline.
-    assert!(result.solo.avg_latency > 0.0);
-    assert!(result.protected.delivered_fraction() > 0.8);
-    assert!(result.protected_slowdown() < 4.0);
-    // Without QOS the hog visibly degrades (here: outright starves) the
-    // victim.
+    // The interference-free baseline completes round trips.
+    assert!(!result.solo.starved());
+    assert!(result.solo.avg_round_trip.expect("solo completes") > 0.0);
+    // The hog keeps the controller saturated (it completes far more round
+    // trips than the victim even when the victim is protected).
+    assert!(!result.protected_hog.starved());
+    assert!(result.protected_hog.round_trips > 2 * result.protected.round_trips);
+    // Protected: the victim's round-trip latency stays within ~2x of solo.
+    let protected = result
+        .protected_slowdown()
+        .expect("protected victim must not starve");
     assert!(
-        result.unprotected.starved()
-            || result.unprotected_slowdown() > 2.0 * result.protected_slowdown()
-            || result.unprotected.delivered_fraction()
-                < 0.5 * result.protected.delivered_fraction(),
-        "no interference without the overlay"
+        protected < 2.5,
+        "protected slowdown {protected:.2} too large"
     );
+    // Without the overlay the victim is starved outright or slowed down by a
+    // large multiple of the protected figure.
+    match result.unprotected_slowdown() {
+        None => assert!(
+            result.unprotected.starved(),
+            "ratio refused but not starved"
+        ),
+        Some(unprotected) => assert!(
+            unprotected > 3.0 * protected,
+            "no interference without the overlay ({unprotected:.2} vs {protected:.2})"
+        ),
+    }
+}
+
+/// Multi-column scaling: on a 16×16 chip, doubling the shared-column count
+/// (more controller ports, shorter express hops) increases accepted
+/// closed-loop throughput and reduces round-trip latency.
+#[test]
+fn multi_column_chips_scale_closed_loop_throughput() {
+    let points = multi_column_scaling(&ColumnScalingConfig::quick());
+    assert_eq!(points.len(), 3);
+    for pair in points.windows(2) {
+        assert!(pair[1].columns > pair[0].columns);
+        assert!(
+            pair[1].throughput > pair[0].throughput,
+            "throughput should grow with the column count: {points:?}"
+        );
+        let (fewer, more) = (
+            pair[0].avg_round_trip.expect("point completes"),
+            pair[1].avg_round_trip.expect("point completes"),
+        );
+        assert!(
+            more < fewer,
+            "round-trip latency should shrink with more columns: {points:?}"
+        );
+    }
 }

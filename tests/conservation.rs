@@ -31,7 +31,7 @@ fn closed_run(
         "per-flow" => Box::new(PerFlowQueuedPolicy::equal_rates(column.num_flows())),
         _ => Box::new(FifoPolicy::new()),
     };
-    sim.run_closed(policy, generators, None, 500_000)
+    sim.run_closed(policy, generators, 0, None, 500_000)
         .expect("closed workload completes")
 }
 

@@ -46,6 +46,7 @@ fn closed_stats(topology: ColumnTopology, engine: EngineKind, seed: u64) -> NetS
     sim.run_closed(
         Box::new(sim.default_policy()),
         generators,
+        0,
         Some(1_000),
         300_000,
     )

@@ -115,6 +115,7 @@ fn per_flow_queuing_baseline_never_preempts() {
         .run_closed(
             Box::new(PerFlowQueuedPolicy::equal_rates(config.column.num_flows())),
             generators,
+            0,
             None,
             config.max_cycles,
         )

@@ -51,7 +51,7 @@ fn single_packet_latency(topology: ColumnTopology, src: usize, dst: usize, len: 
         }
     }
     let stats = sim
-        .run_closed(Box::new(sim.default_policy()), generators, None, 10_000)
+        .run_closed(Box::new(sim.default_policy()), generators, 0, None, 10_000)
         .expect("single packet delivers");
     assert_eq!(stats.delivered_packets, 1);
     stats.avg_latency()
@@ -154,7 +154,7 @@ fn closed_workloads_conserve_packets() {
             seed,
         );
         let stats = sim
-            .run_closed(Box::new(sim.default_policy()), generators, None, 300_000)
+            .run_closed(Box::new(sim.default_policy()), generators, 0, None, 300_000)
             .expect("workload completes");
         assert_eq!(
             stats.generated_packets, stats.delivered_packets,
