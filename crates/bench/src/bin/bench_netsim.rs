@@ -16,6 +16,9 @@
 //! * `chip_closed_8x8` — the same fabric under the **closed-loop
 //!   request/reply workload**: MLP-limited requesters, controller reply
 //!   ports, round trips measured end to end;
+//! * `chip_dram_8x8` — the closed loop with **DRAM-backed controllers**:
+//!   address-interleaved banks, row-buffer hit/miss latencies and bounded
+//!   request queues behind every column memory controller;
 //! * `chip_16x16_cols2` / `chip_16x16_cols4` — multi-column 16×16 chips
 //!   (256 routers) under the closed loop, at a quarter of the cycle budget
 //!   (cycles/sec stays comparable);
@@ -37,6 +40,7 @@ use std::time::Instant;
 use taqos_bench::{cell, rule, CliArgs};
 use taqos_core::chip_sim::ChipSim;
 use taqos_core::shared_region::SharedRegionSim;
+use taqos_netsim::closed_loop::DramConfig;
 use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::QosPolicy;
@@ -64,13 +68,14 @@ struct EngineRun {
 
 /// One benchmark case: a column topology, the plain chip-scale 8x8 mesh, the
 /// hybrid chip fabric (mesh + MECS express + shared-column QOS overlay) under
-/// open-loop or closed-loop traffic, or a multi-column 16x16 chip under the
-/// closed loop.
+/// open-loop or closed-loop traffic (instant or DRAM-backed controllers), or
+/// a multi-column 16x16 chip under the closed loop.
 #[derive(Debug, Clone, Copy)]
 enum BenchCase {
     Mesh8x8,
     Chip8x8,
     ChipClosed8x8,
+    ChipDram8x8,
     ChipClosed16x16 { columns: usize },
     Column(ColumnTopology),
 }
@@ -81,6 +86,7 @@ impl BenchCase {
             BenchCase::Mesh8x8 => "mesh_8x8",
             BenchCase::Chip8x8 => "chip_8x8",
             BenchCase::ChipClosed8x8 => "chip_closed_8x8",
+            BenchCase::ChipDram8x8 => "chip_dram_8x8",
             BenchCase::ChipClosed16x16 { columns: 2 } => "chip_16x16_cols2",
             BenchCase::ChipClosed16x16 { columns: 4 } => "chip_16x16_cols4",
             BenchCase::ChipClosed16x16 { .. } => "chip_16x16",
@@ -92,7 +98,9 @@ impl BenchCase {
     fn workload_name(self) -> &'static str {
         match self {
             BenchCase::Chip8x8 => "nearest_mc_fixed",
-            BenchCase::ChipClosed8x8 | BenchCase::ChipClosed16x16 { .. } => "nearest_mc_mlp",
+            BenchCase::ChipClosed8x8
+            | BenchCase::ChipDram8x8
+            | BenchCase::ChipClosed16x16 { .. } => "nearest_mc_mlp",
             _ => "uniform_random",
         }
     }
@@ -100,10 +108,24 @@ impl BenchCase {
     /// QOS policy of the case, recorded per row in the JSON report.
     fn policy_name(self) -> &'static str {
         match self {
-            BenchCase::Chip8x8 | BenchCase::ChipClosed8x8 | BenchCase::ChipClosed16x16 { .. } => {
-                "pvc@columns"
-            }
+            BenchCase::Chip8x8
+            | BenchCase::ChipClosed8x8
+            | BenchCase::ChipDram8x8
+            | BenchCase::ChipClosed16x16 { .. } => "pvc@columns",
             _ => "pvc",
+        }
+    }
+
+    /// DRAM controller model of the case, if any. This is the single source
+    /// of truth: `build` installs exactly this configuration and the JSON
+    /// report records it, so regenerated baselines are self-describing and
+    /// cannot desync from what actually ran.
+    fn dram_config(self) -> Option<DramConfig> {
+        match self {
+            BenchCase::ChipDram8x8 => {
+                Some(ChipSim::paper_default().topology_dram(DramConfig::paper()))
+            }
+            _ => None,
         }
     }
 
@@ -158,6 +180,17 @@ impl BenchCase {
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
                     .expect("closed-loop chip builds")
+            }
+            BenchCase::ChipDram8x8 => {
+                // The DRAM-backed closed loop: bank timelines, row buffers
+                // and bounded controller queues behind the same fabric.
+                let dram = self.dram_config().expect("DRAM case has a config");
+                let sim = ChipSim::paper_default()
+                    .with_sim_config(SimConfig::default().with_engine(engine))
+                    .with_dram(dram);
+                let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
+                sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
+                    .expect("DRAM-backed closed-loop chip builds")
             }
             BenchCase::ChipClosed16x16 { columns } => {
                 let sim = ChipSim::multi_column(16, 16, columns)
@@ -233,14 +266,31 @@ fn main() {
     } else {
         args.value_or("cycles", 200_000)
     };
-    let out_path = args.value("out").unwrap_or("BENCH_netsim.json").to_string();
+    // A filtered run produces a partial report; never let it silently
+    // overwrite the committed full baseline through the default path.
+    let out_path = match (args.value("out"), args.value("filter")) {
+        (Some(out), _) => out.to_string(),
+        (None, Some(_)) => "BENCH_netsim.filtered.json".to_string(),
+        (None, None) => "BENCH_netsim.json".to_string(),
+    };
     let rate: f64 = args.value_or("rate", DEFAULT_RATE);
     // `--samples` is the historical name of the knob; `--repeat` wins.
     let repeat: u32 = args.value_or("repeat", args.value_or("samples", 3));
+    // `--check` asserts on the mesh_8x8 headline, so a filter that excludes
+    // it is a usage error — fail before running anything.
+    if args.has_flag("check") {
+        if let Some(filter) = args.value("filter") {
+            if !"mesh_8x8".contains(filter) {
+                eprintln!("--check requires the mesh_8x8 case, excluded by --filter {filter}");
+                std::process::exit(2);
+            }
+        }
+    }
     let cases = [
         BenchCase::Mesh8x8,
         BenchCase::Chip8x8,
         BenchCase::ChipClosed8x8,
+        BenchCase::ChipDram8x8,
         BenchCase::ChipClosed16x16 { columns: 2 },
         BenchCase::ChipClosed16x16 { columns: 4 },
         BenchCase::Column(ColumnTopology::MeshX1),
@@ -253,7 +303,8 @@ fn main() {
     println!(
         "netsim throughput: {cycles} cycles @ {rate} flits/cycle/injector, median of {repeat}; \
          uniform random + PVC (columns, meshes), nearest-MC + column-scoped PVC (chip_8x8), \
-         MLP-{CLOSED_LOOP_MLP} closed loop (chip_closed_8x8, chip_16x16_cols2/4 at cycles/4)"
+         MLP-{CLOSED_LOOP_MLP} closed loop (chip_closed_8x8, chip_dram_8x8 with DRAM-backed \
+         controllers, chip_16x16_cols2/4 at cycles/4)"
     );
     println!("{}", rule(108));
     println!(
@@ -271,6 +322,13 @@ fn main() {
 
     let mut results = Vec::new();
     for case in cases {
+        // `--filter substring` restricts the run to matching cases (handy
+        // when chasing one case's regression).
+        if let Some(filter) = args.value("filter") {
+            if !case.name().contains(filter) {
+                continue;
+            }
+        }
         let case_cycles = case.cycles(cycles);
         let optimized = run_engine(case, EngineKind::Optimized, case_cycles, rate, repeat);
         let reference = run_engine(case, EngineKind::Reference, case_cycles, rate, repeat);
@@ -303,21 +361,27 @@ fn main() {
     let headline = results
         .iter()
         .find(|r| matches!(r.case, BenchCase::Mesh8x8))
-        .map(TopologyResult::speedup)
-        .expect("mesh_8x8 case always runs");
+        .map(TopologyResult::speedup);
     let min_speedup = results
         .iter()
         .map(TopologyResult::speedup)
         .fold(f64::INFINITY, f64::min);
-    println!("8x8 mesh speedup: {headline:.2}x (target >= 3x); minimum across all cases: {min_speedup:.2}x");
+    if let Some(headline) = headline {
+        println!(
+            "8x8 mesh speedup: {headline:.2}x (target >= 3x); minimum across all cases: {min_speedup:.2}x"
+        );
+    }
 
     let json = render_json(cycles, rate, repeat, &results);
     std::fs::write(&out_path, json).expect("write benchmark report");
     println!("wrote {out_path}");
 
-    if args.has_flag("check") && headline < 3.0 {
-        eprintln!("FAIL: 8x8 mesh speedup {headline:.2}x below the 3x target");
-        std::process::exit(1);
+    if args.has_flag("check") {
+        let headline = headline.expect("--check requires the mesh_8x8 case");
+        if headline < 3.0 {
+            eprintln!("FAIL: 8x8 mesh speedup {headline:.2}x below the 3x target");
+            std::process::exit(1);
+        }
     }
 }
 
@@ -334,10 +398,25 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
     );
     json.push_str("  \"topologies\": [\n");
     for (i, result) in results.iter().enumerate() {
+        // DRAM-backed cases record their controller model so regenerated
+        // baselines are self-describing.
+        let dram = match result.case.dram_config() {
+            Some(d) => format!(
+                "{{ \"banks\": {}, \"row_hit_latency\": {}, \"row_miss_latency\": {}, \
+                 \"queue_depth\": {}, \"lines_per_row\": {}, \"backpressure\": \"{:?}\" }}",
+                d.banks,
+                d.row_hit_latency,
+                d.row_miss_latency,
+                d.queue_depth,
+                d.lines_per_row,
+                d.backpressure,
+            ),
+            None => "null".to_string(),
+        };
         let _ = write!(
             json,
             "    {{ \"topology\": \"{}\", \"pattern\": \"{}\", \"policy\": \"{}\", \
-             \"cycles\": {}, \
+             \"dram\": {}, \"cycles\": {}, \
              \"optimized_cycles_per_sec\": {:.1}, \
              \"reference_cycles_per_sec\": {:.1}, \"speedup\": {:.3}, \
              \"optimized_wall_median_s\": {:.4}, \"optimized_wall_min_s\": {:.4}, \
@@ -346,6 +425,7 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
             result.case.name(),
             result.case.workload_name(),
             result.case.policy_name(),
+            dram,
             result.case.cycles(cycles),
             result.optimized.cycles_per_sec,
             result.reference.cycles_per_sec,

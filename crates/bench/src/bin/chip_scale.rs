@@ -1,0 +1,194 @@
+//! Chip-scale experiment harness: the closed-loop isolation study, the
+//! DRAM-backed latency-under-load curve, the heterogeneous MLP-mix
+//! divergence sweep, the multi-column scaling study, and the QOS area
+//! report, all on the hybrid chip fabric.
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin chip_scale
+//! cargo run --release -p taqos-bench --bin chip_scale -- --quick
+//! cargo run --release -p taqos-bench --bin chip_scale -- --only load
+//! ```
+//!
+//! `--only {isolation|load|mix|scaling|area}` restricts the run to one
+//! experiment; `--quick` uses the shortened configurations throughout.
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::chip_scale::{
+    chip_isolation, chip_qos_area, latency_under_load, mlp_mix_divergence, multi_column_scaling,
+    ChipIsolationConfig, ColumnScalingConfig, DomainOutcome, LatencyLoadConfig, MlpMixConfig,
+};
+use taqos_netsim::closed_loop::DramConfig;
+use taqos_topology::chip::ChipConfig;
+
+fn fmt_latency(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.1}"),
+        None => "starved".to_string(),
+    }
+}
+
+fn fmt_ratio(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.2}x"),
+        None => "starved".to_string(),
+    }
+}
+
+fn outcome_row(label: &str, outcome: &DomainOutcome) {
+    println!(
+        "  {label:<14} rt latency {:>9}   round trips {:>8}   throughput {:>7.3} rt/cycle",
+        fmt_latency(outcome.avg_round_trip),
+        outcome.round_trips,
+        outcome.throughput,
+    );
+}
+
+fn run_isolation(quick: bool) {
+    let config = if quick {
+        ChipIsolationConfig::quick()
+    } else {
+        ChipIsolationConfig::default()
+    }
+    .with_dram(DramConfig::paper());
+    println!(
+        "chip isolation (victim MLP {}, hog MLP {}, DRAM-backed controller):",
+        config.victim_mlp, config.hog_mlp
+    );
+    let result = chip_isolation(&config);
+    outcome_row("solo", &result.solo);
+    outcome_row("protected", &result.protected);
+    outcome_row("unprotected", &result.unprotected);
+    outcome_row("hog(prot.)", &result.protected_hog);
+    println!(
+        "  victim slowdown vs solo: protected {} / unprotected {}",
+        fmt_ratio(result.protected_slowdown()),
+        fmt_ratio(result.unprotected_slowdown()),
+    );
+}
+
+fn run_load(quick: bool) {
+    let config = if quick {
+        LatencyLoadConfig::quick()
+    } else {
+        LatencyLoadConfig::default()
+    };
+    println!(
+        "latency under load (8x8 chip, DRAM {} banks, hit/miss {}/{} cycles, queue {}):",
+        config.dram.banks,
+        config.dram.row_hit_latency,
+        config.dram.row_miss_latency,
+        config.dram.queue_depth
+    );
+    println!("{}", rule(86));
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "mlp", "rt/cycle", "rt latency", "queue wait", "hit rate", "rejected", "max queue"
+    );
+    println!("{}", rule(86));
+    for p in latency_under_load(&config) {
+        println!(
+            "{:>5} {} {:>12} {:>12} {:>10} {:>10} {:>12}",
+            p.mlp,
+            cell(p.throughput, 12, 4),
+            fmt_latency(p.avg_round_trip),
+            fmt_latency(p.avg_queue_wait),
+            p.row_hit_rate
+                .map(|r| format!("{:>9.1}%", 100.0 * r))
+                .unwrap_or_else(|| "        -".to_string()),
+            p.rejected_requests,
+            p.max_queue_occupancy,
+        );
+    }
+    println!("{}", rule(86));
+}
+
+fn run_mix(quick: bool) {
+    let config = if quick {
+        MlpMixConfig::quick()
+    } else {
+        MlpMixConfig::default()
+    };
+    println!(
+        "MLP-mix divergence (victim MLP {}, DRAM-backed controller):",
+        config.victim_mlp
+    );
+    println!("{}", rule(78));
+    println!(
+        "{:>8} {:>14} {:>14} {:>16} {:>16}",
+        "hog mlp", "protected rt", "unprotected rt", "prot. slowdown", "unprot. slowdown"
+    );
+    println!("{}", rule(78));
+    for p in mlp_mix_divergence(&config) {
+        println!(
+            "{:>8} {:>14} {:>14} {:>16} {:>16}",
+            p.hog_mlp,
+            fmt_latency(p.protected.avg_round_trip),
+            fmt_latency(p.unprotected.avg_round_trip),
+            fmt_ratio(p.protected_slowdown()),
+            fmt_ratio(p.unprotected_slowdown()),
+        );
+    }
+    println!("{}", rule(78));
+}
+
+fn run_scaling(quick: bool) {
+    let config = if quick {
+        ColumnScalingConfig::quick()
+    } else {
+        ColumnScalingConfig::default()
+    };
+    println!(
+        "multi-column scaling ({}x{} chip, MLP {}):",
+        config.width, config.height, config.mlp
+    );
+    for p in multi_column_scaling(&config) {
+        println!(
+            "  columns {:>2}   requesters {:>4}   throughput {:>7.3} rt/cycle   rt latency {:>9}",
+            p.columns,
+            p.requesters,
+            p.throughput,
+            fmt_latency(p.avg_round_trip),
+        );
+    }
+}
+
+fn run_area() {
+    let report = chip_qos_area(&ChipConfig::paper_8x8().build());
+    println!("QOS area (8x8 chip, 32 nm):");
+    println!(
+        "  per router {:.4} mm2   chip-wide {:.3} mm2   column-confined {:.3} mm2   saving {:.1}%",
+        report.per_router_mm2,
+        report.chip_wide_mm2,
+        report.column_confined_mm2,
+        100.0 * report.saving_fraction,
+    );
+}
+
+fn main() {
+    let args = CliArgs::from_env();
+    let quick = args.has_flag("quick");
+    let only = args.value("only");
+    const EXPERIMENTS: [&str; 5] = ["isolation", "load", "mix", "scaling", "area"];
+    if let Some(only) = only {
+        if !EXPERIMENTS.contains(&only) {
+            eprintln!("unknown experiment --only {only}; expected one of {EXPERIMENTS:?}");
+            std::process::exit(2);
+        }
+    }
+    let want = |name: &str| only.is_none_or(|o| o == name);
+    if want("isolation") {
+        run_isolation(quick);
+    }
+    if want("load") {
+        run_load(quick);
+    }
+    if want("mix") {
+        run_mix(quick);
+    }
+    if want("scaling") {
+        run_scaling(quick);
+    }
+    if want("area") {
+        run_area();
+    }
+}

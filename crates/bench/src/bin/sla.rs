@@ -1,0 +1,50 @@
+//! Differentiated-service harness: drives the shared column with hotspot
+//! traffic from tenants of different service weights and reports how
+//! closely the delivered bandwidth tracks the programmed proportions
+//! (`taqos_core::experiment::differentiated::sla_experiment`).
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin sla
+//! cargo run --release -p taqos-bench --bin sla -- --quick
+//! ```
+
+use taqos_bench::{cell, rule, CliArgs};
+use taqos_core::experiment::differentiated::{sla_experiment, SlaConfig};
+use taqos_topology::column::ColumnTopology;
+
+fn main() {
+    let args = CliArgs::from_env();
+    let config = if args.has_flag("quick") {
+        SlaConfig::quick()
+    } else {
+        SlaConfig::default()
+    };
+    println!(
+        "differentiated service: weights {:?}, hotspot node {}, rate {}",
+        config.node_weights, config.hotspot, config.rate
+    );
+    println!("{}", rule(72));
+    println!(
+        "{:<10} {:>22} {:>22} {:>14}",
+        "topology", "programmed shares", "delivered shares", "worst error"
+    );
+    println!("{}", rule(72));
+    for topology in ColumnTopology::all() {
+        let result = sla_experiment(topology, &config);
+        let fmt = |shares: Vec<f64>| {
+            shares
+                .iter()
+                .map(|s| format!("{:.2}", s))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "{:<10} {:>22} {:>22} {:>13}%",
+            topology.name(),
+            fmt(result.programmed_shares()),
+            fmt(result.delivered_shares()),
+            cell(100.0 * result.worst_share_error, 13, 1),
+        );
+    }
+    println!("{}", rule(72));
+}

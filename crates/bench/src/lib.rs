@@ -11,6 +11,9 @@
 //! | `fig5_preemption` | Figure 5 — preempted packets & replayed hops |
 //! | `fig6_slowdown`   | Figure 6 — slowdown & throughput deviation |
 //! | `fig7_energy`     | Figure 7 — router energy per flit by hop type |
+//! | `sla`             | Differentiated service — delivered vs programmed shares |
+//! | `ablations`       | PVC parameter ablations |
+//! | `chip_scale`      | Chip-scale experiments — isolation, latency under load, MLP-mix divergence, column scaling, QOS area |
 //!
 //! Every binary accepts `--quick` to run a shortened configuration (smaller
 //! warm-up and measurement windows) and prints plain-text tables to stdout.

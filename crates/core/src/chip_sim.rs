@@ -25,10 +25,18 @@
 //! controllers answer each delivered request with a cache-line reply, and
 //! per-domain round-trip latency and accepted request throughput fall out of
 //! the round-trip statistics.
+//!
+//! Controllers can additionally be **DRAM-backed** ([`ChipSim::with_dram`]):
+//! each column memory controller then owns a set of address-interleaved
+//! banks with row-buffer hit/miss service latencies and a bounded request
+//! queue whose backpressure NACKs or stalls overflowing requests — the reply
+//! is released only when its bank completes. [`ChipSim::topology_dram`]
+//! scales the bank count and queue depth to the requester population each
+//! column controller serves.
 
 use crate::chip::{ChipError, DomainId, TopologyAwareChip};
-use std::collections::BTreeSet;
-use taqos_netsim::closed_loop::ClosedLoopSpec;
+use std::collections::{BTreeMap, BTreeSet};
+use taqos_netsim::closed_loop::{ClosedLoopSpec, DramConfig};
 use taqos_netsim::error::SimError;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::{FifoPolicy, QosPolicy};
@@ -59,6 +67,7 @@ pub struct ChipSim {
     chip: TopologyAwareChip,
     config: ChipConfig,
     sim: SimConfig,
+    dram: Option<DramConfig>,
 }
 
 impl ChipSim {
@@ -74,6 +83,7 @@ impl ChipSim {
             chip,
             config,
             sim: SimConfig::default(),
+            dram: None,
         }
     }
 
@@ -116,6 +126,47 @@ impl ChipSim {
     pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
         self
+    }
+
+    /// Installs a DRAM service-time model at every memory controller of
+    /// closed-loop runs built through [`Self::build_closed_loop`] (and hence
+    /// [`Self::run_closed_loop`]). Without it, controllers answer every
+    /// request instantly, as before.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = Some(dram);
+        self
+    }
+
+    /// The DRAM model applied to closed-loop runs, if any.
+    pub fn dram(&self) -> Option<&DramConfig> {
+        self.dram.as_ref()
+    }
+
+    /// Scales a base DRAM configuration to this chip's topology: every
+    /// column memory controller serves the requesters of its own row that
+    /// pick it as their nearest column, so the bank count grows to cover
+    /// that requester set (rounded up to a power of two) and the bounded
+    /// request queue grows to hold two requests per requester. On the paper
+    /// 8×8 chip with one shared column the paper defaults are already
+    /// topology-fitting and come back unchanged.
+    pub fn topology_dram(&self, base: DramConfig) -> DramConfig {
+        // Columns need not be evenly spaced, so provision for the *busiest*
+        // controller: count, per column, the nodes of one row whose nearest
+        // shared column it is (the assignment is identical on every row).
+        let width = self.chip.grid().width;
+        let mut per_column: BTreeMap<u16, usize> = BTreeMap::new();
+        for x in 0..width {
+            let c = Coord::new(x, 0);
+            if !self.chip.is_shared(c) {
+                *per_column
+                    .entry(self.chip.nearest_shared_column(c))
+                    .or_insert(0) += 1;
+            }
+        }
+        let requesters_per_mc = per_column.values().copied().max().unwrap_or(0).max(1);
+        let banks = base.banks.max(requesters_per_mc.next_power_of_two());
+        let queue_depth = base.queue_depth.max(2 * requesters_per_mc);
+        base.with_banks(banks).with_queue_depth(queue_depth)
     }
 
     /// The architectural chip model (domains, routes, shared columns).
@@ -338,7 +389,9 @@ impl ChipSim {
 
     /// Builds a [`Network`] with idle generators and the given closed-loop
     /// configuration installed: every packet of the run is produced by the
-    /// MLP request loops and the controllers' reply ports.
+    /// MLP request loops and the controllers' reply ports. If the simulation
+    /// carries a DRAM model ([`Self::with_dram`]) and the spec does not set
+    /// one itself, the simulation's model is installed.
     ///
     /// # Errors
     ///
@@ -347,8 +400,11 @@ impl ChipSim {
     pub fn build_closed_loop(
         &self,
         policy: ChipPolicy,
-        spec: ClosedLoopSpec,
+        mut spec: ClosedLoopSpec,
     ) -> Result<Network, SimError> {
+        if spec.dram.is_none() {
+            spec.dram = self.dram;
+        }
         self.build(policy, workloads::idle_terminals(self.config.num_nodes()))?
             .with_closed_loop(spec)
     }
@@ -559,5 +615,75 @@ mod tests {
     fn mismatched_generator_count_is_rejected() {
         let sim = ChipSim::paper_default();
         assert!(sim.build(sim.default_policy(), Vec::new()).is_err());
+    }
+
+    #[test]
+    fn topology_dram_scales_with_the_requesters_per_controller() {
+        // Paper 8x8, one column: 7 requesters per controller — the paper
+        // defaults (8 banks, 16-deep queue) already fit and are unchanged.
+        let sim = ChipSim::paper_default();
+        let dram = sim.topology_dram(DramConfig::paper());
+        assert_eq!(dram.banks, 8);
+        assert_eq!(dram.queue_depth, 16);
+        // 16x16 with one column: 15 requesters per controller — banks grow
+        // to the next power of two and the queue holds two per requester.
+        let sim = ChipSim::multi_column(16, 16, 1);
+        let dram = sim.topology_dram(DramConfig::paper());
+        assert_eq!(dram.banks, 16);
+        assert_eq!(dram.queue_depth, 30);
+        // More columns mean fewer requesters per controller.
+        let sim = ChipSim::multi_column(16, 16, 4);
+        let dram = sim.topology_dram(DramConfig::paper());
+        assert_eq!(dram.banks, 8);
+        assert_eq!(dram.queue_depth, 16);
+    }
+
+    #[test]
+    fn dram_backed_closed_loop_runs_and_reports_controller_stats() {
+        let sim = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        let dram = sim.topology_dram(DramConfig::paper());
+        let sim = sim.with_dram(dram);
+        assert_eq!(sim.dram(), Some(&dram));
+        let plan = sim.nearest_mc_mlp_plan(4);
+        let stats = sim
+            .run_closed_loop(
+                sim.default_policy(),
+                &plan,
+                OpenLoopConfig {
+                    warmup: 500,
+                    measure: 2_000,
+                    drain: 500,
+                },
+            )
+            .expect("DRAM-backed chip run succeeds");
+        assert!(stats.round_trips > 0, "no round trips completed");
+        assert!(stats.dram.serviced_requests > 0, "no DRAM services");
+        assert!(
+            stats.dram.row_hits + stats.dram.row_misses == stats.dram.serviced_requests,
+            "every service is classified hit or miss"
+        );
+        // The same workload without DRAM completes round trips faster.
+        let instant = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        let instant_stats = instant
+            .run_closed_loop(
+                instant.default_policy(),
+                &plan,
+                OpenLoopConfig {
+                    warmup: 500,
+                    measure: 2_000,
+                    drain: 500,
+                },
+            )
+            .expect("instant-controller run succeeds");
+        assert_eq!(instant_stats.dram, Default::default());
+        assert!(
+            stats.avg_round_trip().expect("completes")
+                > instant_stats.avg_round_trip().expect("completes"),
+            "DRAM service time must lengthen the round trip"
+        );
     }
 }

@@ -25,6 +25,18 @@
 //! via [`crate::experiment::parallel_map`], as does the
 //! [`multi_column_scaling`] sweep (16×16 chips with 1–4 shared columns).
 //!
+//! With **DRAM-backed controllers** (banks, row buffers, bounded request
+//! queues — see [`taqos_netsim::closed_loop::DramConfig`]) the loop also
+//! regenerates the paper-style end-to-end curves:
+//!
+//! * [`latency_under_load`] sweeps the offered load (the MLP window of every
+//!   requester) and traces round-trip latency against accepted throughput —
+//!   monotone latency growth with a visible saturation knee where the
+//!   controllers run out of bank bandwidth;
+//! * [`mlp_mix_divergence`] sweeps a hog domain's window against a fixed
+//!   shallow victim: the protected victim's slowdown stays bounded while the
+//!   unprotected fabric diverges.
+//!
 //! [`chip_qos_area`] quantifies the cost side of the argument with the
 //! `taqos-power` area model: flow-state tables are only provisioned at
 //! shared-column routers, so the QOS area scales with
@@ -33,6 +45,7 @@
 use crate::chip_sim::{ChipPolicy, ChipSim};
 use crate::experiment::parallel_map;
 use serde::{Deserialize, Serialize};
+use taqos_netsim::closed_loop::DramConfig;
 use taqos_netsim::sim::OpenLoopConfig;
 use taqos_netsim::stats::NetStats;
 use taqos_netsim::{Cycle, FlowId};
@@ -49,6 +62,9 @@ pub struct ChipIsolationConfig {
     /// MLP window of each hog node: a memory-bound domain that keeps the
     /// controller saturated.
     pub hog_mlp: usize,
+    /// DRAM service-time model at the contended controller; `None` keeps
+    /// instant controllers (fabric-only contention).
+    pub dram: Option<DramConfig>,
     /// Warm-up cycles.
     pub warmup: Cycle,
     /// Measurement window in cycles.
@@ -62,6 +78,7 @@ impl Default for ChipIsolationConfig {
         ChipIsolationConfig {
             victim_mlp: 2,
             hog_mlp: 16,
+            dram: None,
             warmup: 5_000,
             measure: 30_000,
             drain: 5_000,
@@ -78,6 +95,12 @@ impl ChipIsolationConfig {
             drain: 1_000,
             ..Self::default()
         }
+    }
+
+    /// Returns this configuration with a DRAM model at the controller.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = Some(dram);
+        self
     }
 }
 
@@ -202,6 +225,10 @@ fn isolation_chip() -> (ChipSim, crate::chip::DomainId, crate::chip::DomainId, C
 /// closed loop consumes no randomness at all).
 pub fn chip_isolation(config: &ChipIsolationConfig) -> ChipIsolationResult {
     let (sim, victim, hog, mc) = isolation_chip();
+    let sim = match config.dram {
+        Some(dram) => sim.with_dram(dram),
+        None => sim,
+    };
     let victim_flows = sim.domain_flows(victim).expect("victim exists");
     let hog_flows = sim.domain_flows(hog).expect("hog exists");
     let open_loop = OpenLoopConfig {
@@ -324,6 +351,253 @@ pub fn multi_column_scaling(config: &ColumnScalingConfig) -> Vec<ColumnScalingPo
             avg_round_trip: stats.avg_round_trip(),
         }
     })
+}
+
+/// Configuration of the latency-under-load sweep on the DRAM-backed closed
+/// loop.
+#[derive(Debug, Clone)]
+pub struct LatencyLoadConfig {
+    /// MLP windows to sweep: the offered load grows with the per-node
+    /// outstanding-miss budget (a closed loop has no rate knob).
+    pub mlps: Vec<usize>,
+    /// DRAM model at every controller (scaled to the chip via
+    /// [`ChipSim::topology_dram`] before the run).
+    pub dram: DramConfig,
+    /// Warm-up cycles.
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Drain cycles after the window.
+    pub drain: Cycle,
+}
+
+impl Default for LatencyLoadConfig {
+    fn default() -> Self {
+        LatencyLoadConfig {
+            mlps: vec![1, 2, 4, 8, 16, 32],
+            dram: DramConfig::paper(),
+            warmup: 2_000,
+            measure: 15_000,
+            drain: 2_000,
+        }
+    }
+}
+
+impl LatencyLoadConfig {
+    /// A shorter configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        LatencyLoadConfig {
+            warmup: 1_000,
+            measure: 6_000,
+            drain: 1_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of the latency-under-load curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadPoint {
+    /// MLP window of every requester node at this point.
+    pub mlp: usize,
+    /// Requester nodes (nodes outside the shared columns).
+    pub requesters: usize,
+    /// Completed round trips per cycle over the measurement window.
+    pub throughput: f64,
+    /// Average round-trip latency in cycles; `None` when nothing completed.
+    pub avg_round_trip: Option<f64>,
+    /// Mean cycles a serviced request waited for a DRAM bank; `None` when
+    /// nothing was serviced.
+    pub avg_queue_wait: Option<f64>,
+    /// Fraction of DRAM services hitting the open row; `None` when nothing
+    /// was serviced.
+    pub row_hit_rate: Option<f64>,
+    /// Requests NACKed by full controller queues (whole run).
+    pub rejected_requests: u64,
+    /// High-water mark of any controller's waiting-request queue.
+    pub max_queue_occupancy: u64,
+}
+
+/// Sweeps the offered load (MLP window) of the DRAM-backed closed loop on
+/// the paper chip under the nearest-controller workload, regenerating the
+/// paper-style latency-under-load curve: round-trip latency grows
+/// monotonically with the window while accepted throughput saturates at the
+/// controllers' service bandwidth — the saturation knee. Each point is one
+/// [`ChipSim::run_closed_loop`] call; the points run across threads via
+/// [`crate::experiment::parallel_map`].
+pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
+    let open_loop = OpenLoopConfig {
+        warmup: config.warmup,
+        measure: config.measure,
+        drain: config.drain,
+    };
+    let base = config.dram;
+    parallel_map(config.mlps.clone(), move |mlp| {
+        let sim = ChipSim::paper_default();
+        let dram = sim.topology_dram(base);
+        let sim = sim.with_dram(dram);
+        let plan = sim.nearest_mc_mlp_plan(mlp);
+        let requesters = plan.iter().filter(|e| e.is_some()).count();
+        let stats = sim
+            .run_closed_loop(sim.default_policy(), &plan, open_loop)
+            .expect("load point runs");
+        LoadPoint {
+            mlp,
+            requesters,
+            throughput: stats.round_trip_throughput(),
+            avg_round_trip: stats.avg_round_trip(),
+            avg_queue_wait: stats.dram.avg_queue_wait(),
+            row_hit_rate: stats.dram.row_hit_rate(),
+            rejected_requests: stats.dram.rejected_requests,
+            max_queue_occupancy: stats.dram.max_queue_occupancy,
+        }
+    })
+}
+
+/// Configuration of the heterogeneous MLP-mix divergence sweep.
+#[derive(Debug, Clone)]
+pub struct MlpMixConfig {
+    /// MLP window of each victim node (fixed across the sweep).
+    pub victim_mlp: usize,
+    /// Hog MLP windows to sweep.
+    pub hog_mlps: Vec<usize>,
+    /// DRAM model at the contended controller.
+    pub dram: DramConfig,
+    /// Warm-up cycles.
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Drain cycles after the window.
+    pub drain: Cycle,
+}
+
+impl Default for MlpMixConfig {
+    fn default() -> Self {
+        MlpMixConfig {
+            victim_mlp: 2,
+            hog_mlps: vec![2, 8, 32],
+            dram: DramConfig::paper(),
+            warmup: 2_000,
+            measure: 12_000,
+            drain: 2_000,
+        }
+    }
+}
+
+impl MlpMixConfig {
+    /// A shorter configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        MlpMixConfig {
+            warmup: 1_000,
+            measure: 6_000,
+            drain: 1_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of the MLP-mix divergence sweep: the victim's fate at a given
+/// hog window, with and without the shared-column QOS overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixPoint {
+    /// MLP window of each hog node at this point.
+    pub hog_mlp: usize,
+    /// Victim behaviour with the overlay, hog active.
+    pub protected: DomainOutcome,
+    /// Victim behaviour without any QOS, hog active.
+    pub unprotected: DomainOutcome,
+    /// Victim behaviour running alone with the overlay (hog-independent;
+    /// repeated on every point for convenience).
+    pub solo: DomainOutcome,
+}
+
+impl MixPoint {
+    /// Victim round-trip slowdown versus solo with the overlay; `None` when
+    /// either side starved.
+    pub fn protected_slowdown(&self) -> Option<f64> {
+        slowdown(&self.protected, &self.solo)
+    }
+
+    /// Victim round-trip slowdown versus solo without the overlay; `None`
+    /// when either side starved.
+    pub fn unprotected_slowdown(&self) -> Option<f64> {
+        slowdown(&self.unprotected, &self.solo)
+    }
+}
+
+/// One simulation of the divergence sweep (flattened so every run is an
+/// independent `parallel_map` work item).
+#[derive(Debug, Clone, Copy)]
+enum MixRun {
+    Solo,
+    Hogged { hog_mlp: usize, protected: bool },
+}
+
+/// Sweeps the hog's MLP window against a fixed shallow victim on the
+/// DRAM-backed closed loop: with the shared-column overlay the victim's
+/// round-trip slowdown stays bounded as the hog deepens its window, while on
+/// the unprotected fabric it diverges (grows without bound or starves
+/// outright) — the protected-vs-unprotected divergence of the paper's
+/// latency curves. One [`ChipSim::run_closed_loop`] call per (point,
+/// scenario), all sharded via [`crate::experiment::parallel_map`].
+pub fn mlp_mix_divergence(config: &MlpMixConfig) -> Vec<MixPoint> {
+    let (sim, victim, hog, mc) = isolation_chip();
+    let sim = sim.with_dram(config.dram);
+    let victim_flows = sim.domain_flows(victim).expect("victim exists");
+    let open_loop = OpenLoopConfig {
+        warmup: config.warmup,
+        measure: config.measure,
+        drain: config.drain,
+    };
+
+    let mut runs = vec![MixRun::Solo];
+    for &hog_mlp in &config.hog_mlps {
+        runs.push(MixRun::Hogged {
+            hog_mlp,
+            protected: true,
+        });
+        runs.push(MixRun::Hogged {
+            hog_mlp,
+            protected: false,
+        });
+    }
+    let victim_mlp = config.victim_mlp;
+    let stats = {
+        let sim = &sim;
+        parallel_map(runs, move |run| {
+            let demands = match run {
+                MixRun::Solo => vec![(victim, victim_mlp)],
+                MixRun::Hogged { hog_mlp, .. } => {
+                    vec![(victim, victim_mlp), (hog, hog_mlp)]
+                }
+            };
+            let plan = sim
+                .memory_mlp_plan(&demands, mc)
+                .expect("mc is a shared terminal");
+            let policy = match run {
+                MixRun::Hogged {
+                    protected: false, ..
+                } => ChipPolicy::NoQos,
+                _ => sim.default_policy(),
+            };
+            sim.run_closed_loop(policy, &plan, open_loop)
+                .expect("mix scenario runs")
+        })
+    };
+
+    let outcome = |s: &NetStats| domain_outcome(s, &victim_flows, config.measure);
+    let solo = outcome(&stats[0]);
+    config
+        .hog_mlps
+        .iter()
+        .enumerate()
+        .map(|(i, &hog_mlp)| MixPoint {
+            hog_mlp,
+            protected: outcome(&stats[1 + 2 * i]),
+            unprotected: outcome(&stats[2 + 2 * i]),
+            solo,
+        })
+        .collect()
 }
 
 /// Area cost of QOS support on a chip, per the paper's cost argument.

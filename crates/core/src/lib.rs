@@ -54,8 +54,10 @@ pub mod prelude {
         frame_length_sweep, reserved_quota_ablation, vc_count_sweep, QuotaAblation,
     };
     pub use crate::experiment::chip_scale::{
-        chip_isolation, chip_qos_area, multi_column_scaling, ChipIsolationConfig,
-        ChipIsolationResult, ColumnScalingConfig, ColumnScalingPoint, DomainOutcome, QosAreaReport,
+        chip_isolation, chip_qos_area, latency_under_load, mlp_mix_divergence,
+        multi_column_scaling, ChipIsolationConfig, ChipIsolationResult, ColumnScalingConfig,
+        ColumnScalingPoint, DomainOutcome, LatencyLoadConfig, LoadPoint, MixPoint, MlpMixConfig,
+        QosAreaReport,
     };
     pub use crate::experiment::differentiated::{sla_experiment, SlaConfig, SlaResult};
     pub use crate::experiment::energy_area::{

@@ -30,10 +30,174 @@
 //! types and the per-requester state.
 
 use crate::error::{SimError, SpecError};
-use crate::ids::{FlowId, NodeId, PacketId};
+use crate::ids::{Cycle, FlowId, NodeId, PacketId};
 use crate::spec::NetworkSpec;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// What a DRAM-backed controller does with a request arriving at a full
+/// request queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramBackpressure {
+    /// The request is rejected: it is **not** counted as delivered, its sink
+    /// slot is freed, and a NACK travels back over the ACK network so the
+    /// requester's source retransmits it — the retry consumes fabric
+    /// bandwidth, which is the paper-faithful cost of overrunning a
+    /// controller.
+    #[default]
+    Nack,
+    /// The request is admitted to a stall queue that holds its **ejection
+    /// slot credit** until a request-queue slot frees: the controller's sink
+    /// backs up, virtual cut-through backpressure propagates into the
+    /// protected column, and no retransmission traffic is generated.
+    Stall,
+}
+
+/// Service-time model of a memory controller: a bounded request queue in
+/// front of a set of address-interleaved DRAM banks with row-buffer state.
+///
+/// Requests carry a cache-line address ([`crate::packet::Packet::dram_line`],
+/// synthesised per requester as a linear stream through a private region).
+/// Consecutive lines interleave across the controller's banks; each bank
+/// serves one request at a time, first-come-first-served per bank (a younger
+/// request may bypass to an idle bank), and keeps its last-accessed row open:
+/// hitting the open row costs [`Self::row_hit_latency`], any other row costs
+/// [`Self::row_miss_latency`] (precharge + activate + CAS). The reply is
+/// released to the controller's reply port only when the bank completes.
+///
+/// Every controller of a network owns an independent instance of this
+/// configuration (its own bank set and queue); the model is deterministic
+/// and engine-independent, so DRAM-backed runs stay bit-identical between
+/// [`crate::config::EngineKind::Optimized`] and
+/// [`crate::config::EngineKind::Reference`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Banks per controller; consecutive cache lines map to consecutive
+    /// banks (line-address interleaving).
+    pub banks: usize,
+    /// Service latency in cycles when the request hits the bank's open row.
+    pub row_hit_latency: Cycle,
+    /// Service latency in cycles when the request misses the open row
+    /// (precharge + activate + CAS).
+    pub row_miss_latency: Cycle,
+    /// Bounded request queue per controller: requests waiting for a bank.
+    /// Arrivals beyond this depth trigger [`Self::backpressure`].
+    pub queue_depth: usize,
+    /// Row-buffer reach: cache lines per row **per bank**. A requester
+    /// streaming its private region revisits a bank every `banks` lines and
+    /// opens a new row every `lines_per_row` visits.
+    pub lines_per_row: u64,
+    /// Full-queue behaviour; see [`DramBackpressure`].
+    pub backpressure: DramBackpressure,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig::paper()
+    }
+}
+
+impl DramConfig {
+    /// The default controller model used by the chip experiments: 8 banks,
+    /// 18-cycle row hits, 48-cycle row misses, a 16-entry request queue that
+    /// NACKs on overflow, and 128-line (8 KiB with 64-byte lines) rows.
+    pub fn paper() -> Self {
+        DramConfig {
+            banks: 8,
+            row_hit_latency: 18,
+            row_miss_latency: 48,
+            queue_depth: 16,
+            lines_per_row: 128,
+            backpressure: DramBackpressure::Nack,
+        }
+    }
+
+    /// Returns this configuration with the given bank count.
+    pub fn with_banks(mut self, banks: usize) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Returns this configuration with the given hit/miss service latencies
+    /// (cycles).
+    pub fn with_latencies(mut self, hit: Cycle, miss: Cycle) -> Self {
+        self.row_hit_latency = hit;
+        self.row_miss_latency = miss;
+        self
+    }
+
+    /// Returns this configuration with the given request-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Returns this configuration with the given row-buffer reach (cache
+    /// lines per row per bank).
+    pub fn with_lines_per_row(mut self, lines: u64) -> Self {
+        self.lines_per_row = lines;
+        self
+    }
+
+    /// Returns this configuration with the given full-queue behaviour.
+    pub fn with_backpressure(mut self, backpressure: DramBackpressure) -> Self {
+        self.backpressure = backpressure;
+        self
+    }
+
+    /// Bank a cache line maps to (line-address interleaving).
+    pub fn bank_of(&self, line: u64) -> usize {
+        (line % self.banks as u64) as usize
+    }
+
+    /// Row (within its bank) a cache line maps to.
+    pub fn row_of(&self, line: u64) -> u64 {
+        line / self.banks as u64 / self.lines_per_row
+    }
+
+    /// Service latency of a request against the bank's currently open row.
+    pub fn service_latency(&self, open_row: Option<u64>, row: u64) -> Cycle {
+        if open_row == Some(row) {
+            self.row_hit_latency
+        } else {
+            self.row_miss_latency
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the bank count, queue depth, row reach, or either
+    /// latency is zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.banks == 0
+            || self.queue_depth == 0
+            || self.lines_per_row == 0
+            || self.row_hit_latency == 0
+            || self.row_miss_latency == 0
+        {
+            return Err(SimError::Spec(SpecError::new(
+                "DRAM banks, queue depth, row reach and latencies must be non-zero",
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Region stride between the private line-address streams of two requester
+/// flows. Large enough that no two flows ever share a row, so row-buffer
+/// interference between flows is purely a bank-conflict effect; the extra
+/// `+1` staggers the starting bank of consecutive flows.
+pub const DRAM_REGION_LINES: u64 = (1 << 32) + 1;
+
+/// Cache line read by the `issued`-th request of `flow`: each requester
+/// streams linearly through a private region, so consecutive requests
+/// interleave across the controller's banks and revisit a row
+/// [`DramConfig::lines_per_row`] times before opening the next one.
+pub fn requester_line(flow: FlowId, issued: u64) -> u64 {
+    flow.index() as u64 * DRAM_REGION_LINES + issued
+}
 
 /// Closed-loop behaviour of one requester flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,11 +236,16 @@ impl RequesterSpec {
     }
 }
 
-/// Closed-loop configuration of a network: at most one requester per flow.
+/// Closed-loop configuration of a network: at most one requester per flow,
+/// and optionally a DRAM service-time model at every memory controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ClosedLoopSpec {
     /// Requester behaviour per flow, indexed by flow identifier.
     pub requesters: Vec<Option<RequesterSpec>>,
+    /// DRAM service-time model applied at every controller. `None` keeps the
+    /// pre-DRAM behaviour: controllers answer each delivered request
+    /// instantly (zero service time, unbounded acceptance).
+    pub dram: Option<DramConfig>,
 }
 
 impl ClosedLoopSpec {
@@ -84,12 +253,19 @@ impl ClosedLoopSpec {
     pub fn new(num_flows: usize) -> Self {
         ClosedLoopSpec {
             requesters: vec![None; num_flows],
+            dram: None,
         }
     }
 
     /// Registers a requester for `flow`.
     pub fn with_requester(mut self, flow: FlowId, spec: RequesterSpec) -> Self {
         self.requesters[flow.index()] = Some(spec);
+        self
+    }
+
+    /// Installs a DRAM service-time model at every memory controller.
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = Some(dram);
         self
     }
 
@@ -106,6 +282,9 @@ impl ClosedLoopSpec {
     /// count, a window or packet length is zero, or a referenced memory
     /// controller node has no source (to inject replies) or no sink.
     pub fn validate(&self, spec: &NetworkSpec) -> Result<(), SimError> {
+        if let Some(dram) = &self.dram {
+            dram.validate()?;
+        }
         if self.requesters.len() != spec.num_flows() {
             return Err(SimError::Spec(SpecError::new(format!(
                 "closed-loop spec covers {} flows but the network has {}",
@@ -168,6 +347,87 @@ impl RequesterState {
     }
 }
 
+/// One request inside a controller's DRAM pipeline (queued, stalled or in
+/// service). Carries everything needed to build the reply at completion; the
+/// request *packet* itself is acknowledged and freed at acceptance.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DramRequest {
+    /// Requester flow the reply rides on.
+    pub(crate) flow: FlowId,
+    /// Requester node the reply is sent to.
+    pub(crate) requester: NodeId,
+    /// Birth cycle of the request packet (round-trip anchor).
+    pub(crate) birth: Cycle,
+    /// Reply length in flits.
+    pub(crate) reply_len: u8,
+    /// Cache-line address of the read.
+    pub(crate) line: u64,
+    /// Cycle the request was delivered at the controller.
+    pub(crate) arrived: Cycle,
+}
+
+/// A request held in the stall lane of a controller (Stall backpressure):
+/// its ejection-slot credit is withheld until the request queue has room.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StalledRequest {
+    /// The request itself.
+    pub(crate) request: DramRequest,
+    /// Sink whose slot credit is being withheld.
+    pub(crate) sink: usize,
+    /// The withheld slot.
+    pub(crate) slot: crate::ids::VcId,
+}
+
+/// One DRAM bank: a busy-until timeline plus the open-row register.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BankState {
+    /// Cycle at which the in-service request completes. Scheduling idles on
+    /// `in_service` alone; this timeline cross-checks that the completion
+    /// event fires exactly when promised (debug assertion).
+    pub(crate) busy_until: Cycle,
+    /// Currently open row, if any access happened yet.
+    pub(crate) open_row: Option<u64>,
+    /// Request being serviced, if the bank is busy.
+    pub(crate) in_service: Option<DramRequest>,
+}
+
+impl BankState {
+    /// Whether the bank can start a new request.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.in_service.is_none()
+    }
+}
+
+/// Runtime DRAM state of one memory controller.
+#[derive(Debug)]
+pub(crate) struct McState {
+    /// Requests waiting for a bank, in arrival order (bounded by
+    /// [`DramConfig::queue_depth`]).
+    pub(crate) queue: VecDeque<DramRequest>,
+    /// Banks of this controller.
+    pub(crate) banks: Vec<BankState>,
+    /// Requests admitted past a full queue under Stall backpressure; each
+    /// entry withholds its ejection-slot credit until it moves to `queue`.
+    pub(crate) stalled: VecDeque<StalledRequest>,
+}
+
+impl McState {
+    pub(crate) fn new(config: &DramConfig) -> Self {
+        McState {
+            queue: VecDeque::new(),
+            banks: vec![BankState::default(); config.banks],
+            stalled: VecDeque::new(),
+        }
+    }
+
+    /// Whether the controller holds no queued, stalled or in-service work.
+    pub(crate) fn is_drained(&self) -> bool {
+        self.queue.is_empty()
+            && self.stalled.is_empty()
+            && self.banks.iter().all(BankState::is_idle)
+    }
+}
+
 /// Runtime state of the closed loop, owned by the network.
 #[derive(Debug)]
 pub(crate) struct ClosedLoopState {
@@ -180,6 +440,12 @@ pub(crate) struct ClosedLoopState {
     /// For each node: the source index that injects that node's replies,
     /// if the node hosts a source (the lowest-indexed one).
     pub(crate) node_reply_source: Vec<Option<usize>>,
+    /// DRAM model shared by all controllers, if enabled.
+    pub(crate) dram: Option<DramConfig>,
+    /// Per-node controller DRAM state, instantiated eagerly at install time
+    /// for exactly the nodes some requester names as its controller (the
+    /// engine relies on a requester's controller always having state).
+    pub(crate) mc_states: Vec<Option<McState>>,
 }
 
 impl ClosedLoopState {
@@ -210,6 +476,15 @@ impl ClosedLoopState {
                 *slot = Some(si);
             }
         }
+        let mut mc_states: Vec<Option<McState>> = (0..num_nodes).map(|_| None).collect();
+        if let Some(dram) = &spec.dram {
+            for requester in spec.requesters.iter().flatten() {
+                let slot = &mut mc_states[requester.mc.index()];
+                if slot.is_none() {
+                    *slot = Some(McState::new(dram));
+                }
+            }
+        }
         ClosedLoopState {
             requesters: spec
                 .requesters
@@ -218,6 +493,8 @@ impl ClosedLoopState {
                 .collect(),
             pending_replies: vec![VecDeque::new(); net.sources.len()],
             node_reply_source,
+            dram: spec.dram,
+            mc_states,
         }
     }
 
@@ -253,6 +530,7 @@ impl ClosedLoopState {
             .iter()
             .flatten()
             .all(|r| r.outstanding == 0 && r.spec.total.is_some_and(|total| r.issued >= total))
+            && self.mc_states.iter().flatten().all(McState::is_drained)
     }
 }
 
@@ -289,6 +567,91 @@ mod tests {
         assert_eq!(spec.active_requesters(), 2);
         assert!(spec.requesters[0].is_none());
         assert_eq!(spec.requesters[1].unwrap().mlp, 8);
+    }
+
+    #[test]
+    fn dram_address_mapping_interleaves_banks_and_rows() {
+        let dram = DramConfig::paper().with_banks(4).with_lines_per_row(2);
+        // Consecutive lines round-robin the banks.
+        for line in 0..16u64 {
+            assert_eq!(dram.bank_of(line), (line % 4) as usize);
+        }
+        // A bank sees a new row every `lines_per_row` visits: lines 0,4 are
+        // row 0 of bank 0; lines 8,12 are row 1.
+        assert_eq!(dram.row_of(0), 0);
+        assert_eq!(dram.row_of(4), 0);
+        assert_eq!(dram.row_of(8), 1);
+        assert_eq!(dram.row_of(12), 1);
+        // Hit/miss classification against the open row.
+        assert_eq!(dram.service_latency(None, 0), dram.row_miss_latency);
+        assert_eq!(dram.service_latency(Some(0), 0), dram.row_hit_latency);
+        assert_eq!(dram.service_latency(Some(1), 0), dram.row_miss_latency);
+    }
+
+    #[test]
+    fn requester_lines_stream_privately_and_stagger_banks() {
+        let dram = DramConfig::paper(); // 8 banks
+        let a0 = requester_line(FlowId(0), 0);
+        let a1 = requester_line(FlowId(0), 1);
+        let b0 = requester_line(FlowId(1), 0);
+        // Linear stream per flow.
+        assert_eq!(a1, a0 + 1);
+        // Distinct flows never share a row (disjoint regions)...
+        assert_ne!(dram.row_of(a0), dram.row_of(b0));
+        // ...and consecutive flows start on consecutive banks.
+        assert_eq!(dram.bank_of(a0), 0);
+        assert_eq!(dram.bank_of(b0), 1);
+    }
+
+    #[test]
+    fn dram_config_builders_and_validation() {
+        let dram = DramConfig::paper()
+            .with_banks(2)
+            .with_latencies(10, 30)
+            .with_queue_depth(4)
+            .with_lines_per_row(16)
+            .with_backpressure(DramBackpressure::Stall);
+        assert_eq!(dram.banks, 2);
+        assert_eq!(dram.row_hit_latency, 10);
+        assert_eq!(dram.row_miss_latency, 30);
+        assert_eq!(dram.queue_depth, 4);
+        assert_eq!(dram.lines_per_row, 16);
+        assert_eq!(dram.backpressure, DramBackpressure::Stall);
+        assert!(dram.validate().is_ok());
+        assert!(DramConfig::paper().with_banks(0).validate().is_err());
+        assert!(DramConfig::paper().with_queue_depth(0).validate().is_err());
+        assert!(DramConfig::paper()
+            .with_lines_per_row(0)
+            .validate()
+            .is_err());
+        assert!(DramConfig::paper()
+            .with_latencies(0, 30)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn mc_state_tracks_bank_and_queue_occupancy() {
+        let dram = DramConfig::paper().with_banks(2);
+        let mut mc = McState::new(&dram);
+        assert_eq!(mc.banks.len(), 2);
+        assert!(mc.is_drained());
+        let request = DramRequest {
+            flow: FlowId(0),
+            requester: NodeId(3),
+            birth: 5,
+            reply_len: 4,
+            line: 0,
+            arrived: 9,
+        };
+        mc.queue.push_back(request);
+        assert!(!mc.is_drained());
+        let queued = mc.queue.pop_front().expect("queued request");
+        mc.banks[0].in_service = Some(queued);
+        assert!(!mc.banks[0].is_idle());
+        assert!(!mc.is_drained());
+        mc.banks[0].in_service = None;
+        assert!(mc.is_drained());
     }
 
     #[test]

@@ -114,6 +114,15 @@ pub enum Event {
         /// Flow of the blocked (contending) packet.
         contender: FlowId,
     },
+    /// A DRAM bank finishes servicing a closed-loop request: the reply is
+    /// released to the controller's reply port and the freed bank pulls the
+    /// next waiting request from the controller's queue.
+    DramComplete {
+        /// Node index of the memory controller.
+        mc: u32,
+        /// Bank that completed, within the controller's bank set.
+        bank: u16,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -13,8 +13,10 @@
 //! * traffic sources with retransmission windows and ejection sinks
 //!   ([`source`], [`sink`]),
 //! * closed-loop request/reply traffic with per-node memory-level-
-//!   parallelism windows and priority-ordered controller reply ports
-//!   ([`closed_loop`]),
+//!   parallelism windows, priority-ordered controller reply ports, and an
+//!   optional DRAM service-time model at the controllers — address-
+//!   interleaved banks, row-buffer hit/miss latencies, bounded request
+//!   queues with NACK or stall backpressure ([`closed_loop`]),
 //! * a pluggable quality-of-service policy interface ([`qos`]) used by the
 //!   Preemptive Virtual Clock implementation in `taqos-qos`,
 //! * statistics for latency, throughput, fairness, preemption behaviour and
@@ -105,7 +107,7 @@ pub mod vc;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::closed_loop::{ClosedLoopSpec, RequesterSpec};
+    pub use crate::closed_loop::{ClosedLoopSpec, DramBackpressure, DramConfig, RequesterSpec};
     pub use crate::config::SimConfig;
     pub use crate::error::{SimError, SpecError};
     pub use crate::ids::{Cycle, Direction, FlowId, InPortId, NodeId, OutPortId, PacketId, VcId};

@@ -7,7 +7,7 @@
 //!
 //! 1. frame rollover (QOS bandwidth counters are flushed),
 //! 2. delivery of matured events (flit arrivals, credit returns, ACK/NACK
-//!    messages, preemption probes),
+//!    messages, preemption probes, DRAM bank completions),
 //! 3. traffic generation and injection at the sources,
 //! 4. route computation for newly arrived packet heads,
 //! 5. virtual-channel allocation (arbitration) and preemption probing,
@@ -20,7 +20,9 @@
 //! resident packets to resolve priority inversion; discarded packets are
 //! NACKed over a dedicated ACK network and retransmitted by their source.
 
-use crate::closed_loop::{ClosedLoopSpec, ClosedLoopState};
+use crate::closed_loop::{
+    requester_line, ClosedLoopSpec, ClosedLoopState, DramBackpressure, DramRequest, StalledRequest,
+};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
@@ -34,6 +36,47 @@ use crate::source::{InjectionTransfer, SourceState};
 use crate::spec::{NetworkSpec, TargetEndpoint};
 use crate::stats::NetStats;
 use crate::vc::VcState;
+
+/// What a DRAM-backed controller decided about a packet delivered at a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DramAdmission {
+    /// Not a closed-loop request at a DRAM-modelled controller: the delivery
+    /// proceeds exactly as without a DRAM model.
+    None,
+    /// Admitted to the controller's bounded request queue.
+    Accept,
+    /// Queue full, Stall backpressure: parked in the stall lane, withholding
+    /// the ejection-slot credit.
+    Stall,
+    /// Queue full, Nack backpressure: rejected and retransmitted; the
+    /// delivery is not recorded.
+    Reject,
+}
+
+/// Schedules the return of a sink's ejection-slot credit to the output port
+/// feeding it. Shared by normal delivery, DRAM rejection, and the stall
+/// lane's deferred release, so the credit semantics cannot drift apart.
+fn release_sink_credit(
+    events: &mut EventQueue,
+    config: &SimConfig,
+    sink_feeders: &[Option<(usize, usize, usize)>],
+    now: Cycle,
+    sink: usize,
+    slot: VcId,
+) {
+    if let Some((router, out_port, target_idx)) = sink_feeders[sink] {
+        events.schedule(
+            now + config.credit_delay,
+            Event::CreditToRouter {
+                router: router as u32,
+                out_port: out_port as u16,
+                target_idx: target_idx as u16,
+                vc: slot,
+                reserved_vc: false,
+            },
+        );
+    }
+}
 
 /// Returns `qos.priority(flow)`, memoised in the router's priority cache
 /// (valid within the router's current priority epoch).
@@ -462,15 +505,23 @@ impl Network {
             } => {
                 self.handle_preemption_probe(router as usize, in_port as usize, contender);
             }
+            Event::DramComplete { mc, bank } => {
+                self.handle_dram_complete(mc as usize, bank as usize);
+            }
         }
     }
 
     fn complete_delivery(&mut self, sink: usize, slot: VcId) {
-        let packet_id = self.sinks[sink].complete(slot);
+        // Peek at the occupant first: DRAM admission may reject the packet,
+        // and a rejected request must not touch the sink's delivery
+        // counters (`SinkState::discard` vs `SinkState::complete` below).
+        let packet_id = self.sinks[sink]
+            .occupant(slot)
+            .expect("completing an empty sink slot");
         // Only scalar fields of the packet feed the stats recorder and the
         // closed-loop hook; copying them out avoids cloning the whole packet
         // on every delivery.
-        let (flow, len_flits, hops, birth, class, src, request_birth, origin_source) = {
+        let (flow, len_flits, hops, birth, class, src, request_birth, origin_source, dram_line) = {
             let packet = self
                 .packets
                 .get(packet_id)
@@ -484,24 +535,67 @@ impl Network {
                 packet.src,
                 packet.request_birth,
                 packet.origin_source,
+                packet.dram_line,
             )
         };
+        // DRAM admission control: a closed-loop request arriving at a
+        // controller whose bounded queue is full is either rejected (NACKed
+        // back to its source for a retry over the fabric — it does *not*
+        // count as delivered) or parked in the stall lane (it counts as
+        // delivered but withholds its ejection-slot credit, backpressuring
+        // the fabric).
+        let admission = self.dram_admission(sink, flow, class);
+        if admission == DramAdmission::Reject {
+            self.sinks[sink].discard(slot);
+            self.stats.record_dram_rejection(flow);
+            // The flits did occupy the sink slot: free its credit as usual.
+            release_sink_credit(
+                &mut self.events,
+                &self.config,
+                &self.sink_feeders,
+                self.now,
+                sink,
+                slot,
+            );
+            // Closed-loop requests are always injected by their own flow's
+            // source; the NACK sends it back for retransmission.
+            self.events.schedule(
+                self.now + self.config.ack_latency(hops),
+                Event::Nack {
+                    source: self.flow_to_source[flow.index()] as u32,
+                    packet: packet_id,
+                },
+            );
+            return;
+        }
+        let completed = self.sinks[sink].complete(slot);
+        debug_assert_eq!(completed, packet_id);
         self.stats
             .record_delivery(flow, len_flits, hops, birth, self.now);
         if self.closed_loop.is_some() {
-            self.on_closed_loop_delivery(sink, flow, class, src, birth, request_birth);
+            self.on_closed_loop_delivery(
+                sink,
+                slot,
+                flow,
+                class,
+                src,
+                birth,
+                request_birth,
+                dram_line,
+                admission,
+            );
         }
-        // Free the sink slot credit at the feeding ejection port.
-        if let Some((router, out_port, target_idx)) = self.sink_feeders[sink] {
-            self.events.schedule(
-                self.now + self.config.credit_delay,
-                Event::CreditToRouter {
-                    router: router as u32,
-                    out_port: out_port as u16,
-                    target_idx: target_idx as u16,
-                    vc: slot,
-                    reserved_vc: false,
-                },
+        // Free the sink slot credit at the feeding ejection port — unless a
+        // DRAM stall lane is withholding it until the controller queue has
+        // room (released in `dram_pump`).
+        if admission != DramAdmission::Stall {
+            release_sink_credit(
+                &mut self.events,
+                &self.config,
+                &self.sink_feeders,
+                self.now,
+                sink,
+                slot,
             );
         }
         // Acknowledge delivery over the ACK network, to the source that
@@ -519,18 +613,60 @@ impl Network {
         );
     }
 
+    /// Decides what a DRAM-backed controller does with a delivered packet:
+    /// [`DramAdmission::None`] for everything that is not a closed-loop
+    /// request at a DRAM-modelled controller (including the whole non-DRAM
+    /// configuration), otherwise accept/stall/reject per queue occupancy and
+    /// the configured backpressure.
+    fn dram_admission(&self, sink: usize, flow: FlowId, class: PacketClass) -> DramAdmission {
+        if class != PacketClass::Request {
+            return DramAdmission::None;
+        }
+        let Some(cl) = &self.closed_loop else {
+            return DramAdmission::None;
+        };
+        let Some(dram) = &cl.dram else {
+            return DramAdmission::None;
+        };
+        let sink_node = self.sinks[sink].node;
+        // Only requests of a requester flow arriving at that flow's own
+        // controller enter the DRAM pipeline; everything else is ordinary
+        // traffic.
+        match &cl.requesters[flow.index()] {
+            Some(r) if r.spec.mc == sink_node => {}
+            _ => return DramAdmission::None,
+        }
+        let mc = cl.mc_states[sink_node.index()]
+            .as_ref()
+            .expect("requester controllers have DRAM state");
+        if mc.queue.len() < dram.queue_depth {
+            DramAdmission::Accept
+        } else {
+            match dram.backpressure {
+                DramBackpressure::Nack => DramAdmission::Reject,
+                DramBackpressure::Stall => DramAdmission::Stall,
+            }
+        }
+    }
+
     /// Closed-loop bookkeeping of one delivered packet: a requester's request
-    /// arriving at its memory controller queues a reply on the controller's
-    /// injection port; a reply arriving back at the requester credits the MLP
+    /// arriving at its memory controller either queues a reply on the
+    /// controller's injection port (instant controllers) or enters the
+    /// controller's DRAM pipeline (the reply is released when its bank
+    /// completes); a reply arriving back at the requester credits the MLP
     /// window and records the round trip.
+    #[allow(clippy::too_many_arguments)]
     fn on_closed_loop_delivery(
         &mut self,
         sink: usize,
+        slot: VcId,
         flow: FlowId,
         class: PacketClass,
         src: NodeId,
         birth: Cycle,
         request_birth: Option<Cycle>,
+        dram_line: Option<u64>,
+        admission: DramAdmission,
     ) {
         match class {
             PacketClass::Request => {
@@ -543,28 +679,54 @@ impl Network {
                     Some(r) if r.spec.mc == sink_node => r.spec.reply_len,
                     _ => return,
                 };
-                let reply_source = cl.node_reply_source[sink_node.index()]
-                    .expect("validated: controller node has a source");
-                let now = self.now;
-                // The reply travels on the requester's flow (QOS priority and
-                // per-flow accounting) but is injected and retransmitted by
-                // the controller's source; it carries the request's birth so
-                // the round trip can be measured at delivery.
-                let reply_id = self.packets.insert_with(|id| {
-                    let mut reply =
-                        Packet::new(id, flow, sink_node, src, reply_len, PacketClass::Reply, now);
-                    reply.request_birth = Some(birth);
-                    reply.origin_source = Some(reply_source as u32);
-                    reply
-                });
-                let source = &mut self.sources[reply_source];
-                source.generated_packets += 1;
-                source.generated_flits += u64::from(reply_len);
-                self.closed_loop
+                if admission != DramAdmission::None {
+                    // DRAM-backed controller: the request enters the bounded
+                    // queue (or the credit-withholding stall lane) and its
+                    // reply is released by `handle_dram_complete` when the
+                    // bank finishes.
+                    let request = DramRequest {
+                        flow,
+                        requester: src,
+                        birth,
+                        reply_len,
+                        line: dram_line.expect("closed-loop DRAM requests carry a line"),
+                        arrived: self.now,
+                    };
+                    let mc = self
+                        .closed_loop
+                        .as_mut()
+                        .expect("closed loop active")
+                        .mc_states[sink_node.index()]
                     .as_mut()
+                    .expect("requester controllers have DRAM state");
+                    match admission {
+                        DramAdmission::Accept => {
+                            mc.queue.push_back(request);
+                            let occupancy = mc.queue.len();
+                            self.stats.record_dram_occupancy(occupancy);
+                        }
+                        DramAdmission::Stall => {
+                            mc.stalled.push_back(StalledRequest {
+                                request,
+                                sink,
+                                slot,
+                            });
+                            self.stats.record_dram_stall();
+                        }
+                        DramAdmission::Reject | DramAdmission::None => {
+                            unreachable!("rejections return before delivery")
+                        }
+                    }
+                    self.dram_pump(sink_node.index());
+                    return;
+                }
+                let reply_source = self
+                    .closed_loop
+                    .as_ref()
                     .expect("closed loop active")
-                    .pending_replies[reply_source]
-                    .push_back((reply_id, flow));
+                    .node_reply_source[sink_node.index()]
+                .expect("validated: controller node has a source");
+                self.release_reply(sink_node, reply_source, flow, src, reply_len, birth);
             }
             PacketClass::Reply => {
                 // Closed-loop replies are marked by the request birth they
@@ -579,6 +741,148 @@ impl Network {
                 debug_assert!(requester.outstanding > 0, "reply without a request");
                 requester.outstanding -= 1;
                 self.stats.record_round_trip(flow, request_birth, self.now);
+            }
+        }
+    }
+
+    /// Creates a reply packet on `flow` from controller `mc_node` back to
+    /// `requester` and queues it at the controller's reply port. The reply
+    /// travels on the requester's flow (QOS priority and per-flow
+    /// accounting) but is injected and retransmitted by the controller's
+    /// source; it carries the request's birth so the round trip can be
+    /// measured at delivery.
+    fn release_reply(
+        &mut self,
+        mc_node: NodeId,
+        reply_source: usize,
+        flow: FlowId,
+        requester: NodeId,
+        reply_len: u8,
+        request_birth: Cycle,
+    ) {
+        let now = self.now;
+        let reply_id = self.packets.insert_with(|id| {
+            let mut reply = Packet::new(
+                id,
+                flow,
+                mc_node,
+                requester,
+                reply_len,
+                PacketClass::Reply,
+                now,
+            );
+            reply.request_birth = Some(request_birth);
+            reply.origin_source = Some(reply_source as u32);
+            reply
+        });
+        let source = &mut self.sources[reply_source];
+        source.generated_packets += 1;
+        source.generated_flits += u64::from(reply_len);
+        self.closed_loop
+            .as_mut()
+            .expect("closed loop active")
+            .pending_replies[reply_source]
+            .push_back((reply_id, flow));
+    }
+
+    /// A DRAM bank completed: release the reply of the serviced request and
+    /// let the controller pull waiting work onto its freed bank.
+    fn handle_dram_complete(&mut self, mc_node: usize, bank: usize) {
+        let cl = self.closed_loop.as_mut().expect("closed loop active");
+        let mc = cl.mc_states[mc_node]
+            .as_mut()
+            .expect("completion at a controller without DRAM state");
+        debug_assert_eq!(
+            mc.banks[bank].busy_until, self.now,
+            "bank completion fired at the wrong cycle"
+        );
+        let request = mc.banks[bank]
+            .in_service
+            .take()
+            .expect("completion for an idle bank");
+        let reply_source =
+            cl.node_reply_source[mc_node].expect("validated: controller node has a source");
+        self.release_reply(
+            NodeId(mc_node as u16),
+            reply_source,
+            request.flow,
+            request.requester,
+            request.reply_len,
+            request.birth,
+        );
+        self.dram_pump(mc_node);
+    }
+
+    /// Drives a controller's DRAM pipeline to a fixed point: every waiting
+    /// request whose bank is idle starts service (first come, first served
+    /// per bank — a younger request may bypass to a different, idle bank),
+    /// and stall-lane arrivals are admitted (releasing their withheld
+    /// ejection-slot credits) while the bounded queue has room. Called after
+    /// every arrival and every bank completion; deterministic and identical
+    /// on both engines.
+    fn dram_pump(&mut self, mc_node: usize) {
+        let now = self.now;
+        let Network {
+            closed_loop,
+            stats,
+            events,
+            sink_feeders,
+            config,
+            ..
+        } = self;
+        let cl = closed_loop.as_mut().expect("closed loop active");
+        let dram = cl.dram.expect("DRAM pump requires a DRAM model");
+        let mc = cl.mc_states[mc_node]
+            .as_mut()
+            .expect("pump at a controller without DRAM state");
+        loop {
+            let mut progressed = false;
+            // Start every startable request, scanning in arrival order.
+            let mut i = 0;
+            while i < mc.queue.len() {
+                let bank_idx = dram.bank_of(mc.queue[i].line);
+                if mc.banks[bank_idx].is_idle() {
+                    let request = mc.queue.remove(i).expect("index checked in bounds");
+                    let row = dram.row_of(request.line);
+                    let bank = &mut mc.banks[bank_idx];
+                    let hit = bank.open_row == Some(row);
+                    let latency = dram.service_latency(bank.open_row, row);
+                    bank.busy_until = now + latency;
+                    bank.open_row = Some(row);
+                    bank.in_service = Some(request);
+                    stats.record_dram_service(request.flow, hit, request.arrived, now, latency);
+                    events.schedule(
+                        now + latency,
+                        Event::DramComplete {
+                            mc: mc_node as u32,
+                            bank: bank_idx as u16,
+                        },
+                    );
+                    progressed = true;
+                } else {
+                    i += 1;
+                }
+            }
+            // Admit stalled arrivals while the queue has room, releasing
+            // their withheld sink-slot credits.
+            while mc.queue.len() < dram.queue_depth {
+                let Some(stalled) = mc.stalled.pop_front() else {
+                    break;
+                };
+                mc.queue.push_back(stalled.request);
+                stats.record_dram_occupancy(mc.queue.len());
+                release_sink_credit(
+                    events,
+                    config,
+                    sink_feeders,
+                    now,
+                    stalled.sink,
+                    stalled.slot,
+                );
+                progressed = true;
+            }
+            if !progressed {
+                break;
             }
         }
     }
@@ -606,13 +910,20 @@ impl Network {
             // (outstanding-window packets only need event handling).
             // Closed-loop requester flows issue from their MLP window instead
             // of polling a generator: one request whenever the window has
-            // room and the budget allows.
-            let generated = match closed_loop
-                .as_mut()
-                .and_then(|cl| cl.requesters[source.flow.index()].as_mut())
-            {
-                Some(requester) => {
+            // room and the budget allows. Under a DRAM model the request also
+            // carries the next cache line of the flow's private stream.
+            let mut dram_line = None;
+            let generated = match closed_loop.as_mut().map(|cl| {
+                (
+                    cl.dram.is_some(),
+                    cl.requesters[source.flow.index()].as_mut(),
+                )
+            }) {
+                Some((dram_enabled, Some(requester))) => {
                     if requester.can_issue() {
+                        if dram_enabled {
+                            dram_line = Some(requester_line(source.flow, requester.issued));
+                        }
                         requester.outstanding += 1;
                         requester.issued += 1;
                         stats.record_request_issued(source.flow);
@@ -625,7 +936,7 @@ impl Network {
                         None
                     }
                 }
-                None => source.generator.generate(now),
+                _ => source.generator.generate(now),
             };
             if let Some(gen) = generated {
                 // `origin_source` stays `None` here: a packet generated at
@@ -633,7 +944,10 @@ impl Network {
                 // only controller-injected replies carry an explicit origin.
                 let (flow, node) = (source.flow, source.node);
                 let id = packets.insert_with(|id| {
-                    Packet::new(id, flow, node, gen.dst, gen.len_flits, gen.class, now)
+                    let mut packet =
+                        Packet::new(id, flow, node, gen.dst, gen.len_flits, gen.class, now);
+                    packet.dram_line = dram_line;
+                    packet
                 });
                 source.enqueue_generated(id, gen.len_flits);
             } else if closed_loop
@@ -1902,6 +2216,169 @@ mod tests {
             FlowId(0),
             crate::closed_loop::RequesterSpec::paper(NodeId(1), 2),
         );
+        assert!(net.with_closed_loop(spec).is_err());
+    }
+
+    fn closed_loop_dram_network(
+        mlp: usize,
+        total: Option<u64>,
+        dram: crate::closed_loop::DramConfig,
+    ) -> Network {
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![
+            Box::new(crate::packet::IdleGenerator),
+            Box::new(crate::packet::IdleGenerator),
+        ];
+        let mut requester = crate::closed_loop::RequesterSpec::paper(NodeId(1), mlp);
+        requester.total = total;
+        let spec = crate::closed_loop::ClosedLoopSpec::new(2)
+            .with_requester(FlowId(0), requester)
+            .with_dram(dram);
+        Network::new(
+            bidirectional_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("bidirectional network builds")
+        .with_closed_loop(spec)
+        .expect("closed loop installs")
+    }
+
+    fn run_to_quiescence(net: &mut Network, max_cycles: u64) {
+        for _ in 0..max_cycles {
+            net.step();
+            if net.is_quiescent() {
+                return;
+            }
+        }
+        panic!("closed loop did not complete within {max_cycles} cycles");
+    }
+
+    #[test]
+    fn dram_service_time_extends_the_round_trip_exactly() {
+        // One uncontended request: the DRAM-backed round trip is the instant
+        // controller's round trip plus exactly one row-miss service latency
+        // (a cold bank's first access always misses).
+        let mut plain = closed_loop_network(1, Some(1));
+        run_to_quiescence(&mut plain, 1_000);
+        let plain = plain.into_stats();
+
+        let dram = crate::closed_loop::DramConfig::paper().with_latencies(18, 48);
+        let mut backed = closed_loop_dram_network(1, Some(1), dram);
+        run_to_quiescence(&mut backed, 1_000);
+        let backed = backed.into_stats();
+
+        assert_eq!(backed.dram.serviced_requests, 1);
+        assert_eq!(backed.dram.row_misses, 1);
+        assert_eq!(backed.dram.row_hits, 0);
+        assert_eq!(backed.dram.bank_busy_cycles, 48);
+        assert_eq!(
+            backed.avg_round_trip().expect("round trip measured"),
+            plain.avg_round_trip().expect("round trip measured") + 48.0,
+        );
+    }
+
+    #[test]
+    fn row_buffer_hits_follow_the_open_row_deterministically() {
+        // A single-bank controller with 4-line rows serving a strictly
+        // sequential (MLP 1) stream of 8 lines: lines 0–3 share row 0 and
+        // lines 4–7 share row 1, so exactly the two row openings miss.
+        let dram = crate::closed_loop::DramConfig::paper()
+            .with_banks(1)
+            .with_lines_per_row(4);
+        let mut net = closed_loop_dram_network(1, Some(8), dram);
+        run_to_quiescence(&mut net, 5_000);
+        let stats = net.into_stats();
+        assert_eq!(stats.dram.serviced_requests, 8);
+        assert_eq!(stats.dram.row_misses, 2);
+        assert_eq!(stats.dram.row_hits, 6);
+        assert_eq!(
+            stats.dram.bank_busy_cycles,
+            2 * dram.row_miss_latency + 6 * dram.row_hit_latency
+        );
+        assert_eq!(stats.dram.row_hit_rate(), Some(0.75));
+        assert_eq!(stats.round_trips, 8);
+    }
+
+    #[test]
+    fn full_queue_nacks_retry_and_still_conserve_round_trips() {
+        // A one-entry queue in front of one slow bank, hammered through a
+        // deep window: overflow requests are NACKed and retransmitted, yet
+        // every request completes exactly one round trip and is counted as
+        // delivered exactly once.
+        let dram = crate::closed_loop::DramConfig::paper()
+            .with_banks(1)
+            .with_queue_depth(1)
+            .with_latencies(40, 80);
+        let mut net = closed_loop_dram_network(8, Some(20), dram);
+        run_to_quiescence(&mut net, 50_000);
+        // The sink counters agree with the stats: rejected arrivals are
+        // discarded, not delivered, so both count each packet exactly once.
+        // 20 single-flit requests + 20 four-flit replies.
+        assert_eq!(net.delivered_flits(), 20 + 80);
+        let stats = net.into_stats();
+        assert!(
+            stats.dram.rejected_requests > 0,
+            "a 1-deep queue under MLP 8 must overflow"
+        );
+        assert_eq!(stats.flows[0].dram_rejections, stats.dram.rejected_requests);
+        assert!(
+            stats.flows[0].retransmissions >= stats.dram.rejected_requests,
+            "every rejection forces a retransmission"
+        );
+        assert_eq!(stats.dram.stalled_requests, 0);
+        assert_eq!(stats.round_trips, 20);
+        assert_eq!(stats.dram.serviced_requests, 20);
+        // 20 requests + 20 replies, each recorded delivered exactly once
+        // (rejected arrivals are not deliveries).
+        assert_eq!(stats.delivered_packets, 40);
+        assert_eq!(stats.generated_packets, 40);
+        assert!(stats.dram.max_queue_occupancy <= 1);
+    }
+
+    #[test]
+    fn stall_backpressure_holds_credits_instead_of_nacking() {
+        let dram = crate::closed_loop::DramConfig::paper()
+            .with_banks(1)
+            .with_queue_depth(1)
+            .with_latencies(40, 80)
+            .with_backpressure(crate::closed_loop::DramBackpressure::Stall);
+        let mut net = closed_loop_dram_network(8, Some(20), dram);
+        run_to_quiescence(&mut net, 50_000);
+        let stats = net.into_stats();
+        assert!(
+            stats.dram.stalled_requests > 0,
+            "a 1-deep queue under MLP 8 must stall arrivals"
+        );
+        assert_eq!(stats.dram.rejected_requests, 0);
+        assert_eq!(
+            stats.flows[0].retransmissions, 0,
+            "stalling must not generate retry traffic"
+        );
+        assert_eq!(stats.round_trips, 20);
+        assert_eq!(stats.delivered_packets, 40);
+        assert!(stats.dram.avg_queue_wait().expect("requests waited") > 0.0);
+    }
+
+    #[test]
+    fn invalid_dram_config_is_rejected_at_install() {
+        let generators: Vec<Box<dyn PacketGenerator>> = vec![
+            Box::new(crate::packet::IdleGenerator),
+            Box::new(crate::packet::IdleGenerator),
+        ];
+        let net = Network::new(
+            bidirectional_spec(),
+            Box::new(FifoPolicy::new()),
+            generators,
+            SimConfig::default(),
+        )
+        .expect("network builds");
+        let spec = crate::closed_loop::ClosedLoopSpec::new(2)
+            .with_requester(
+                FlowId(0),
+                crate::closed_loop::RequesterSpec::paper(NodeId(1), 2),
+            )
+            .with_dram(crate::closed_loop::DramConfig::paper().with_banks(0));
         assert!(net.with_closed_loop(spec).is_err());
     }
 

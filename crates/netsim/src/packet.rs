@@ -69,6 +69,11 @@ pub struct Packet {
     /// windowed and retransmitted by the memory controller's source; ACK and
     /// NACK messages must route there. `None` means "the flow's source".
     pub origin_source: Option<u32>,
+    /// For closed-loop request packets under a DRAM-backed controller model:
+    /// the cache-line address (in line units) the request reads, used by the
+    /// controller to derive the bank and row (see
+    /// [`crate::closed_loop::DramConfig`]). `None` for every other packet.
+    pub dram_line: Option<u64>,
 }
 
 impl Packet {
@@ -95,6 +100,7 @@ impl Packet {
             retransmissions: 0,
             request_birth: None,
             origin_source: None,
+            dram_line: None,
         }
     }
 

@@ -83,6 +83,26 @@ impl SinkState {
         packet
     }
 
+    /// Packet currently occupying `slot`, if any (without completing it).
+    pub fn occupant(&self, slot: VcId) -> Option<PacketId> {
+        self.slots[slot.index()].packet
+    }
+
+    /// Discards the packet in `slot`, freeing the slot **without** counting
+    /// a delivery — used when a DRAM-backed controller rejects (NACKs) a
+    /// request at a full queue: the flits arrived physically but the
+    /// request was not consumed. Returns the discarded packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty.
+    pub fn discard(&mut self, slot: VcId) -> PacketId {
+        let s = &mut self.slots[slot.index()];
+        let packet = s.packet.take().expect("discarding an empty sink slot");
+        s.flits_arrived = 0;
+        packet
+    }
+
     /// Number of currently occupied slots.
     pub fn occupied_slots(&self) -> usize {
         self.slots.iter().filter(|s| s.packet.is_some()).count()

@@ -21,7 +21,8 @@ pub struct FlowStats {
     pub measured_delivered_packets: u64,
     /// Flits delivered during the measurement window.
     pub measured_delivered_flits: u64,
-    /// Sum of packet latencies for measured packets (born in the window).
+    /// Sum of packet latencies for measured packets (born in the window),
+    /// in cycles.
     pub latency_sum: u64,
     /// Number of measured latency samples.
     pub latency_samples: u64,
@@ -37,10 +38,17 @@ pub struct FlowStats {
     /// Round trips completed during the measurement window.
     pub measured_round_trips: u64,
     /// Sum of round-trip latencies of measured round trips (requests issued
-    /// during the window whose reply arrived).
+    /// during the window whose reply arrived), in cycles.
     pub rt_latency_sum: u64,
     /// Number of measured round-trip samples.
     pub rt_samples: u64,
+    /// DRAM row-buffer hits scored by this flow's requests (whole run).
+    pub dram_row_hits: u64,
+    /// DRAM row-buffer misses scored by this flow's requests (whole run).
+    pub dram_row_misses: u64,
+    /// Requests of this flow NACKed by a full controller queue (each one is
+    /// retransmitted over the fabric; whole run).
+    pub dram_rejections: u64,
 }
 
 impl FlowStats {
@@ -85,6 +93,60 @@ pub struct EnergyCounters {
     pub link_flit_hops: u64,
 }
 
+/// Aggregate behaviour of the DRAM-backed memory controllers (zero when the
+/// closed loop runs without a DRAM model). All counters are whole-run exact
+/// integers, so engine-equivalence comparisons cover the DRAM model too.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramStats {
+    /// Requests that entered DRAM service (counted at the bank-service
+    /// *start*; each releases one reply when its bank completes, so a
+    /// fixed-window run may end with the last few still in flight).
+    pub serviced_requests: u64,
+    /// Services that hit the bank's open row.
+    pub row_hits: u64,
+    /// Services that missed the open row (precharge + activate + CAS).
+    pub row_misses: u64,
+    /// Requests rejected (NACKed) by a full controller queue.
+    pub rejected_requests: u64,
+    /// Requests parked in a stall lane (Stall backpressure), holding their
+    /// ejection-slot credit until the queue had room.
+    pub stalled_requests: u64,
+    /// Sum over serviced requests of (service start − arrival at the
+    /// controller), in cycles: time spent waiting for a bank.
+    pub queue_wait_sum: u64,
+    /// Largest queue wait of any serviced request, in cycles.
+    pub max_queue_wait: u64,
+    /// High-water mark of any single controller's waiting-request queue.
+    pub max_queue_occupancy: u64,
+    /// Sum of service latencies issued across all banks, in bank-cycles,
+    /// charged at service start (divide by `cycles × banks × controllers`
+    /// for mean bank utilisation).
+    pub bank_busy_cycles: u64,
+}
+
+impl DramStats {
+    /// Mean cycles a serviced request waited for a bank, or `None` when no
+    /// request completed service.
+    pub fn avg_queue_wait(&self) -> Option<f64> {
+        if self.serviced_requests == 0 {
+            None
+        } else {
+            Some(self.queue_wait_sum as f64 / self.serviced_requests as f64)
+        }
+    }
+
+    /// Fraction of services that hit the open row, or `None` when no request
+    /// completed service.
+    pub fn row_hit_rate(&self) -> Option<f64> {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.row_hits as f64 / total as f64)
+        }
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 ///
 /// Every field is an exact integer counter, so `NetStats` is `Eq`: two runs
@@ -97,6 +159,8 @@ pub struct NetStats {
     pub flows: Vec<FlowStats>,
     /// Energy-relevant event counters.
     pub energy: EnergyCounters,
+    /// DRAM controller counters (zero without a DRAM model).
+    pub dram: DramStats,
     /// Start of the measurement window (inclusive), if one was set.
     pub measure_start: Option<Cycle>,
     /// End of the measurement window (exclusive), if one was set.
@@ -107,19 +171,19 @@ pub struct NetStats {
     pub delivered_flits: u64,
     /// Total packets generated (whole run).
     pub generated_packets: u64,
-    /// Sum of latencies of measured packets.
+    /// Sum of latencies of measured packets, in cycles.
     pub latency_sum: u64,
     /// Number of measured latency samples.
     pub latency_samples: u64,
-    /// Largest measured packet latency.
+    /// Largest measured packet latency, in cycles.
     pub max_latency: u64,
     /// Closed-loop round trips completed (whole run).
     pub round_trips: u64,
-    /// Sum of measured round-trip latencies.
+    /// Sum of measured round-trip latencies, in cycles.
     pub rt_latency_sum: u64,
     /// Number of measured round-trip samples.
     pub rt_samples: u64,
-    /// Largest measured round-trip latency.
+    /// Largest measured round-trip latency, in cycles.
     pub max_round_trip: u64,
     /// Preemption events (a packet preempted twice counts twice).
     pub preemption_events: u64,
@@ -233,6 +297,52 @@ impl NetStats {
         let window = end.saturating_sub(start).max(1);
         let measured: u64 = self.flows.iter().map(|f| f.measured_round_trips).sum();
         measured as f64 / window as f64
+    }
+
+    /// Records the start of DRAM service for a request of `flow` that
+    /// arrived at its controller at `arrived` and started service at `now`,
+    /// with `hit` telling whether it hit the open row and `latency` the
+    /// service time charged (cycles).
+    pub fn record_dram_service(
+        &mut self,
+        flow: FlowId,
+        hit: bool,
+        arrived: Cycle,
+        now: Cycle,
+        latency: Cycle,
+    ) {
+        self.dram.serviced_requests += 1;
+        let fs = &mut self.flows[flow.index()];
+        if hit {
+            self.dram.row_hits += 1;
+            fs.dram_row_hits += 1;
+        } else {
+            self.dram.row_misses += 1;
+            fs.dram_row_misses += 1;
+        }
+        let wait = now.saturating_sub(arrived);
+        self.dram.queue_wait_sum += wait;
+        self.dram.max_queue_wait = self.dram.max_queue_wait.max(wait);
+        self.dram.bank_busy_cycles += latency;
+    }
+
+    /// Records the rejection (NACK) of a request of `flow` by a full
+    /// controller queue.
+    pub fn record_dram_rejection(&mut self, flow: FlowId) {
+        self.dram.rejected_requests += 1;
+        self.flows[flow.index()].dram_rejections += 1;
+    }
+
+    /// Records a request parked in a controller's stall lane (its queue
+    /// occupancy is recorded separately, on admission to the queue).
+    pub fn record_dram_stall(&mut self) {
+        self.dram.stalled_requests += 1;
+    }
+
+    /// Records the waiting-queue occupancy of a controller after an arrival
+    /// was enqueued (high-water tracking).
+    pub fn record_dram_occupancy(&mut self, occupancy: usize) {
+        self.dram.max_queue_occupancy = self.dram.max_queue_occupancy.max(occupancy as u64);
     }
 
     /// Records a preemption of a packet of `flow` that had traversed `hops`

@@ -22,7 +22,7 @@
 //! Routing is destination-based and topology-aware: at a non-column router,
 //! any destination inside a shared column is reached through the row express
 //! channel (one MECS hop to the column, then the QOS-protected column links),
-//! which is exactly the route [`taqos_core`]'s
+//! which is exactly the route `taqos-core`'s
 //! `TopologyAwareChip::memory_access_route` prescribes for memory accesses.
 //! All other destinations use plain XY mesh routing.
 

@@ -4,7 +4,7 @@
 //! *"Topology-aware Quality-of-Service Support in Highly Integrated Chip
 //! Multiprocessors"*:
 //!
-//! * [`column`] — the five shared-region column topologies (mesh x1/x2/x4,
+//! * [`column`](mod@column) — the five shared-region column topologies (mesh x1/x2/x4,
 //!   MECS, and the paper's new Destination Partitioned Subnets), emitted as
 //!   [`taqos_netsim::spec::NetworkSpec`]s with the router parameters of
 //!   Table 1;

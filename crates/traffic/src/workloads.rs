@@ -371,6 +371,7 @@ pub fn workload2_demands(config: &ColumnConfig, rate: f64, hotspot: NodeId) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use taqos_netsim::closed_loop::DramConfig;
     use taqos_netsim::Cycle;
 
     fn count_active(generators: &mut GeneratorSet, cycles: Cycle) -> Vec<u64> {
@@ -525,6 +526,12 @@ mod tests {
 
         let bounded = mlp_closed_loop_bounded(&plan, 250);
         assert_eq!(bounded.requesters[3].unwrap().total, Some(250));
+        assert!(bounded.dram.is_none(), "no DRAM model unless requested");
+
+        // A DRAM model rides along via the spec's builder.
+        let dram = mlp_closed_loop(&plan).with_dram(DramConfig::paper().with_banks(4));
+        assert_eq!(dram.dram.expect("DRAM model installed").banks, 4);
+        assert_eq!(dram.active_requesters(), 2);
 
         let idle = idle_terminals(4);
         assert_eq!(idle.len(), 4);

@@ -258,6 +258,66 @@ fn bounded_closed_loop_conserves_round_trips() {
     }
 }
 
+fn dram_closed_loop_chip_stats(
+    engine: EngineKind,
+    backpressure: taqos_netsim::closed_loop::DramBackpressure,
+) -> NetStats {
+    let sim = paper_chip_sim(engine);
+    // A shallow queue under a deep window drives the controllers into
+    // backpressure, so the equivalence check covers the NACK/stall paths,
+    // the bank timelines and the reply-release machinery.
+    let dram = sim
+        .topology_dram(taqos_netsim::closed_loop::DramConfig::paper())
+        .with_queue_depth(8)
+        .with_backpressure(backpressure);
+    let sim = sim.with_dram(dram);
+    let plan = sim.nearest_mc_mlp_plan(8);
+    sim.run_closed_loop(
+        sim.default_policy(),
+        &plan,
+        OpenLoopConfig {
+            warmup: 500,
+            measure: 3_000,
+            drain: 500,
+        },
+    )
+    .expect("DRAM-backed closed-loop chip run succeeds")
+}
+
+/// Engine equivalence extends to the DRAM-backed closed loop: bank
+/// timelines, row-buffer hits, bounded-queue NACKs/stalls and
+/// completion-released replies produce bit-identical `NetStats` on both
+/// engines, deterministically, in both backpressure modes.
+#[test]
+fn chip_dram_closed_loop_stats_match_reference_engine() {
+    use taqos_netsim::closed_loop::DramBackpressure;
+    for backpressure in [DramBackpressure::Nack, DramBackpressure::Stall] {
+        let optimized = dram_closed_loop_chip_stats(EngineKind::Optimized, backpressure);
+        let reference = dram_closed_loop_chip_stats(EngineKind::Reference, backpressure);
+        assert_eq!(
+            optimized, reference,
+            "engines diverged on the DRAM-backed closed loop ({backpressure:?})"
+        );
+        let again = dram_closed_loop_chip_stats(EngineKind::Optimized, backpressure);
+        assert_eq!(
+            optimized, again,
+            "DRAM-backed closed loop is nondeterministic ({backpressure:?})"
+        );
+        assert!(optimized.round_trips > 0, "no round trips completed");
+        assert!(optimized.dram.serviced_requests > 0, "no DRAM services");
+        match backpressure {
+            DramBackpressure::Nack => assert!(
+                optimized.dram.rejected_requests > 0,
+                "MLP 8 against an 8-deep queue must overflow"
+            ),
+            DramBackpressure::Stall => assert!(
+                optimized.dram.stalled_requests > 0,
+                "MLP 8 against an 8-deep queue must stall"
+            ),
+        }
+    }
+}
+
 /// Exhaustive (not sampled) agreement between the fabric's generated routing
 /// tables and the architectural routing rules, for every (node, controller)
 /// pair of the 8×8 paper chip: the request walk matches

@@ -1,0 +1,213 @@
+//! Integration tests of the DRAM-backed memory controllers: request/reply
+//! conservation under saturation (a seeded property sweep over chip shapes
+//! and DRAM configurations, both backpressure modes), and the paper-style
+//! curves of the rebuilt chip-scale experiments — the monotone
+//! latency-under-load curve with its saturation knee, and the
+//! protected-vs-unprotected divergence under heterogeneous MLP mixes.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use taqos::prelude::*;
+use taqos::traffic::workloads;
+use taqos_core::experiment::chip_scale::{
+    latency_under_load, mlp_mix_divergence, LatencyLoadConfig, MlpMixConfig,
+};
+use taqos_netsim::closed_loop::{DramBackpressure, DramConfig};
+
+/// Seeded property sweep: on random chip shapes with random DRAM
+/// configurations driven to saturation through deep MLP windows against
+/// shallow controller queues, a bounded closed loop conserves traffic
+/// exactly — every issued request is serviced once and answered by exactly
+/// one delivered reply, under both backpressure modes.
+#[test]
+fn saturated_dram_loops_conserve_requests_and_replies() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD4A3_0001);
+    for round in 0..8 {
+        let width = rng.gen_range(3usize..7);
+        let height = rng.gen_range(2usize..6);
+        let column = rng.gen_range(0..width) as u16;
+        let mlp = rng.gen_range(2usize..10);
+        let total = rng.gen_range(8u64..24);
+        let dram = DramConfig::paper()
+            .with_banks(1 << rng.gen_range(0u32..4))
+            .with_queue_depth(rng.gen_range(1usize..5))
+            .with_latencies(rng.gen_range(5..20), rng.gen_range(20..60))
+            .with_lines_per_row(1 << rng.gen_range(0u32..8))
+            .with_backpressure(if rng.gen_bool(0.5) {
+                DramBackpressure::Nack
+            } else {
+                DramBackpressure::Stall
+            });
+        let chip = TopologyAwareChip::new(
+            taqos::topology::grid::ChipGrid::new(width as u16, height as u16, 4),
+            [column].into_iter().collect(),
+        )
+        .expect("random chip is valid");
+        let sim = ChipSim::new(chip).with_dram(dram);
+        let plan = sim.nearest_mc_mlp_plan(mlp);
+        let requesters = plan.iter().filter(|e| e.is_some()).count() as u64;
+        assert!(requesters > 0, "round {round}: no requesters");
+
+        let spec = workloads::mlp_closed_loop_bounded(&plan, total).with_dram(dram);
+        let network = sim
+            .build_closed_loop(sim.default_policy(), spec)
+            .unwrap_or_else(|e| panic!("round {round}: closed-loop network fails to build: {e:?}"));
+        let stats = taqos::netsim::sim::run_closed(network, 2_000_000)
+            .unwrap_or_else(|e| panic!("round {round}: saturated loop stuck: {e:?}"));
+
+        // Exact conservation, per flow and in aggregate.
+        assert_eq!(
+            stats.round_trips,
+            total * requesters,
+            "round {round}: lost replies ({dram:?})"
+        );
+        assert_eq!(stats.dram.serviced_requests, total * requesters);
+        assert_eq!(
+            stats.dram.row_hits + stats.dram.row_misses,
+            stats.dram.serviced_requests,
+            "round {round}: unclassified service"
+        );
+        for (node, entry) in plan.iter().enumerate() {
+            let fs = &stats.flows[node];
+            if entry.is_some() {
+                assert_eq!(fs.issued_requests, total, "round {round}: node {node}");
+                assert_eq!(fs.round_trips, total, "round {round}: node {node}");
+            } else {
+                assert_eq!(fs.issued_requests, 0);
+            }
+        }
+        // Each request and reply is recorded delivered exactly once, even
+        // when rejections force retransmissions.
+        assert_eq!(stats.delivered_packets, 2 * total * requesters);
+        assert_eq!(stats.delivered_flits, (1 + 4) * total * requesters);
+        assert!(stats.dram.max_queue_occupancy <= dram.queue_depth as u64);
+        match dram.backpressure {
+            DramBackpressure::Nack => assert_eq!(stats.dram.stalled_requests, 0),
+            DramBackpressure::Stall => {
+                assert_eq!(stats.dram.rejected_requests, 0);
+                let retransmissions: u64 = stats.flows.iter().map(|f| f.retransmissions).sum();
+                assert_eq!(
+                    retransmissions, 0,
+                    "round {round}: stalling must not retry over the fabric"
+                );
+            }
+        }
+        assert!(stats.completion_cycle.is_some());
+    }
+}
+
+/// The latency-under-load experiment produces the paper-shaped curve:
+/// round-trip latency grows monotonically with the offered load (the MLP
+/// window) while accepted throughput saturates at the controllers' bank
+/// bandwidth — a visible knee, after which deeper windows only buy latency.
+#[test]
+fn latency_under_load_is_monotone_with_a_saturation_knee() {
+    let points = latency_under_load(&LatencyLoadConfig::quick());
+    assert_eq!(points.len(), 6);
+    let latencies: Vec<f64> = points
+        .iter()
+        .map(|p| p.avg_round_trip.expect("every load point completes"))
+        .collect();
+    // Monotone latency growth (small tolerance for window-edge sampling).
+    for (i, pair) in latencies.windows(2).enumerate() {
+        assert!(
+            pair[1] >= pair[0] * 0.98,
+            "latency not monotone at point {i}: {latencies:?}"
+        );
+    }
+    // The load sweep spans the curve: the deepest window pays several times
+    // the unloaded round trip.
+    assert!(
+        latencies[points.len() - 1] > 3.0 * latencies[0],
+        "no latency growth across the sweep: {latencies:?}"
+    );
+    // Pre-knee the throughput still scales with the window...
+    assert!(
+        points[1].throughput > 1.4 * points[0].throughput,
+        "no pre-knee throughput growth: {points:?}"
+    );
+    // ...post-knee it saturates: doubling the window buys <15% throughput.
+    let last = points[points.len() - 1].throughput;
+    let prev = points[points.len() - 2].throughput;
+    assert!(
+        last < 1.15 * prev,
+        "no saturation knee: {last} vs {prev} ({points:?})"
+    );
+    // Under saturation the bounded controller queues visibly backpressure.
+    let saturated = points.last().expect("points exist");
+    assert!(saturated.max_queue_occupancy > 0);
+    assert!(
+        saturated.avg_queue_wait.expect("services happened") > 0.0,
+        "saturation must show queueing delay"
+    );
+}
+
+/// The heterogeneous MLP-mix sweep shows the end-to-end QOS claim on the
+/// DRAM-backed loop: as the hog deepens its window, the protected victim's
+/// round-trip slowdown stays bounded while the unprotected fabric diverges
+/// (an order of magnitude worse or starved outright).
+#[test]
+fn protected_victim_stays_bounded_while_unprotected_diverges() {
+    let points = mlp_mix_divergence(&MlpMixConfig::quick());
+    assert_eq!(points.len(), 3);
+    for point in &points {
+        // The protected victim never starves and stays within a small
+        // multiple of its solo baseline, at every hog window.
+        assert!(
+            !point.protected.starved(),
+            "protected victim starved at hog MLP {}",
+            point.hog_mlp
+        );
+        let protected = point
+            .protected_slowdown()
+            .expect("protected victim completes");
+        assert!(
+            protected < 4.0,
+            "protected slowdown {protected:.2} unbounded at hog MLP {}",
+            point.hog_mlp
+        );
+        // The solo baseline is shared across points.
+        assert_eq!(point.solo.round_trips, points[0].solo.round_trips);
+    }
+    // At the deepest hog window the unprotected victim diverges.
+    let deepest = points.last().expect("points exist");
+    match deepest.unprotected_slowdown() {
+        None => assert!(
+            deepest.unprotected.starved(),
+            "ratio refused but not starved"
+        ),
+        Some(unprotected) => {
+            let protected = deepest.protected_slowdown().expect("bounded");
+            assert!(
+                unprotected > 3.0 * protected,
+                "no divergence: {unprotected:.2} vs {protected:.2}"
+            );
+        }
+    }
+}
+
+/// The DRAM-backed isolation experiment (the PR-3 scenario rebuilt on the
+/// controller model) preserves the headline: the protected victim meets a
+/// bounded slowdown while the unprotected victim starves or collapses.
+#[test]
+fn dram_backed_isolation_keeps_the_headline() {
+    let config = taqos_core::experiment::chip_scale::ChipIsolationConfig::quick()
+        .with_dram(DramConfig::paper());
+    let result = chip_isolation(&config);
+    assert!(!result.solo.starved());
+    assert!(!result.protected.starved());
+    let protected = result
+        .protected_slowdown()
+        .expect("protected victim completes");
+    assert!(
+        protected < 4.0,
+        "protected slowdown {protected:.2} too large"
+    );
+    match result.unprotected_slowdown() {
+        None => assert!(result.unprotected.starved()),
+        Some(unprotected) => assert!(
+            unprotected > 2.0 * protected,
+            "no interference without the overlay"
+        ),
+    }
+}
