@@ -19,6 +19,10 @@
 //! * `chip_dram_8x8` — the closed loop with **DRAM-backed controllers**:
 //!   address-interleaved banks, row-buffer hit/miss latencies and bounded
 //!   request queues behind every column memory controller;
+//! * `chip_dram_frfcfs_8x8` — the same DRAM-backed loop with the
+//!   rate-scaled **FR-FCFS + priority-admission** scheduler (row-hit-first
+//!   bank scheduling, priority-weighted age cap, lowest-priority eviction
+//!   on overflow) at every controller;
 //! * `chip_16x16_cols2` / `chip_16x16_cols4` — multi-column 16×16 chips
 //!   (256 routers) under the closed loop, at a quarter of the cycle budget
 //!   (cycles/sec stays comparable);
@@ -40,7 +44,7 @@ use std::time::Instant;
 use taqos_bench::{cell, rule, CliArgs};
 use taqos_core::chip_sim::ChipSim;
 use taqos_core::shared_region::SharedRegionSim;
-use taqos_netsim::closed_loop::DramConfig;
+use taqos_netsim::closed_loop::{DramConfig, DramScheduler};
 use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::QosPolicy;
@@ -76,6 +80,7 @@ enum BenchCase {
     Chip8x8,
     ChipClosed8x8,
     ChipDram8x8,
+    ChipDramFrfcfs8x8,
     ChipClosed16x16 { columns: usize },
     Column(ColumnTopology),
 }
@@ -87,6 +92,7 @@ impl BenchCase {
             BenchCase::Chip8x8 => "chip_8x8",
             BenchCase::ChipClosed8x8 => "chip_closed_8x8",
             BenchCase::ChipDram8x8 => "chip_dram_8x8",
+            BenchCase::ChipDramFrfcfs8x8 => "chip_dram_frfcfs_8x8",
             BenchCase::ChipClosed16x16 { columns: 2 } => "chip_16x16_cols2",
             BenchCase::ChipClosed16x16 { columns: 4 } => "chip_16x16_cols4",
             BenchCase::ChipClosed16x16 { .. } => "chip_16x16",
@@ -100,6 +106,7 @@ impl BenchCase {
             BenchCase::Chip8x8 => "nearest_mc_fixed",
             BenchCase::ChipClosed8x8
             | BenchCase::ChipDram8x8
+            | BenchCase::ChipDramFrfcfs8x8
             | BenchCase::ChipClosed16x16 { .. } => "nearest_mc_mlp",
             _ => "uniform_random",
         }
@@ -111,6 +118,7 @@ impl BenchCase {
             BenchCase::Chip8x8
             | BenchCase::ChipClosed8x8
             | BenchCase::ChipDram8x8
+            | BenchCase::ChipDramFrfcfs8x8
             | BenchCase::ChipClosed16x16 { .. } => "pvc@columns",
             _ => "pvc",
         }
@@ -118,13 +126,19 @@ impl BenchCase {
 
     /// DRAM controller model of the case, if any. This is the single source
     /// of truth: `build` installs exactly this configuration and the JSON
-    /// report records it, so regenerated baselines are self-describing and
-    /// cannot desync from what actually ran.
+    /// report records it (scheduler, page policy and age cap included), so
+    /// regenerated baselines are self-describing and cannot desync from
+    /// what actually ran.
     fn dram_config(self) -> Option<DramConfig> {
         match self {
             BenchCase::ChipDram8x8 => {
                 Some(ChipSim::paper_default().topology_dram(DramConfig::paper()))
             }
+            BenchCase::ChipDramFrfcfs8x8 => Some(
+                ChipSim::paper_default()
+                    .topology_dram(DramConfig::paper())
+                    .with_scheduler(DramScheduler::FrFcfs),
+            ),
             _ => None,
         }
     }
@@ -181,9 +195,11 @@ impl BenchCase {
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
                     .expect("closed-loop chip builds")
             }
-            BenchCase::ChipDram8x8 => {
+            BenchCase::ChipDram8x8 | BenchCase::ChipDramFrfcfs8x8 => {
                 // The DRAM-backed closed loop: bank timelines, row buffers
-                // and bounded controller queues behind the same fabric.
+                // and bounded controller queues behind the same fabric —
+                // FCFS controllers or rate-scaled FR-FCFS with priority
+                // admission, per the case's `dram_config`.
                 let dram = self.dram_config().expect("DRAM case has a config");
                 let sim = ChipSim::paper_default()
                     .with_sim_config(SimConfig::default().with_engine(engine))
@@ -291,6 +307,7 @@ fn main() {
         BenchCase::Chip8x8,
         BenchCase::ChipClosed8x8,
         BenchCase::ChipDram8x8,
+        BenchCase::ChipDramFrfcfs8x8,
         BenchCase::ChipClosed16x16 { columns: 2 },
         BenchCase::ChipClosed16x16 { columns: 4 },
         BenchCase::Column(ColumnTopology::MeshX1),
@@ -304,7 +321,8 @@ fn main() {
         "netsim throughput: {cycles} cycles @ {rate} flits/cycle/injector, median of {repeat}; \
          uniform random + PVC (columns, meshes), nearest-MC + column-scoped PVC (chip_8x8), \
          MLP-{CLOSED_LOOP_MLP} closed loop (chip_closed_8x8, chip_dram_8x8 with DRAM-backed \
-         controllers, chip_16x16_cols2/4 at cycles/4)"
+         controllers, chip_dram_frfcfs_8x8 with FR-FCFS + priority admission, \
+         chip_16x16_cols2/4 at cycles/4)"
     );
     println!("{}", rule(108));
     println!(
@@ -403,13 +421,17 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
         let dram = match result.case.dram_config() {
             Some(d) => format!(
                 "{{ \"banks\": {}, \"row_hit_latency\": {}, \"row_miss_latency\": {}, \
-                 \"queue_depth\": {}, \"lines_per_row\": {}, \"backpressure\": \"{:?}\" }}",
+                 \"queue_depth\": {}, \"lines_per_row\": {}, \"backpressure\": \"{:?}\", \
+                 \"scheduler\": \"{:?}\", \"page_policy\": \"{:?}\", \"age_cap\": {} }}",
                 d.banks,
                 d.row_hit_latency,
                 d.row_miss_latency,
                 d.queue_depth,
                 d.lines_per_row,
                 d.backpressure,
+                d.scheduler,
+                d.page_policy,
+                d.age_cap,
             ),
             None => "null".to_string(),
         };

@@ -73,21 +73,32 @@ fn run_load(quick: bool) {
         LatencyLoadConfig::default()
     };
     println!(
-        "latency under load (8x8 chip, DRAM {} banks, hit/miss {}/{} cycles, queue {}):",
+        "latency under load (8x8 chip, DRAM {} banks, hit/miss {}/{} cycles, queue {}, \
+         schedulers {:?}):",
         config.dram.banks,
         config.dram.row_hit_latency,
         config.dram.row_miss_latency,
-        config.dram.queue_depth
+        config.dram.queue_depth,
+        config.schedulers,
     );
-    println!("{}", rule(86));
+    println!("{}", rule(110));
     println!(
-        "{:>5} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12}",
-        "mlp", "rt/cycle", "rt latency", "queue wait", "hit rate", "rejected", "max queue"
+        "{:>18} {:>5} {:>12} {:>12} {:>12} {:>10} {:>10} {:>9} {:>10}",
+        "scheduler",
+        "mlp",
+        "rt/cycle",
+        "rt latency",
+        "queue wait",
+        "hit rate",
+        "rejected",
+        "evicted",
+        "max queue"
     );
-    println!("{}", rule(86));
+    println!("{}", rule(110));
     for p in latency_under_load(&config) {
         println!(
-            "{:>5} {} {:>12} {:>12} {:>10} {:>10} {:>12}",
+            "{:>18} {:>5} {} {:>12} {:>12} {:>10} {:>10} {:>9} {:>10}",
+            format!("{:?}", p.scheduler),
             p.mlp,
             cell(p.throughput, 12, 4),
             fmt_latency(p.avg_round_trip),
@@ -96,10 +107,11 @@ fn run_load(quick: bool) {
                 .map(|r| format!("{:>9.1}%", 100.0 * r))
                 .unwrap_or_else(|| "        -".to_string()),
             p.rejected_requests,
+            p.evicted_requests,
             p.max_queue_occupancy,
         );
     }
-    println!("{}", rule(86));
+    println!("{}", rule(110));
 }
 
 fn run_mix(quick: bool) {
@@ -109,18 +121,24 @@ fn run_mix(quick: bool) {
         MlpMixConfig::default()
     };
     println!(
-        "MLP-mix divergence (victim MLP {}, DRAM-backed controller):",
-        config.victim_mlp
+        "MLP-mix divergence (victim MLP {}, DRAM-backed controller, schedulers {:?}):",
+        config.victim_mlp, config.schedulers,
     );
-    println!("{}", rule(78));
+    println!("{}", rule(98));
     println!(
-        "{:>8} {:>14} {:>14} {:>16} {:>16}",
-        "hog mlp", "protected rt", "unprotected rt", "prot. slowdown", "unprot. slowdown"
+        "{:>18} {:>8} {:>14} {:>14} {:>16} {:>16}",
+        "scheduler",
+        "hog mlp",
+        "protected rt",
+        "unprotected rt",
+        "prot. slowdown",
+        "unprot. slowdown"
     );
-    println!("{}", rule(78));
+    println!("{}", rule(98));
     for p in mlp_mix_divergence(&config) {
         println!(
-            "{:>8} {:>14} {:>14} {:>16} {:>16}",
+            "{:>18} {:>8} {:>14} {:>14} {:>16} {:>16}",
+            format!("{:?}", p.scheduler),
             p.hog_mlp,
             fmt_latency(p.protected.avg_round_trip),
             fmt_latency(p.unprotected.avg_round_trip),
@@ -128,7 +146,7 @@ fn run_mix(quick: bool) {
             fmt_ratio(p.unprotected_slowdown()),
         );
     }
-    println!("{}", rule(78));
+    println!("{}", rule(98));
 }
 
 fn run_scaling(quick: bool) {

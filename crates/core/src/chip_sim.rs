@@ -391,7 +391,12 @@ impl ChipSim {
     /// configuration installed: every packet of the run is produced by the
     /// MLP request loops and the controllers' reply ports. If the simulation
     /// carries a DRAM model ([`Self::with_dram`]) and the spec does not set
-    /// one itself, the simulation's model is installed.
+    /// one itself, the simulation's model is installed; and if the spec
+    /// carries no flow weights, the PVC policy's programmed per-flow rates
+    /// are exported as the DRAM schedulers' priority weights — the same
+    /// `Hypervisor`-programmed rates then govern both the fabric's scoped
+    /// virtual clock and the controllers' (end-to-end QOS). The QOS-free
+    /// fabric leaves the weights equal.
     ///
     /// # Errors
     ///
@@ -404,6 +409,11 @@ impl ChipSim {
     ) -> Result<Network, SimError> {
         if spec.dram.is_none() {
             spec.dram = self.dram;
+        }
+        if spec.flow_weights.is_empty() {
+            if let ChipPolicy::ColumnPvc(pvc) = &policy {
+                spec.flow_weights = pvc.rates().priority_weights();
+            }
         }
         self.build(policy, workloads::idle_terminals(self.config.num_nodes()))?
             .with_closed_loop(spec)

@@ -30,12 +30,16 @@
 //! regenerates the paper-style end-to-end curves:
 //!
 //! * [`latency_under_load`] sweeps the offered load (the MLP window of every
-//!   requester) and traces round-trip latency against accepted throughput —
-//!   monotone latency growth with a visible saturation knee where the
-//!   controllers run out of bank bandwidth;
+//!   requester), once per controller scheduler flavour, and traces
+//!   round-trip latency against accepted throughput — monotone latency
+//!   growth with a visible saturation knee where the controllers run out of
+//!   bank bandwidth;
 //! * [`mlp_mix_divergence`] sweeps a hog domain's window against a fixed
-//!   shallow victim: the protected victim's slowdown stays bounded while the
-//!   unprotected fabric diverges.
+//!   shallow victim, once per scheduler flavour: the protected victim's
+//!   slowdown stays bounded while the unprotected fabric diverges, and the
+//!   rate-scaled controller schedulers (FR-FCFS + priority admission)
+//!   tighten the protected bound further — end-to-end QOS through the last
+//!   arbitration point.
 //!
 //! [`chip_qos_area`] quantifies the cost side of the argument with the
 //! `taqos-power` area model: flow-state tables are only provisioned at
@@ -45,7 +49,7 @@
 use crate::chip_sim::{ChipPolicy, ChipSim};
 use crate::experiment::parallel_map;
 use serde::{Deserialize, Serialize};
-use taqos_netsim::closed_loop::DramConfig;
+use taqos_netsim::closed_loop::{DramConfig, DramScheduler};
 use taqos_netsim::sim::OpenLoopConfig;
 use taqos_netsim::stats::NetStats;
 use taqos_netsim::{Cycle, FlowId};
@@ -360,6 +364,10 @@ pub struct LatencyLoadConfig {
     /// MLP windows to sweep: the offered load grows with the per-node
     /// outstanding-miss budget (a closed loop has no rate knob).
     pub mlps: Vec<usize>,
+    /// Scheduler flavours to sweep: one full latency-under-load curve is
+    /// produced per flavour (the configured `dram.scheduler` is overridden
+    /// point by point).
+    pub schedulers: Vec<DramScheduler>,
     /// DRAM model at every controller (scaled to the chip via
     /// [`ChipSim::topology_dram`] before the run).
     pub dram: DramConfig,
@@ -375,6 +383,7 @@ impl Default for LatencyLoadConfig {
     fn default() -> Self {
         LatencyLoadConfig {
             mlps: vec![1, 2, 4, 8, 16, 32],
+            schedulers: vec![DramScheduler::Fcfs, DramScheduler::FrFcfs],
             dram: DramConfig::paper(),
             warmup: 2_000,
             measure: 15_000,
@@ -398,6 +407,8 @@ impl LatencyLoadConfig {
 /// One point of the latency-under-load curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoadPoint {
+    /// Scheduler flavour at the controllers for this point.
+    pub scheduler: DramScheduler,
     /// MLP window of every requester node at this point.
     pub mlp: usize,
     /// Requester nodes (nodes outside the shared columns).
@@ -412,17 +423,21 @@ pub struct LoadPoint {
     /// Fraction of DRAM services hitting the open row; `None` when nothing
     /// was serviced.
     pub row_hit_rate: Option<f64>,
-    /// Requests NACKed by full controller queues (whole run).
+    /// Overflow-NACKed requests (whole run).
     pub rejected_requests: u64,
+    /// Eviction-NACKed requests (whole run; zero under FCFS).
+    pub evicted_requests: u64,
     /// High-water mark of any controller's waiting-request queue.
     pub max_queue_occupancy: u64,
 }
 
 /// Sweeps the offered load (MLP window) of the DRAM-backed closed loop on
-/// the paper chip under the nearest-controller workload, regenerating the
-/// paper-style latency-under-load curve: round-trip latency grows
-/// monotonically with the window while accepted throughput saturates at the
-/// controllers' service bandwidth — the saturation knee. Each point is one
+/// the paper chip under the nearest-controller workload, once per scheduler
+/// flavour, regenerating the paper-style latency-under-load curves:
+/// round-trip latency grows monotonically with the window while accepted
+/// throughput saturates at the controllers' service bandwidth — the
+/// saturation knee. Points are returned scheduler-major in the order of
+/// [`LatencyLoadConfig::schedulers`]. Each point is one
 /// [`ChipSim::run_closed_loop`] call; the points run across threads via
 /// [`crate::experiment::parallel_map`].
 pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
@@ -432,9 +447,15 @@ pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
         drain: config.drain,
     };
     let base = config.dram;
-    parallel_map(config.mlps.clone(), move |mlp| {
+    let mut runs = Vec::new();
+    for &scheduler in &config.schedulers {
+        for &mlp in &config.mlps {
+            runs.push((scheduler, mlp));
+        }
+    }
+    parallel_map(runs, move |(scheduler, mlp)| {
         let sim = ChipSim::paper_default();
-        let dram = sim.topology_dram(base);
+        let dram = sim.topology_dram(base).with_scheduler(scheduler);
         let sim = sim.with_dram(dram);
         let plan = sim.nearest_mc_mlp_plan(mlp);
         let requesters = plan.iter().filter(|e| e.is_some()).count();
@@ -442,6 +463,7 @@ pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
             .run_closed_loop(sim.default_policy(), &plan, open_loop)
             .expect("load point runs");
         LoadPoint {
+            scheduler,
             mlp,
             requesters,
             throughput: stats.round_trip_throughput(),
@@ -449,6 +471,7 @@ pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
             avg_queue_wait: stats.dram.avg_queue_wait(),
             row_hit_rate: stats.dram.row_hit_rate(),
             rejected_requests: stats.dram.rejected_requests,
+            evicted_requests: stats.dram.evicted_requests,
             max_queue_occupancy: stats.dram.max_queue_occupancy,
         }
     })
@@ -461,6 +484,10 @@ pub struct MlpMixConfig {
     pub victim_mlp: usize,
     /// Hog MLP windows to sweep.
     pub hog_mlps: Vec<usize>,
+    /// Scheduler flavours to sweep: the full hog sweep (including its solo
+    /// baseline) runs once per flavour, so the flavours' victim bounds are
+    /// directly comparable.
+    pub schedulers: Vec<DramScheduler>,
     /// DRAM model at the contended controller.
     pub dram: DramConfig,
     /// Warm-up cycles.
@@ -476,6 +503,7 @@ impl Default for MlpMixConfig {
         MlpMixConfig {
             victim_mlp: 2,
             hog_mlps: vec![2, 8, 32],
+            schedulers: vec![DramScheduler::Fcfs, DramScheduler::FrFcfs],
             dram: DramConfig::paper(),
             warmup: 2_000,
             measure: 12_000,
@@ -497,9 +525,12 @@ impl MlpMixConfig {
 }
 
 /// One point of the MLP-mix divergence sweep: the victim's fate at a given
-/// hog window, with and without the shared-column QOS overlay.
+/// hog window and scheduler flavour, with and without the shared-column QOS
+/// overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MixPoint {
+    /// Scheduler flavour at the contended controller for this point.
+    pub scheduler: DramScheduler,
     /// MLP window of each hog node at this point.
     pub hog_mlp: usize,
     /// Victim behaviour with the overlay, hog active.
@@ -529,20 +560,29 @@ impl MixPoint {
 /// independent `parallel_map` work item).
 #[derive(Debug, Clone, Copy)]
 enum MixRun {
-    Solo,
-    Hogged { hog_mlp: usize, protected: bool },
+    Solo {
+        scheduler: DramScheduler,
+    },
+    Hogged {
+        scheduler: DramScheduler,
+        hog_mlp: usize,
+        protected: bool,
+    },
 }
 
 /// Sweeps the hog's MLP window against a fixed shallow victim on the
-/// DRAM-backed closed loop: with the shared-column overlay the victim's
-/// round-trip slowdown stays bounded as the hog deepens its window, while on
-/// the unprotected fabric it diverges (grows without bound or starves
-/// outright) — the protected-vs-unprotected divergence of the paper's
-/// latency curves. One [`ChipSim::run_closed_loop`] call per (point,
-/// scenario), all sharded via [`crate::experiment::parallel_map`].
+/// DRAM-backed closed loop, once per scheduler flavour: with the
+/// shared-column overlay the victim's round-trip slowdown stays bounded as
+/// the hog deepens its window, while on the unprotected fabric it diverges
+/// (grows without bound or starves outright) — and the priority-aware
+/// controller schedulers (FR-FCFS with priority admission) bound the
+/// protected victim at least as tightly as FCFS at every hog window,
+/// closing the last unprotected arbitration point. Points are returned
+/// scheduler-major in the order of [`MlpMixConfig::schedulers`]. One
+/// [`ChipSim::run_closed_loop`] call per (flavour, point, scenario), all
+/// sharded via [`crate::experiment::parallel_map`].
 pub fn mlp_mix_divergence(config: &MlpMixConfig) -> Vec<MixPoint> {
     let (sim, victim, hog, mc) = isolation_chip();
-    let sim = sim.with_dram(config.dram);
     let victim_flows = sim.domain_flows(victim).expect("victim exists");
     let open_loop = OpenLoopConfig {
         warmup: config.warmup,
@@ -550,27 +590,34 @@ pub fn mlp_mix_divergence(config: &MlpMixConfig) -> Vec<MixPoint> {
         drain: config.drain,
     };
 
-    let mut runs = vec![MixRun::Solo];
-    for &hog_mlp in &config.hog_mlps {
-        runs.push(MixRun::Hogged {
-            hog_mlp,
-            protected: true,
-        });
-        runs.push(MixRun::Hogged {
-            hog_mlp,
-            protected: false,
-        });
+    let mut runs = Vec::new();
+    for &scheduler in &config.schedulers {
+        runs.push(MixRun::Solo { scheduler });
+        for &hog_mlp in &config.hog_mlps {
+            runs.push(MixRun::Hogged {
+                scheduler,
+                hog_mlp,
+                protected: true,
+            });
+            runs.push(MixRun::Hogged {
+                scheduler,
+                hog_mlp,
+                protected: false,
+            });
+        }
     }
     let victim_mlp = config.victim_mlp;
+    let base_dram = config.dram;
     let stats = {
         let sim = &sim;
         parallel_map(runs, move |run| {
-            let demands = match run {
-                MixRun::Solo => vec![(victim, victim_mlp)],
-                MixRun::Hogged { hog_mlp, .. } => {
-                    vec![(victim, victim_mlp), (hog, hog_mlp)]
-                }
+            let (scheduler, demands) = match run {
+                MixRun::Solo { scheduler } => (scheduler, vec![(victim, victim_mlp)]),
+                MixRun::Hogged {
+                    scheduler, hog_mlp, ..
+                } => (scheduler, vec![(victim, victim_mlp), (hog, hog_mlp)]),
             };
+            let sim = sim.clone().with_dram(base_dram.with_scheduler(scheduler));
             let plan = sim
                 .memory_mlp_plan(&demands, mc)
                 .expect("mc is a shared terminal");
@@ -586,18 +633,22 @@ pub fn mlp_mix_divergence(config: &MlpMixConfig) -> Vec<MixPoint> {
     };
 
     let outcome = |s: &NetStats| domain_outcome(s, &victim_flows, config.measure);
-    let solo = outcome(&stats[0]);
-    config
-        .hog_mlps
-        .iter()
-        .enumerate()
-        .map(|(i, &hog_mlp)| MixPoint {
-            hog_mlp,
-            protected: outcome(&stats[1 + 2 * i]),
-            unprotected: outcome(&stats[2 + 2 * i]),
-            solo,
-        })
-        .collect()
+    let per_scheduler = 1 + 2 * config.hog_mlps.len();
+    let mut points = Vec::new();
+    for (si, &scheduler) in config.schedulers.iter().enumerate() {
+        let base = si * per_scheduler;
+        let solo = outcome(&stats[base]);
+        for (i, &hog_mlp) in config.hog_mlps.iter().enumerate() {
+            points.push(MixPoint {
+                scheduler,
+                hog_mlp,
+                protected: outcome(&stats[base + 1 + 2 * i]),
+                unprotected: outcome(&stats[base + 2 + 2 * i]),
+                solo,
+            });
+        }
+    }
+    points
 }
 
 /// Area cost of QOS support on a chip, per the paper's cost argument.

@@ -53,6 +53,70 @@ pub enum DramBackpressure {
     Stall,
 }
 
+/// How a DRAM-backed controller orders requests onto its banks and which
+/// request loses when the bounded queue overflows.
+///
+/// Priorities are **rate-scaled virtual clocks**, the same discipline the
+/// fabric's Preemptive Virtual Clock uses: every controller tracks, per
+/// flow, the bank time it has consumed scaled by the flow's programmed
+/// service rate ([`ClosedLoopSpec::flow_weights`]); lower values win. The
+/// clocks are flushed at every frame rollover, like the fabric's bandwidth
+/// counters, so the controller and the column routers enforce the same
+/// per-frame guarantees — the paper's *end-to-end* QOS claim extended to
+/// the last arbitration point.
+///
+/// Under [`Self::Fcfs`] requests are delivered (and acknowledged) when the
+/// controller admits them, exactly as before this abstraction existed. The
+/// priority-aware schedulers instead deliver and acknowledge a request when
+/// its **bank service starts**: the request packet stays live at its source
+/// until then, so an admitted-then-evicted request can be NACKed back over
+/// the ACK network and retransmitted like any preempted packet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramScheduler {
+    /// Arrival-order bank scheduling (a younger request may bypass to a
+    /// different, idle bank) and newest-rejected overflow. The default, and
+    /// bit-compatible with the pre-scheduler controller model.
+    #[default]
+    Fcfs,
+    /// Arrival-order bank scheduling, but a full queue under
+    /// [`DramBackpressure::Nack`] evicts the **lowest-priority** queued
+    /// request (NACKed back to its source for a fabric retry) when the
+    /// arriving request strictly outranks it, instead of always bouncing
+    /// the newest arrival. Under [`DramBackpressure::Stall`] there is
+    /// nothing to NACK, so a full queue stalls the arrival as before.
+    PriorityAdmission,
+    /// First-ready FCFS: each idle bank prefers requests that hit its open
+    /// row, breaking ties by priority then arrival — unless a waiting
+    /// request has exceeded its **priority-weighted age cap**
+    /// ([`DramConfig::age_cap`]), in which case the oldest overdue request
+    /// is serviced first so a hog cannot starve a victim through row
+    /// locality. Includes the priority-admission overflow rule.
+    FrFcfs,
+}
+
+impl DramScheduler {
+    /// Whether this scheduler uses rate-scaled priorities (virtual clocks,
+    /// eviction, service-start delivery) rather than pure arrival order.
+    pub fn is_priority_aware(self) -> bool {
+        !matches!(self, DramScheduler::Fcfs)
+    }
+}
+
+/// Row-buffer management policy of a controller's banks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// The row stays open after an access: a subsequent access to the same
+    /// row costs [`DramConfig::row_hit_latency`], any other row the full
+    /// [`DramConfig::row_miss_latency`] (precharge + activate + CAS).
+    #[default]
+    Open,
+    /// The bank auto-precharges after every access: no access ever hits an
+    /// open row, but none pays the precharge either — every access costs
+    /// [`DramConfig::closed_page_latency`] (activate + CAS). Better under
+    /// low-locality interleaved streams, worse under streaming.
+    Closed,
+}
+
 /// Service-time model of a memory controller: a bounded request queue in
 /// front of a set of address-interleaved DRAM banks with row-buffer state.
 ///
@@ -89,6 +153,17 @@ pub struct DramConfig {
     pub lines_per_row: u64,
     /// Full-queue behaviour; see [`DramBackpressure`].
     pub backpressure: DramBackpressure,
+    /// Request ordering and overflow discipline; see [`DramScheduler`].
+    pub scheduler: DramScheduler,
+    /// Row-buffer management; see [`PagePolicy`].
+    pub page_policy: PagePolicy,
+    /// Base age cap in cycles of the [`DramScheduler::FrFcfs`] starvation
+    /// guard. A queued request whose age, scaled by its flow's rate weight
+    /// relative to the mean weight, reaches this cap is serviced before any
+    /// row hit on its bank: a flow of mean rate waits at most `age_cap`
+    /// cycles before row locality must yield, a flow of twice the mean rate
+    /// at most half that.
+    pub age_cap: Cycle,
 }
 
 impl Default for DramConfig {
@@ -100,7 +175,9 @@ impl Default for DramConfig {
 impl DramConfig {
     /// The default controller model used by the chip experiments: 8 banks,
     /// 18-cycle row hits, 48-cycle row misses, a 16-entry request queue that
-    /// NACKs on overflow, and 128-line (8 KiB with 64-byte lines) rows.
+    /// NACKs on overflow, 128-line (8 KiB with 64-byte lines) rows, FCFS
+    /// scheduling with the open-page policy, and a 256-cycle FR-FCFS age
+    /// cap (a handful of row-miss services).
     pub fn paper() -> Self {
         DramConfig {
             banks: 8,
@@ -109,6 +186,9 @@ impl DramConfig {
             queue_depth: 16,
             lines_per_row: 128,
             backpressure: DramBackpressure::Nack,
+            scheduler: DramScheduler::Fcfs,
+            page_policy: PagePolicy::Open,
+            age_cap: 256,
         }
     }
 
@@ -145,6 +225,24 @@ impl DramConfig {
         self
     }
 
+    /// Returns this configuration with the given scheduler flavour.
+    pub fn with_scheduler(mut self, scheduler: DramScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns this configuration with the given row-buffer policy.
+    pub fn with_page_policy(mut self, page_policy: PagePolicy) -> Self {
+        self.page_policy = page_policy;
+        self
+    }
+
+    /// Returns this configuration with the given FR-FCFS age cap (cycles).
+    pub fn with_age_cap(mut self, age_cap: Cycle) -> Self {
+        self.age_cap = age_cap;
+        self
+    }
+
     /// Bank a cache line maps to (line-address interleaving).
     pub fn bank_of(&self, line: u64) -> usize {
         (line % self.banks as u64) as usize
@@ -155,7 +253,9 @@ impl DramConfig {
         line / self.banks as u64 / self.lines_per_row
     }
 
-    /// Service latency of a request against the bank's currently open row.
+    /// Service latency of a request against the bank's currently open row,
+    /// under the **open-page** rule (the closed-page policy never consults
+    /// the open row — see [`Self::service_outcome`]).
     pub fn service_latency(&self, open_row: Option<u64>, row: u64) -> Cycle {
         if open_row == Some(row) {
             self.row_hit_latency
@@ -164,21 +264,69 @@ impl DramConfig {
         }
     }
 
+    /// Access latency under the closed-page policy: activate + CAS. The
+    /// open-page miss is precharge + activate + CAS and the hit is CAS
+    /// alone; the precharge the closed-page bank already performed after
+    /// the previous access is modelled as half the hit-to-miss gap.
+    pub fn closed_page_latency(&self) -> Cycle {
+        self.row_miss_latency - (self.row_miss_latency - self.row_hit_latency) / 2
+    }
+
+    /// Classification and service latency of an access to `row` against the
+    /// bank's open-row state, under the configured [`PagePolicy`]: the
+    /// open-page rule of [`Self::service_latency`], or the uniform
+    /// never-hitting closed-page cost.
+    pub fn service_outcome(&self, open_row: Option<u64>, row: u64) -> (bool, Cycle) {
+        match self.page_policy {
+            PagePolicy::Open => {
+                let hit = open_row == Some(row);
+                (hit, self.service_latency(open_row, row))
+            }
+            PagePolicy::Closed => (false, self.closed_page_latency()),
+        }
+    }
+
+    /// Open-row state of a bank after servicing `row`: the row stays open
+    /// under the open-page policy, auto-precharges under closed-page.
+    pub fn row_after_service(&self, row: u64) -> Option<u64> {
+        match self.page_policy {
+            PagePolicy::Open => Some(row),
+            PagePolicy::Closed => None,
+        }
+    }
+
+    /// Whether a queued request of age `age` cycles belonging to a flow of
+    /// rate weight `weight` has exceeded the priority-weighted age cap:
+    /// `age × weight` measured against `age_cap ×` the mean weight
+    /// (`total_weight / flows`). A flow of mean rate is overdue after
+    /// exactly [`Self::age_cap`] cycles; higher-rate flows sooner.
+    pub fn is_overdue(&self, age: Cycle, weight: u64, total_weight: u64, flows: u64) -> bool {
+        u128::from(age) * u128::from(weight) * u128::from(flows)
+            >= u128::from(self.age_cap) * u128::from(total_weight)
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
     ///
-    /// Returns an error if the bank count, queue depth, row reach, or either
-    /// latency is zero.
+    /// Returns an error if the bank count, queue depth, row reach, either
+    /// latency, or the age cap is zero, or the row-miss latency undercuts
+    /// the row-hit latency.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.banks == 0
             || self.queue_depth == 0
             || self.lines_per_row == 0
             || self.row_hit_latency == 0
             || self.row_miss_latency == 0
+            || self.age_cap == 0
         {
             return Err(SimError::Spec(SpecError::new(
-                "DRAM banks, queue depth, row reach and latencies must be non-zero",
+                "DRAM banks, queue depth, row reach, latencies and age cap must be non-zero",
+            )));
+        }
+        if self.row_miss_latency < self.row_hit_latency {
+            return Err(SimError::Spec(SpecError::new(
+                "DRAM row-miss latency must not undercut the row-hit latency",
             )));
         }
         Ok(())
@@ -246,6 +394,12 @@ pub struct ClosedLoopSpec {
     /// pre-DRAM behaviour: controllers answer each delivered request
     /// instantly (zero service time, unbounded acceptance).
     pub dram: Option<DramConfig>,
+    /// Per-flow service-rate weights used by the priority-aware DRAM
+    /// schedulers, indexed by flow — the same relative rates the fabric's
+    /// virtual-clock policy is programmed with (see
+    /// `RateAllocation::priority_weights` in `taqos-qos`). Empty means
+    /// equal weights for every flow.
+    pub flow_weights: Vec<u64>,
 }
 
 impl ClosedLoopSpec {
@@ -254,6 +408,7 @@ impl ClosedLoopSpec {
         ClosedLoopSpec {
             requesters: vec![None; num_flows],
             dram: None,
+            flow_weights: Vec::new(),
         }
     }
 
@@ -266,6 +421,14 @@ impl ClosedLoopSpec {
     /// Installs a DRAM service-time model at every memory controller.
     pub fn with_dram(mut self, dram: DramConfig) -> Self {
         self.dram = Some(dram);
+        self
+    }
+
+    /// Programs the per-flow rate weights the priority-aware DRAM
+    /// schedulers scale their virtual clocks by (one weight per flow; all
+    /// weights must be positive).
+    pub fn with_flow_weights(mut self, weights: Vec<u64>) -> Self {
+        self.flow_weights = weights;
         self
     }
 
@@ -291,6 +454,20 @@ impl ClosedLoopSpec {
                 self.requesters.len(),
                 spec.num_flows()
             ))));
+        }
+        if !self.flow_weights.is_empty() {
+            if self.flow_weights.len() != spec.num_flows() {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "flow weights cover {} flows but the network has {}",
+                    self.flow_weights.len(),
+                    spec.num_flows()
+                ))));
+            }
+            if self.flow_weights.contains(&0) {
+                return Err(SimError::Spec(SpecError::new(
+                    "flow weights must be positive",
+                )));
+            }
         }
         for (flow, requester) in self.requesters.iter().enumerate() {
             let Some(requester) = requester else { continue };
@@ -348,8 +525,12 @@ impl RequesterState {
 }
 
 /// One request inside a controller's DRAM pipeline (queued, stalled or in
-/// service). Carries everything needed to build the reply at completion; the
-/// request *packet* itself is acknowledged and freed at acceptance.
+/// service). Carries everything needed to build the reply at completion.
+/// Under [`DramScheduler::Fcfs`] the request *packet* is acknowledged and
+/// freed at acceptance; under the priority-aware schedulers it stays live
+/// (and unacknowledged, and undelivered in the statistics) until bank
+/// service starts, so an eviction can NACK it back for a fabric retry —
+/// `packet`, `hops` and `len_flits` exist for that deferred bookkeeping.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct DramRequest {
     /// Requester flow the reply rides on.
@@ -362,8 +543,16 @@ pub(crate) struct DramRequest {
     pub(crate) reply_len: u8,
     /// Cache-line address of the read.
     pub(crate) line: u64,
-    /// Cycle the request was delivered at the controller.
+    /// Cycle the request arrived at the controller.
     pub(crate) arrived: Cycle,
+    /// The request packet (still live under priority-aware schedulers).
+    pub(crate) packet: PacketId,
+    /// Hop count of the request's fabric traversal (delivery statistics and
+    /// ACK/NACK latency under deferred delivery).
+    pub(crate) hops: u32,
+    /// Request packet length in flits (delivery statistics under deferred
+    /// delivery).
+    pub(crate) len_flits: u8,
 }
 
 /// A request held in the stall lane of a controller (Stall backpressure):
@@ -409,14 +598,25 @@ pub(crate) struct McState {
     /// Requests admitted past a full queue under Stall backpressure; each
     /// entry withholds its ejection-slot credit until it moves to `queue`.
     pub(crate) stalled: VecDeque<StalledRequest>,
+    /// Per-flow rate-scaled virtual clock: bank time consumed at this
+    /// controller scaled by the flow's rate weight. Lower is higher
+    /// priority; flushed at frame rollover like the fabric's bandwidth
+    /// counters. Only the priority-aware schedulers read or advance it.
+    pub(crate) vclock: Vec<u64>,
 }
 
+/// Integer scale applied to bank-time charges before dividing by the flow's
+/// rate weight, so virtual clocks keep resolution for weight ratios up to
+/// this factor.
+pub(crate) const VCLOCK_SCALE: u64 = 1024;
+
 impl McState {
-    pub(crate) fn new(config: &DramConfig) -> Self {
+    pub(crate) fn new(config: &DramConfig, num_flows: usize) -> Self {
         McState {
             queue: VecDeque::new(),
             banks: vec![BankState::default(); config.banks],
             stalled: VecDeque::new(),
+            vclock: vec![0; num_flows],
         }
     }
 
@@ -425,6 +625,72 @@ impl McState {
         self.queue.is_empty()
             && self.stalled.is_empty()
             && self.banks.iter().all(BankState::is_idle)
+    }
+
+    /// Charges `flow`'s virtual clock for `latency` cycles of bank time,
+    /// scaled by its rate weight (the priority-aware schedulers call this
+    /// at every service start).
+    pub(crate) fn charge(&mut self, flow: FlowId, latency: Cycle, weight: u64) {
+        self.vclock[flow.index()] += latency * VCLOCK_SCALE / weight.max(1);
+    }
+
+    /// Queue index of the request the priority-admission overflow rule
+    /// evicts for an arrival of `arrival_flow`: the queued request with the
+    /// worst (largest) virtual clock — the youngest among equals, so
+    /// seniority is preserved — provided the arrival **strictly** outranks
+    /// it. `None` when no queued request ranks strictly below the arrival
+    /// (the arrival is then bounced as a plain overflow).
+    pub(crate) fn eviction_victim(&self, arrival_flow: FlowId) -> Option<usize> {
+        let arrival_clock = self.vclock[arrival_flow.index()];
+        let mut worst: Option<(usize, u64)> = None;
+        for (idx, request) in self.queue.iter().enumerate() {
+            let clock = self.vclock[request.flow.index()];
+            if worst.is_none_or(|(_, w)| clock >= w) {
+                worst = Some((idx, clock));
+            }
+        }
+        worst.and_then(|(idx, clock)| (clock > arrival_clock).then_some(idx))
+    }
+
+    /// Queue index of the request an idle `bank` services next under
+    /// FR-FCFS: the oldest overdue request (priority-weighted age cap) if
+    /// any, else the best open-row hit, else the best remaining request —
+    /// "best" ordering by (virtual clock, arrival cycle, queue position).
+    /// `None` when no queued request maps to `bank`.
+    pub(crate) fn frfcfs_pick(
+        &self,
+        dram: &DramConfig,
+        bank: usize,
+        now: Cycle,
+        weights: &[u64],
+        total_weight: u64,
+    ) -> Option<usize> {
+        let flows = weights.len().max(1) as u64;
+        let open_row = self.banks[bank].open_row;
+        // (class, vclock, arrived) lexicographic minimum, where class 0 is
+        // overdue (compared by age only: vclock field pinned to 0), class 1
+        // an open-row hit and class 2 the rest. Scanning in queue order
+        // makes the final tiebreak the queue position.
+        let mut best: Option<(usize, (u8, u64, Cycle))> = None;
+        for (idx, request) in self.queue.iter().enumerate() {
+            if dram.bank_of(request.line) != bank {
+                continue;
+            }
+            let weight = weights.get(request.flow.index()).copied().unwrap_or(1);
+            let age = now.saturating_sub(request.arrived);
+            let key = if dram.is_overdue(age, weight, total_weight, flows) {
+                (0, 0, request.arrived)
+            } else {
+                let row = dram.row_of(request.line);
+                let hit = dram.page_policy == PagePolicy::Open && open_row == Some(row);
+                let class = if hit { 1 } else { 2 };
+                (class, self.vclock[request.flow.index()], request.arrived)
+            };
+            if best.is_none_or(|(_, k)| key < k) {
+                best = Some((idx, key));
+            }
+        }
+        best.map(|(idx, _)| idx)
     }
 }
 
@@ -446,6 +712,11 @@ pub(crate) struct ClosedLoopState {
     /// for exactly the nodes some requester names as its controller (the
     /// engine relies on a requester's controller always having state).
     pub(crate) mc_states: Vec<Option<McState>>,
+    /// Per-flow rate weights of the priority-aware DRAM schedulers
+    /// (resolved: equal weights of one when the spec left them empty).
+    pub(crate) weights: Vec<u64>,
+    /// Sum of `weights` (the overdue threshold normaliser).
+    pub(crate) total_weight: u64,
 }
 
 impl ClosedLoopState {
@@ -476,12 +747,19 @@ impl ClosedLoopState {
                 *slot = Some(si);
             }
         }
+        let num_flows = spec.requesters.len();
+        let weights = if spec.flow_weights.is_empty() {
+            vec![1; num_flows]
+        } else {
+            spec.flow_weights.clone()
+        };
+        let total_weight = weights.iter().sum::<u64>().max(1);
         let mut mc_states: Vec<Option<McState>> = (0..num_nodes).map(|_| None).collect();
         if let Some(dram) = &spec.dram {
             for requester in spec.requesters.iter().flatten() {
                 let slot = &mut mc_states[requester.mc.index()];
                 if slot.is_none() {
-                    *slot = Some(McState::new(dram));
+                    *slot = Some(McState::new(dram, num_flows));
                 }
             }
         }
@@ -495,6 +773,16 @@ impl ClosedLoopState {
             node_reply_source,
             dram: spec.dram,
             mc_states,
+            weights,
+            total_weight,
+        }
+    }
+
+    /// Flushes every controller's virtual clocks (called at frame rollover,
+    /// mirroring the fabric's bandwidth-counter flush).
+    pub(crate) fn flush_vclocks(&mut self) {
+        for mc in self.mc_states.iter_mut().flatten() {
+            mc.vclock.fill(0);
         }
     }
 
@@ -630,21 +918,28 @@ mod tests {
             .is_err());
     }
 
-    #[test]
-    fn mc_state_tracks_bank_and_queue_occupancy() {
-        let dram = DramConfig::paper().with_banks(2);
-        let mut mc = McState::new(&dram);
-        assert_eq!(mc.banks.len(), 2);
-        assert!(mc.is_drained());
-        let request = DramRequest {
-            flow: FlowId(0),
+    /// A queued request for the unit tests below.
+    fn request(flow: u16, line: u64, arrived: Cycle) -> DramRequest {
+        DramRequest {
+            flow: FlowId(flow),
             requester: NodeId(3),
             birth: 5,
             reply_len: 4,
-            line: 0,
-            arrived: 9,
-        };
-        mc.queue.push_back(request);
+            line,
+            arrived,
+            packet: PacketId(7),
+            hops: 2,
+            len_flits: 1,
+        }
+    }
+
+    #[test]
+    fn mc_state_tracks_bank_and_queue_occupancy() {
+        let dram = DramConfig::paper().with_banks(2);
+        let mut mc = McState::new(&dram, 1);
+        assert_eq!(mc.banks.len(), 2);
+        assert!(mc.is_drained());
+        mc.queue.push_back(request(0, 0, 9));
         assert!(!mc.is_drained());
         let queued = mc.queue.pop_front().expect("queued request");
         mc.banks[0].in_service = Some(queued);
@@ -676,5 +971,158 @@ mod tests {
         let picked = state.pop_best_reply(0, |_| 7);
         assert_eq!(picked, Some((PacketId(10), FlowId(0))));
         assert!(state.has_pending_replies(0));
+    }
+
+    #[test]
+    fn scheduler_and_page_policy_builders_and_validation() {
+        let dram = DramConfig::paper()
+            .with_scheduler(DramScheduler::FrFcfs)
+            .with_page_policy(PagePolicy::Closed)
+            .with_age_cap(100);
+        assert_eq!(dram.scheduler, DramScheduler::FrFcfs);
+        assert_eq!(dram.page_policy, PagePolicy::Closed);
+        assert_eq!(dram.age_cap, 100);
+        assert!(dram.validate().is_ok());
+        // The defaults are the PR-4 behaviour: FCFS, open page.
+        assert_eq!(DramConfig::paper().scheduler, DramScheduler::Fcfs);
+        assert_eq!(DramConfig::paper().page_policy, PagePolicy::Open);
+        assert!(!DramScheduler::Fcfs.is_priority_aware());
+        assert!(DramScheduler::PriorityAdmission.is_priority_aware());
+        assert!(DramScheduler::FrFcfs.is_priority_aware());
+        assert!(DramConfig::paper().with_age_cap(0).validate().is_err());
+        assert!(DramConfig::paper()
+            .with_latencies(30, 10)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn closed_page_costs_activate_plus_cas_and_never_hits() {
+        let dram = DramConfig::paper().with_latencies(18, 48);
+        // Open page: hit = CAS (18), miss = precharge+activate+CAS (48).
+        assert_eq!(dram.service_outcome(Some(0), 0), (true, 18));
+        assert_eq!(dram.service_outcome(Some(1), 0), (false, 48));
+        assert_eq!(dram.row_after_service(3), Some(3));
+        // Closed page: every access is activate+CAS (33), never a hit, and
+        // the bank auto-precharges.
+        let closed = dram.with_page_policy(PagePolicy::Closed);
+        assert_eq!(closed.closed_page_latency(), 33);
+        assert_eq!(closed.service_outcome(Some(0), 0), (false, 33));
+        assert_eq!(closed.service_outcome(None, 5), (false, 33));
+        assert_eq!(closed.row_after_service(3), None);
+    }
+
+    #[test]
+    fn overdue_threshold_scales_with_the_rate_weight() {
+        let dram = DramConfig::paper().with_age_cap(100);
+        // Equal weights: overdue at exactly the cap.
+        assert!(!dram.is_overdue(99, 1, 4, 4));
+        assert!(dram.is_overdue(100, 1, 4, 4));
+        // Twice the mean weight (2 among [2,1,1,... summing 8 over 4 flows
+        // -> mean 2): weight 4 is twice the mean, overdue at half the cap.
+        assert!(dram.is_overdue(50, 4, 8, 4));
+        assert!(!dram.is_overdue(49, 4, 8, 4));
+        // Half the mean: overdue only at twice the cap.
+        assert!(!dram.is_overdue(199, 1, 8, 4));
+        assert!(dram.is_overdue(200, 1, 8, 4));
+    }
+
+    #[test]
+    fn priority_admission_evicts_the_lowest_priority_youngest() {
+        let dram = DramConfig::paper().with_banks(2);
+        let mut mc = McState::new(&dram, 4);
+        mc.vclock = vec![10, 50, 50, 5];
+        mc.queue.push_back(request(1, 0, 5));
+        mc.queue.push_back(request(2, 1, 6));
+        mc.queue.push_back(request(0, 2, 7));
+        // Flows 1 and 2 tie for the worst clock: the youngest of them (the
+        // flow-2 request at queue index 1) is evicted for a better arrival.
+        assert_eq!(mc.eviction_victim(FlowId(3)), Some(1));
+        assert_eq!(mc.eviction_victim(FlowId(0)), Some(1));
+        // An arrival that does not strictly outrank the worst is bounced.
+        assert_eq!(mc.eviction_victim(FlowId(1)), None);
+        mc.vclock[0] = 50;
+        assert_eq!(mc.eviction_victim(FlowId(2)), None);
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hits_then_priority_then_arrival() {
+        let dram = DramConfig::paper().with_banks(1).with_lines_per_row(2);
+        let weights = vec![1u64; 3];
+        let mut mc = McState::new(&dram, 3);
+        // Bank 0 has row 1 open (lines 2-3). Queue: a row miss (line 0,
+        // row 0) ahead of a row hit (line 2, row 1).
+        mc.banks[0].open_row = Some(1);
+        mc.queue.push_back(request(0, 0, 10));
+        mc.queue.push_back(request(1, 2, 11));
+        // Row-hit reorder: the younger hit is serviced first.
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 20, &weights, 3), Some(1));
+        // Priority tiebreak: two misses, the lower virtual clock wins even
+        // though it arrived later.
+        mc.queue.clear();
+        mc.vclock = vec![40, 10, 10];
+        mc.queue.push_back(request(0, 0, 10));
+        mc.queue.push_back(request(1, 4, 12));
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 20, &weights, 3), Some(1));
+        // Equal clocks: arrival order decides.
+        mc.queue.push_back(request(2, 6, 11));
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 20, &weights, 3), Some(2));
+        // No queued request for the bank.
+        mc.queue.clear();
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 20, &weights, 3), None);
+    }
+
+    #[test]
+    fn frfcfs_age_cap_overrides_row_locality() {
+        let dram = DramConfig::paper()
+            .with_banks(1)
+            .with_lines_per_row(2)
+            .with_age_cap(50);
+        let weights = vec![1u64; 2];
+        let mut mc = McState::new(&dram, 2);
+        mc.banks[0].open_row = Some(1);
+        // An old miss (arrived 0) queued behind a stream of hits.
+        mc.queue.push_back(request(0, 0, 0));
+        mc.queue.push_back(request(1, 2, 40));
+        // Below the cap the hit still wins...
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 49, &weights, 2), Some(1));
+        // ...at the cap the overdue miss must be serviced first.
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 50, &weights, 2), Some(0));
+        // Two overdue requests: the older one goes first regardless of
+        // priority.
+        mc.queue.push_back(request(1, 4, 1));
+        mc.vclock = vec![100, 0];
+        assert_eq!(mc.frfcfs_pick(&dram, 0, 500, &weights, 2), Some(0));
+    }
+
+    #[test]
+    fn vclock_charges_scale_with_rate_weight_and_flush() {
+        let dram = DramConfig::paper();
+        let mut mc = McState::new(&dram, 2);
+        mc.charge(FlowId(0), 48, 16);
+        mc.charge(FlowId(1), 48, 64);
+        // Same bank time, four times the rate: a quarter of the clock.
+        assert_eq!(mc.vclock[0], 48 * VCLOCK_SCALE / 16);
+        assert_eq!(mc.vclock[1], 48 * VCLOCK_SCALE / 64);
+        assert_eq!(mc.vclock[0], 4 * mc.vclock[1]);
+        let mut spec = ClosedLoopSpec::new(2);
+        spec.flow_weights = vec![16, 64];
+        let net = NetworkSpec {
+            name: "empty".to_string(),
+            routers: Vec::new(),
+            sources: Vec::new(),
+            sinks: Vec::new(),
+            flit_bytes: 16,
+        };
+        let mut state = ClosedLoopState::new(&spec, &net);
+        assert_eq!(state.weights, vec![16, 64]);
+        assert_eq!(state.total_weight, 80);
+        state.mc_states = vec![Some(mc)];
+        state.flush_vclocks();
+        assert_eq!(
+            state.mc_states[0].as_ref().unwrap().vclock,
+            vec![0, 0],
+            "frame rollover flushes the controller clocks"
+        );
     }
 }

@@ -21,7 +21,8 @@
 //! NACKed over a dedicated ACK network and retransmitted by their source.
 
 use crate::closed_loop::{
-    requester_line, ClosedLoopSpec, ClosedLoopState, DramBackpressure, DramRequest, StalledRequest,
+    requester_line, ClosedLoopSpec, ClosedLoopState, DramBackpressure, DramRequest, DramScheduler,
+    StalledRequest,
 };
 use crate::config::SimConfig;
 use crate::error::SimError;
@@ -45,12 +46,28 @@ enum DramAdmission {
     None,
     /// Admitted to the controller's bounded request queue.
     Accept,
+    /// Queue full under a priority-aware scheduler, but the arrival strictly
+    /// outranks the lowest-priority queued request: the request at the
+    /// carried queue index is evicted (NACKed back to its source) and the
+    /// arrival admitted in its place. The index is computed once here, at
+    /// the admission decision, and consumed unchanged by the delivery hook.
+    AcceptEvict(usize),
     /// Queue full, Stall backpressure: parked in the stall lane, withholding
     /// the ejection-slot credit.
     Stall,
     /// Queue full, Nack backpressure: rejected and retransmitted; the
     /// delivery is not recorded.
     Reject,
+}
+
+impl DramAdmission {
+    /// Whether the request enters the controller's DRAM pipeline.
+    fn enters_pipeline(self) -> bool {
+        matches!(
+            self,
+            DramAdmission::Accept | DramAdmission::AcceptEvict(_) | DramAdmission::Stall
+        )
+    }
 }
 
 /// Schedules the return of a sink's ejection-slot credit to the output port
@@ -76,6 +93,64 @@ fn release_sink_credit(
             },
         );
     }
+}
+
+/// Starts bank service of `request` on `bank_idx` of controller `mc_node`:
+/// charges the page-policy service latency against the bank timeline, records
+/// the service, and schedules the completion event. Under a priority-aware
+/// scheduler it additionally advances the flow's rate-scaled virtual clock
+/// and performs the deferred delivery bookkeeping (the request is recorded
+/// delivered and its ACK dispatched now, not at controller admission).
+/// Shared by every scheduler flavour so the bank-timeline semantics cannot
+/// drift between them.
+#[allow(clippy::too_many_arguments)]
+fn start_dram_service(
+    mc: &mut crate::closed_loop::McState,
+    bank_idx: usize,
+    request: DramRequest,
+    dram: &crate::closed_loop::DramConfig,
+    weights: &[u64],
+    now: Cycle,
+    mc_node: usize,
+    stats: &mut NetStats,
+    events: &mut EventQueue,
+    config: &SimConfig,
+    flow_to_source: &[usize],
+) {
+    let row = dram.row_of(request.line);
+    let bank = &mut mc.banks[bank_idx];
+    let (hit, latency) = dram.service_outcome(bank.open_row, row);
+    bank.busy_until = now + latency;
+    bank.open_row = dram.row_after_service(row);
+    bank.in_service = Some(request);
+    stats.record_dram_service(request.flow, hit, request.arrived, now, latency);
+    if dram.scheduler.is_priority_aware() {
+        let weight = weights.get(request.flow.index()).copied().unwrap_or(1);
+        mc.charge(request.flow, latency, weight);
+        // Deferred delivery: the request now counts as delivered, and its
+        // still-live packet is acknowledged back to its source.
+        stats.record_delivery(
+            request.flow,
+            request.len_flits,
+            request.hops,
+            request.birth,
+            now,
+        );
+        events.schedule(
+            now + config.ack_latency(request.hops),
+            Event::Ack {
+                source: flow_to_source[request.flow.index()] as u32,
+                packet: request.packet,
+            },
+        );
+    }
+    events.schedule(
+        now + latency,
+        Event::DramComplete {
+            mc: mc_node as u32,
+            bank: bank_idx as u16,
+        },
+    );
 }
 
 /// Returns `qos.priority(flow)`, memoised in the router's priority cache
@@ -337,7 +412,14 @@ impl Network {
         self.packets.len()
     }
 
-    /// Total flits delivered to sinks so far.
+    /// Total flits delivered to sinks so far, per the sinks' own counters.
+    ///
+    /// Under a priority-aware DRAM scheduler
+    /// ([`crate::closed_loop::DramScheduler::is_priority_aware`]) admitted
+    /// requests bypass these counters: their delivery is deferred to the
+    /// start of bank service and recorded in [`Self::stats`]
+    /// (`NetStats::delivered_flits`) only, so the statistics — not this
+    /// sink-level sum — are the authoritative delivery count for such runs.
     pub fn delivered_flits(&self) -> u64 {
         self.sinks.iter().map(|s| s.delivered_flits).sum()
     }
@@ -387,6 +469,11 @@ impl Network {
                 }
                 for source in &mut self.sources {
                     source.on_frame_rollover();
+                }
+                // The controllers' rate-scaled virtual clocks observe the
+                // same frame boundaries as the fabric's bandwidth counters.
+                if let Some(cl) = &mut self.closed_loop {
+                    cl.flush_vclocks();
                 }
             }
         }
@@ -568,10 +655,25 @@ impl Network {
             );
             return;
         }
-        let completed = self.sinks[sink].complete(slot);
-        debug_assert_eq!(completed, packet_id);
-        self.stats
-            .record_delivery(flow, len_flits, hops, birth, self.now);
+        // Priority-aware schedulers defer a request's delivery (and its ACK)
+        // to the start of its bank service: the packet stays live at its
+        // source so a later eviction can NACK it for a fabric retry. Under
+        // FCFS everything is recorded at admission, exactly as before the
+        // scheduler abstraction existed.
+        let deferred = admission.enters_pipeline()
+            && self
+                .closed_loop
+                .as_ref()
+                .and_then(|cl| cl.dram)
+                .is_some_and(|d| d.scheduler.is_priority_aware());
+        if deferred {
+            self.sinks[sink].discard(slot);
+        } else {
+            let completed = self.sinks[sink].complete(slot);
+            debug_assert_eq!(completed, packet_id);
+            self.stats
+                .record_delivery(flow, len_flits, hops, birth, self.now);
+        }
         if self.closed_loop.is_some() {
             self.on_closed_loop_delivery(
                 sink,
@@ -583,6 +685,9 @@ impl Network {
                 request_birth,
                 dram_line,
                 admission,
+                packet_id,
+                hops,
+                len_flits,
             );
         }
         // Free the sink slot credit at the feeding ejection port — unless a
@@ -597,6 +702,11 @@ impl Network {
                 sink,
                 slot,
             );
+        }
+        if deferred {
+            // The ACK (and the delivery statistics) fire when the request
+            // enters bank service, from `dram_pump`.
+            return;
         }
         // Acknowledge delivery over the ACK network, to the source that
         // physically injected the packet (for closed-loop replies that is the
@@ -643,7 +753,22 @@ impl Network {
             DramAdmission::Accept
         } else {
             match dram.backpressure {
-                DramBackpressure::Nack => DramAdmission::Reject,
+                DramBackpressure::Nack => {
+                    // Priority admission: a full queue bounces the
+                    // *lowest-priority* request, not reflexively the newest —
+                    // but only when the arrival strictly outranks it.
+                    match dram
+                        .scheduler
+                        .is_priority_aware()
+                        .then(|| mc.eviction_victim(flow))
+                        .flatten()
+                    {
+                        Some(victim_idx) => DramAdmission::AcceptEvict(victim_idx),
+                        None => DramAdmission::Reject,
+                    }
+                }
+                // Stalling withholds a credit instead of producing NACK
+                // traffic; there is nothing to evict, under any scheduler.
                 DramBackpressure::Stall => DramAdmission::Stall,
             }
         }
@@ -667,6 +792,9 @@ impl Network {
         request_birth: Option<Cycle>,
         dram_line: Option<u64>,
         admission: DramAdmission,
+        packet_id: PacketId,
+        hops: u32,
+        len_flits: u8,
     ) {
         match class {
             PacketClass::Request => {
@@ -691,6 +819,9 @@ impl Network {
                         reply_len,
                         line: dram_line.expect("closed-loop DRAM requests carry a line"),
                         arrived: self.now,
+                        packet: packet_id,
+                        hops,
+                        len_flits,
                     };
                     let mc = self
                         .closed_loop
@@ -704,6 +835,25 @@ impl Network {
                             mc.queue.push_back(request);
                             let occupancy = mc.queue.len();
                             self.stats.record_dram_occupancy(occupancy);
+                        }
+                        DramAdmission::AcceptEvict(victim_idx) => {
+                            // Bounce the lowest-priority queued request in
+                            // favour of the higher-priority arrival: its
+                            // still-live packet is NACKed back to its source
+                            // and retried over the fabric.
+                            let victim =
+                                mc.queue.remove(victim_idx).expect("victim index in bounds");
+                            mc.queue.push_back(request);
+                            let occupancy = mc.queue.len();
+                            self.stats.record_dram_occupancy(occupancy);
+                            self.stats.record_dram_eviction(victim.flow);
+                            self.events.schedule(
+                                self.now + self.config.ack_latency(victim.hops),
+                                Event::Nack {
+                                    source: self.flow_to_source[victim.flow.index()] as u32,
+                                    packet: victim.packet,
+                                },
+                            );
                         }
                         DramAdmission::Stall => {
                             mc.stalled.push_back(StalledRequest {
@@ -813,13 +963,13 @@ impl Network {
         self.dram_pump(mc_node);
     }
 
-    /// Drives a controller's DRAM pipeline to a fixed point: every waiting
-    /// request whose bank is idle starts service (first come, first served
-    /// per bank — a younger request may bypass to a different, idle bank),
-    /// and stall-lane arrivals are admitted (releasing their withheld
-    /// ejection-slot credits) while the bounded queue has room. Called after
-    /// every arrival and every bank completion; deterministic and identical
-    /// on both engines.
+    /// Drives a controller's DRAM pipeline to a fixed point: every idle bank
+    /// pulls its next request per the configured [`DramScheduler`] (arrival
+    /// order for FCFS and priority admission, row-hit-first with the
+    /// priority-weighted age cap for FR-FCFS), and stall-lane arrivals are
+    /// admitted (releasing their withheld ejection-slot credits) while the
+    /// bounded queue has room. Called after every arrival and every bank
+    /// completion; deterministic and identical on both engines.
     fn dram_pump(&mut self, mc_node: usize) {
         let now = self.now;
         let Network {
@@ -828,39 +978,75 @@ impl Network {
             events,
             sink_feeders,
             config,
+            flow_to_source,
             ..
         } = self;
         let cl = closed_loop.as_mut().expect("closed loop active");
         let dram = cl.dram.expect("DRAM pump requires a DRAM model");
+        let weights = &cl.weights;
+        let total_weight = cl.total_weight;
         let mc = cl.mc_states[mc_node]
             .as_mut()
             .expect("pump at a controller without DRAM state");
         loop {
             let mut progressed = false;
-            // Start every startable request, scanning in arrival order.
-            let mut i = 0;
-            while i < mc.queue.len() {
-                let bank_idx = dram.bank_of(mc.queue[i].line);
-                if mc.banks[bank_idx].is_idle() {
-                    let request = mc.queue.remove(i).expect("index checked in bounds");
-                    let row = dram.row_of(request.line);
-                    let bank = &mut mc.banks[bank_idx];
-                    let hit = bank.open_row == Some(row);
-                    let latency = dram.service_latency(bank.open_row, row);
-                    bank.busy_until = now + latency;
-                    bank.open_row = Some(row);
-                    bank.in_service = Some(request);
-                    stats.record_dram_service(request.flow, hit, request.arrived, now, latency);
-                    events.schedule(
-                        now + latency,
-                        Event::DramComplete {
-                            mc: mc_node as u32,
-                            bank: bank_idx as u16,
-                        },
-                    );
-                    progressed = true;
-                } else {
-                    i += 1;
+            match dram.scheduler {
+                // Arrival-order bank scheduling: start every startable
+                // request, scanning the queue front to back (a younger
+                // request may bypass to a different, idle bank).
+                DramScheduler::Fcfs | DramScheduler::PriorityAdmission => {
+                    let mut i = 0;
+                    while i < mc.queue.len() {
+                        let bank_idx = dram.bank_of(mc.queue[i].line);
+                        if mc.banks[bank_idx].is_idle() {
+                            let request = mc.queue.remove(i).expect("index checked in bounds");
+                            start_dram_service(
+                                mc,
+                                bank_idx,
+                                request,
+                                &dram,
+                                weights,
+                                now,
+                                mc_node,
+                                stats,
+                                events,
+                                config,
+                                flow_to_source,
+                            );
+                            progressed = true;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+                // Row-hit-first: each idle bank picks per the FR-FCFS rules
+                // (oldest overdue request, else best open-row hit, else best
+                // priority).
+                DramScheduler::FrFcfs => {
+                    for bank_idx in 0..mc.banks.len() {
+                        if !mc.banks[bank_idx].is_idle() {
+                            continue;
+                        }
+                        if let Some(idx) =
+                            mc.frfcfs_pick(&dram, bank_idx, now, weights, total_weight)
+                        {
+                            let request = mc.queue.remove(idx).expect("pick index in bounds");
+                            start_dram_service(
+                                mc,
+                                bank_idx,
+                                request,
+                                &dram,
+                                weights,
+                                now,
+                                mc_node,
+                                stats,
+                                events,
+                                config,
+                                flow_to_source,
+                            );
+                            progressed = true;
+                        }
+                    }
                 }
             }
             // Admit stalled arrivals while the queue has room, releasing
@@ -2358,6 +2544,76 @@ mod tests {
         assert_eq!(stats.round_trips, 20);
         assert_eq!(stats.delivered_packets, 40);
         assert!(stats.dram.avg_queue_wait().expect("requests waited") > 0.0);
+    }
+
+    #[test]
+    fn closed_page_policy_pays_activate_plus_cas_on_every_access() {
+        // The same 8-line sequential stream as the open-page test above:
+        // under the closed-page policy nothing ever hits (the bank
+        // auto-precharges), but every access costs only activate + CAS.
+        let dram = crate::closed_loop::DramConfig::paper()
+            .with_banks(1)
+            .with_lines_per_row(4)
+            .with_page_policy(crate::closed_loop::PagePolicy::Closed);
+        let mut net = closed_loop_dram_network(1, Some(8), dram);
+        run_to_quiescence(&mut net, 5_000);
+        let stats = net.into_stats();
+        assert_eq!(stats.dram.serviced_requests, 8);
+        assert_eq!(stats.dram.row_hits, 0);
+        assert_eq!(stats.dram.row_misses, 8);
+        assert_eq!(stats.dram.row_hit_rate(), Some(0.0));
+        assert_eq!(stats.dram.bank_busy_cycles, 8 * dram.closed_page_latency());
+        assert_eq!(stats.round_trips, 8);
+    }
+
+    #[test]
+    fn priority_schedulers_preserve_uncontended_timing_and_conservation() {
+        // A single uncontended flow: FR-FCFS has nothing to reorder and
+        // priority admission nothing to evict (a flow never outranks
+        // itself), so round-trip timing matches FCFS exactly even though
+        // delivery is deferred to service start — and a saturated one-entry
+        // queue degrades to pure overflow NACKs, conserving every round
+        // trip.
+        let fcfs = crate::closed_loop::DramConfig::paper();
+        let mut baseline = closed_loop_dram_network(1, Some(4), fcfs);
+        run_to_quiescence(&mut baseline, 5_000);
+        let baseline = baseline.into_stats();
+        for scheduler in [
+            crate::closed_loop::DramScheduler::PriorityAdmission,
+            crate::closed_loop::DramScheduler::FrFcfs,
+        ] {
+            let mut net = closed_loop_dram_network(1, Some(4), fcfs.with_scheduler(scheduler));
+            run_to_quiescence(&mut net, 5_000);
+            let stats = net.into_stats();
+            assert_eq!(
+                stats.avg_round_trip(),
+                baseline.avg_round_trip(),
+                "{scheduler:?} changed uncontended round trips"
+            );
+            assert_eq!(stats.round_trips, 4);
+            assert_eq!(stats.delivered_packets, 8);
+        }
+        let saturating = fcfs
+            .with_banks(1)
+            .with_queue_depth(1)
+            .with_latencies(40, 80)
+            .with_scheduler(crate::closed_loop::DramScheduler::PriorityAdmission);
+        let mut net = closed_loop_dram_network(8, Some(20), saturating);
+        run_to_quiescence(&mut net, 50_000);
+        let stats = net.into_stats();
+        assert!(stats.dram.rejected_requests > 0, "queue must overflow");
+        assert_eq!(
+            stats.dram.evicted_requests, 0,
+            "a flow must not evict its own requests"
+        );
+        assert_eq!(stats.round_trips, 20);
+        // Deferred delivery still records each request exactly once.
+        assert_eq!(stats.delivered_packets, 40);
+        assert_eq!(stats.generated_packets, 40);
+        assert!(
+            stats.flows[0].retransmissions >= stats.dram.rejected_requests,
+            "every overflow NACK forces a retransmission"
+        );
     }
 
     #[test]

@@ -89,9 +89,14 @@ impl SinkState {
     }
 
     /// Discards the packet in `slot`, freeing the slot **without** counting
-    /// a delivery — used when a DRAM-backed controller rejects (NACKs) a
-    /// request at a full queue: the flits arrived physically but the
-    /// request was not consumed. Returns the discarded packet.
+    /// a delivery. Two DRAM-backed controller paths use this: a request
+    /// rejected (NACKed) at a full queue, where the flits arrived
+    /// physically but the request was not consumed; and a request admitted
+    /// under a priority-aware scheduler, where delivery is deferred to the
+    /// start of bank service and recorded in the run statistics only (the
+    /// sink's own counters never see it — see
+    /// [`crate::network::Network::delivered_flits`]). Returns the discarded
+    /// packet.
     ///
     /// # Panics
     ///

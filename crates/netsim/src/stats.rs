@@ -46,9 +46,15 @@ pub struct FlowStats {
     pub dram_row_hits: u64,
     /// DRAM row-buffer misses scored by this flow's requests (whole run).
     pub dram_row_misses: u64,
-    /// Requests of this flow NACKed by a full controller queue (each one is
-    /// retransmitted over the fabric; whole run).
+    /// Requests of this flow NACKed by a full controller queue at arrival —
+    /// overflow NACKs (each one is retransmitted over the fabric; whole
+    /// run).
     pub dram_rejections: u64,
+    /// Requests of this flow admitted to a controller queue and later
+    /// evicted by a higher-priority arrival — eviction NACKs, counted
+    /// separately from overflow NACKs (each one is retransmitted over the
+    /// fabric; whole run). Only the priority-aware schedulers evict.
+    pub dram_evictions: u64,
 }
 
 impl FlowStats {
@@ -106,17 +112,27 @@ pub struct DramStats {
     pub row_hits: u64,
     /// Services that missed the open row (precharge + activate + CAS).
     pub row_misses: u64,
-    /// Requests rejected (NACKed) by a full controller queue.
+    /// Requests rejected (NACKed) at arrival by a full controller queue —
+    /// overflow NACKs.
     pub rejected_requests: u64,
+    /// Queued requests evicted (NACKed) in favour of a higher-priority
+    /// arrival — eviction NACKs, disjoint from `rejected_requests`. Zero
+    /// under [`crate::closed_loop::DramScheduler::Fcfs`] and under Stall
+    /// backpressure.
+    pub evicted_requests: u64,
     /// Requests parked in a stall lane (Stall backpressure), holding their
     /// ejection-slot credit until the queue had room.
     pub stalled_requests: u64,
     /// Sum over serviced requests of (service start − arrival at the
-    /// controller), in cycles: time spent waiting for a bank.
+    /// controller), in cycles: time spent waiting for a bank. Recorded at
+    /// service start, whichever scheduler picked the request and in
+    /// whatever order — no FIFO assumption.
     pub queue_wait_sum: u64,
     /// Largest queue wait of any serviced request, in cycles.
     pub max_queue_wait: u64,
     /// High-water mark of any single controller's waiting-request queue.
+    /// Recorded on every enqueue (arrivals, eviction swaps and stall-lane
+    /// promotions alike), so it is scheduler-agnostic.
     pub max_queue_occupancy: u64,
     /// Sum of service latencies issued across all banks, in bank-cycles,
     /// charged at service start (divide by `cycles × banks × controllers`
@@ -326,11 +342,18 @@ impl NetStats {
         self.dram.bank_busy_cycles += latency;
     }
 
-    /// Records the rejection (NACK) of a request of `flow` by a full
-    /// controller queue.
+    /// Records the rejection (overflow NACK) of a request of `flow` by a
+    /// full controller queue.
     pub fn record_dram_rejection(&mut self, flow: FlowId) {
         self.dram.rejected_requests += 1;
         self.flows[flow.index()].dram_rejections += 1;
+    }
+
+    /// Records the eviction (eviction NACK) of a queued request of `flow`
+    /// in favour of a higher-priority arrival.
+    pub fn record_dram_eviction(&mut self, flow: FlowId) {
+        self.dram.evicted_requests += 1;
+        self.flows[flow.index()].dram_evictions += 1;
     }
 
     /// Records a request parked in a controller's stall lane (its queue

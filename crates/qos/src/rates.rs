@@ -99,6 +99,18 @@ impl RateAllocation {
         &self.rates
     }
 
+    /// The allocation as integer rate weights (one per flow), for consumers
+    /// that need exact, engine-independent arithmetic — the priority-aware
+    /// DRAM schedulers of `taqos-netsim` scale their per-flow virtual
+    /// clocks by these. Each weight is `rate × 1024` rounded, floored at 1
+    /// so relative order survives for arbitrarily small rates.
+    pub fn priority_weights(&self) -> Vec<u64> {
+        self.rates
+            .iter()
+            .map(|&r| ((r * 1024.0).round() as u64).max(1))
+            .collect()
+    }
+
     /// Reserved (non-preemptable) flit quota per frame for `flow`, given the
     /// frame length and the fraction of the rate guaranteed as reserved.
     pub fn reserved_quota(&self, flow: FlowId, frame_len: u64, reserved_fraction: f64) -> u64 {
@@ -126,6 +138,14 @@ mod tests {
         let alloc = RateAllocation::from_weights(&[1, 3]);
         assert!((alloc.rate(FlowId(0)) - 0.25).abs() < 1e-12);
         assert!((alloc.rate(FlowId(1)) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn priority_weights_are_scaled_rates_floored_at_one() {
+        let alloc = RateAllocation::from_rates(vec![0.25, 0.75, 1e-9]);
+        assert_eq!(alloc.priority_weights(), vec![256, 768, 1]);
+        // Equal rates across 64 flows: the paper chip's weight.
+        assert_eq!(RateAllocation::equal(64).priority_weights(), vec![16; 64]);
     }
 
     #[test]

@@ -261,15 +261,19 @@ fn bounded_closed_loop_conserves_round_trips() {
 fn dram_closed_loop_chip_stats(
     engine: EngineKind,
     backpressure: taqos_netsim::closed_loop::DramBackpressure,
+    scheduler: taqos_netsim::closed_loop::DramScheduler,
+    page_policy: taqos_netsim::closed_loop::PagePolicy,
 ) -> NetStats {
     let sim = paper_chip_sim(engine);
     // A shallow queue under a deep window drives the controllers into
-    // backpressure, so the equivalence check covers the NACK/stall paths,
-    // the bank timelines and the reply-release machinery.
+    // backpressure, so the equivalence check covers the NACK/stall/eviction
+    // paths, the bank timelines and the reply-release machinery.
     let dram = sim
         .topology_dram(taqos_netsim::closed_loop::DramConfig::paper())
         .with_queue_depth(8)
-        .with_backpressure(backpressure);
+        .with_backpressure(backpressure)
+        .with_scheduler(scheduler)
+        .with_page_policy(page_policy);
     let sim = sim.with_dram(dram);
     let plan = sim.nearest_mc_mlp_plan(8);
     sim.run_closed_loop(
@@ -290,15 +294,24 @@ fn dram_closed_loop_chip_stats(
 /// engines, deterministically, in both backpressure modes.
 #[test]
 fn chip_dram_closed_loop_stats_match_reference_engine() {
-    use taqos_netsim::closed_loop::DramBackpressure;
+    use taqos_netsim::closed_loop::{DramBackpressure, DramConfig};
+    let defaults = DramConfig::paper();
     for backpressure in [DramBackpressure::Nack, DramBackpressure::Stall] {
-        let optimized = dram_closed_loop_chip_stats(EngineKind::Optimized, backpressure);
-        let reference = dram_closed_loop_chip_stats(EngineKind::Reference, backpressure);
+        let stats = |engine| {
+            dram_closed_loop_chip_stats(
+                engine,
+                backpressure,
+                defaults.scheduler,
+                defaults.page_policy,
+            )
+        };
+        let optimized = stats(EngineKind::Optimized);
+        let reference = stats(EngineKind::Reference);
         assert_eq!(
             optimized, reference,
             "engines diverged on the DRAM-backed closed loop ({backpressure:?})"
         );
-        let again = dram_closed_loop_chip_stats(EngineKind::Optimized, backpressure);
+        let again = stats(EngineKind::Optimized);
         assert_eq!(
             optimized, again,
             "DRAM-backed closed loop is nondeterministic ({backpressure:?})"
@@ -316,6 +329,82 @@ fn chip_dram_closed_loop_stats_match_reference_engine() {
             ),
         }
     }
+}
+
+/// Engine equivalence across every scheduler × page-policy flavour of the
+/// DRAM-backed closed loop: priority admission's eviction NACKs, FR-FCFS's
+/// row-hit reordering and age cap, deferred service-start deliveries and
+/// the closed-page timing all produce bit-identical `NetStats` (including
+/// the new `DramStats` fields) on both engines.
+#[test]
+fn chip_dram_scheduler_flavours_match_reference_engine() {
+    use taqos_netsim::closed_loop::{DramBackpressure, DramScheduler, PagePolicy};
+    for (scheduler, page_policy) in [
+        (DramScheduler::Fcfs, PagePolicy::Closed),
+        (DramScheduler::PriorityAdmission, PagePolicy::Open),
+        (DramScheduler::FrFcfs, PagePolicy::Open),
+        (DramScheduler::FrFcfs, PagePolicy::Closed),
+    ] {
+        let stats = |engine| {
+            dram_closed_loop_chip_stats(engine, DramBackpressure::Nack, scheduler, page_policy)
+        };
+        let optimized = stats(EngineKind::Optimized);
+        let reference = stats(EngineKind::Reference);
+        assert_eq!(
+            optimized, reference,
+            "engines diverged on {scheduler:?}/{page_policy:?}"
+        );
+        assert!(optimized.round_trips > 0, "no round trips completed");
+        assert!(optimized.dram.serviced_requests > 0, "no DRAM services");
+        if page_policy == PagePolicy::Closed {
+            assert_eq!(optimized.dram.row_hits, 0, "closed page cannot hit");
+        }
+        if scheduler.is_priority_aware() {
+            assert!(
+                optimized.dram.rejected_requests + optimized.dram.evicted_requests > 0,
+                "MLP 8 against an 8-deep queue must overflow or evict"
+            );
+        } else {
+            assert_eq!(optimized.dram.evicted_requests, 0, "FCFS never evicts");
+        }
+    }
+}
+
+/// Regression against silent default drift: the default configuration
+/// (FCFS scheduler, open-page policy) reproduces the pre-scheduler (PR 4)
+/// controller model bit for bit — these constants were captured from the
+/// PR 4 code on the exact run `chip_dram_closed_loop_stats_match_reference_
+/// engine` performs under Nack backpressure.
+#[test]
+fn fcfs_open_page_reproduces_the_pr4_stats_exactly() {
+    use taqos_netsim::closed_loop::{DramBackpressure, DramConfig, DramScheduler, PagePolicy};
+    let defaults = DramConfig::paper();
+    assert_eq!(defaults.scheduler, DramScheduler::Fcfs);
+    assert_eq!(defaults.page_policy, PagePolicy::Open);
+    let stats = dram_closed_loop_chip_stats(
+        EngineKind::Optimized,
+        DramBackpressure::Nack,
+        DramScheduler::Fcfs,
+        PagePolicy::Open,
+    );
+    assert_eq!(stats.dram.serviced_requests, 4_560);
+    assert_eq!(stats.dram.row_hits, 296);
+    assert_eq!(stats.dram.row_misses, 4_264);
+    assert_eq!(stats.dram.rejected_requests, 8_168);
+    assert_eq!(stats.dram.evicted_requests, 0);
+    assert_eq!(stats.dram.stalled_requests, 0);
+    assert_eq!(stats.dram.queue_wait_sum, 240_216);
+    assert_eq!(stats.dram.max_queue_wait, 242);
+    assert_eq!(stats.dram.max_queue_occupancy, 8);
+    assert_eq!(stats.dram.bank_busy_cycles, 210_000);
+    assert_eq!(stats.round_trips, 4_480);
+    assert_eq!(stats.rt_latency_sum, 1_341_512);
+    assert_eq!(stats.rt_samples, 3_872);
+    assert_eq!(stats.max_round_trip, 2_548);
+    assert_eq!(stats.delivered_packets, 9_096);
+    assert_eq!(stats.delivered_flits, 22_536);
+    assert_eq!(stats.latency_sum, 1_016_208);
+    assert_eq!(stats.latency_samples, 7_944);
 }
 
 /// Exhaustive (not sampled) agreement between the fabric's generated routing

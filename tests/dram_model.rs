@@ -1,38 +1,57 @@
 //! Integration tests of the DRAM-backed memory controllers: request/reply
 //! conservation under saturation (a seeded property sweep over chip shapes
-//! and DRAM configurations, both backpressure modes), and the paper-style
-//! curves of the rebuilt chip-scale experiments — the monotone
-//! latency-under-load curve with its saturation knee, and the
-//! protected-vs-unprotected divergence under heterogeneous MLP mixes.
+//! and DRAM configurations, across every scheduler × page-policy ×
+//! backpressure combination), the FR-FCFS no-starvation bound, and the
+//! paper-style curves of the rebuilt chip-scale experiments — the monotone
+//! latency-under-load curve with its saturation knee per scheduler flavour,
+//! and the protected-vs-unprotected divergence under heterogeneous MLP
+//! mixes, with the rate-scaled schedulers bounding the protected victim at
+//! least as tightly as FCFS.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use taqos::prelude::*;
 use taqos::traffic::workloads;
 use taqos_core::experiment::chip_scale::{
-    latency_under_load, mlp_mix_divergence, LatencyLoadConfig, MlpMixConfig,
+    latency_under_load, mlp_mix_divergence, LatencyLoadConfig, MixPoint, MlpMixConfig,
 };
-use taqos_netsim::closed_loop::{DramBackpressure, DramConfig};
+use taqos_netsim::closed_loop::{DramBackpressure, DramConfig, DramScheduler, PagePolicy};
 
 /// Seeded property sweep: on random chip shapes with random DRAM
 /// configurations driven to saturation through deep MLP windows against
 /// shallow controller queues, a bounded closed loop conserves traffic
 /// exactly — every issued request is serviced once and answered by exactly
-/// one delivered reply, under both backpressure modes.
+/// one delivered reply — across every scheduler × page-policy ×
+/// backpressure combination, with no lost or duplicated NACKs and the
+/// FR-FCFS age cap bounding every serviced request's queue wait.
 #[test]
 fn saturated_dram_loops_conserve_requests_and_replies() {
+    let schedulers = [
+        DramScheduler::Fcfs,
+        DramScheduler::PriorityAdmission,
+        DramScheduler::FrFcfs,
+    ];
     let mut rng = ChaCha8Rng::seed_from_u64(0xD4A3_0001);
-    for round in 0..8 {
+    for round in 0..12 {
         let width = rng.gen_range(3usize..7);
         let height = rng.gen_range(2usize..6);
         let column = rng.gen_range(0..width) as u16;
         let mlp = rng.gen_range(2usize..10);
         let total = rng.gen_range(8u64..24);
+        let scheduler = schedulers[rng.gen_range(0..schedulers.len())];
+        let page_policy = if rng.gen_bool(0.5) {
+            PagePolicy::Open
+        } else {
+            PagePolicy::Closed
+        };
         let dram = DramConfig::paper()
             .with_banks(1 << rng.gen_range(0u32..4))
             .with_queue_depth(rng.gen_range(1usize..5))
             .with_latencies(rng.gen_range(5..20), rng.gen_range(20..60))
             .with_lines_per_row(1 << rng.gen_range(0u32..8))
+            .with_scheduler(scheduler)
+            .with_page_policy(page_policy)
+            .with_age_cap(rng.gen_range(50..400))
             .with_backpressure(if rng.gen_bool(0.5) {
                 DramBackpressure::Nack
             } else {
@@ -67,6 +86,12 @@ fn saturated_dram_loops_conserve_requests_and_replies() {
             stats.dram.serviced_requests,
             "round {round}: unclassified service"
         );
+        if page_policy == PagePolicy::Closed {
+            assert_eq!(
+                stats.dram.row_hits, 0,
+                "round {round}: closed-page banks auto-precharge, nothing can hit"
+            );
+        }
         for (node, entry) in plan.iter().enumerate() {
             let fs = &stats.flows[node];
             if entry.is_some() {
@@ -77,14 +102,36 @@ fn saturated_dram_loops_conserve_requests_and_replies() {
             }
         }
         // Each request and reply is recorded delivered exactly once, even
-        // when rejections force retransmissions.
+        // when overflow rejections or priority evictions force
+        // retransmissions (priority-aware schedulers defer a request's
+        // delivery to its service start; the count is still exactly one).
         assert_eq!(stats.delivered_packets, 2 * total * requesters);
         assert_eq!(stats.delivered_flits, (1 + 4) * total * requesters);
         assert!(stats.dram.max_queue_occupancy <= dram.queue_depth as u64);
         match dram.backpressure {
-            DramBackpressure::Nack => assert_eq!(stats.dram.stalled_requests, 0),
+            DramBackpressure::Nack => {
+                assert_eq!(stats.dram.stalled_requests, 0);
+                // Every NACK (overflow or eviction) forced exactly one
+                // retransmission; preemptions may add more.
+                let retransmissions: u64 = stats.flows.iter().map(|f| f.retransmissions).sum();
+                assert!(
+                    retransmissions >= stats.dram.rejected_requests + stats.dram.evicted_requests,
+                    "round {round}: lost NACKs ({retransmissions} retransmissions vs {} + {})",
+                    stats.dram.rejected_requests,
+                    stats.dram.evicted_requests
+                );
+                let evictions: u64 = stats.flows.iter().map(|f| f.dram_evictions).sum();
+                assert_eq!(
+                    evictions, stats.dram.evicted_requests,
+                    "round {round}: per-flow eviction counters disagree"
+                );
+            }
             DramBackpressure::Stall => {
                 assert_eq!(stats.dram.rejected_requests, 0);
+                assert_eq!(
+                    stats.dram.evicted_requests, 0,
+                    "round {round}: stalling has nothing to NACK, under any scheduler"
+                );
                 let retransmissions: u64 = stats.flows.iter().map(|f| f.retransmissions).sum();
                 assert_eq!(
                     retransmissions, 0,
@@ -92,98 +139,259 @@ fn saturated_dram_loops_conserve_requests_and_replies() {
                 );
             }
         }
+        if scheduler == DramScheduler::Fcfs {
+            assert_eq!(
+                stats.dram.evicted_requests, 0,
+                "round {round}: FCFS must never evict"
+            );
+        }
+        // No-starvation bound of the FR-FCFS age cap (equal rate weights in
+        // this sweep, so every flow's effective cap is `age_cap`): once a
+        // request is overdue, only older overdue requests and the in-service
+        // one precede it on its bank, each costing at most a row miss.
+        if scheduler == DramScheduler::FrFcfs {
+            let bound = dram.age_cap + (dram.queue_depth as u64 + 1) * dram.row_miss_latency;
+            assert!(
+                stats.dram.max_queue_wait <= bound,
+                "round {round}: starvation past the age cap: waited {} > bound {bound} ({dram:?})",
+                stats.dram.max_queue_wait
+            );
+        }
         assert!(stats.completion_cycle.is_some());
     }
 }
 
-/// The latency-under-load experiment produces the paper-shaped curve:
-/// round-trip latency grows monotonically with the offered load (the MLP
-/// window) while accepted throughput saturates at the controllers' bank
-/// bandwidth — a visible knee, after which deeper windows only buy latency.
+/// The latency-under-load experiment produces the paper-shaped curve for
+/// every scheduler flavour: round-trip latency grows monotonically with the
+/// offered load (the MLP window) while accepted throughput saturates at the
+/// controllers' bank bandwidth — a visible knee, after which deeper windows
+/// only buy latency. FR-FCFS additionally buys back row locality under
+/// saturation: its post-knee throughput and hit rate beat FCFS's.
 #[test]
 fn latency_under_load_is_monotone_with_a_saturation_knee() {
-    let points = latency_under_load(&LatencyLoadConfig::quick());
-    assert_eq!(points.len(), 6);
-    let latencies: Vec<f64> = points
-        .iter()
-        .map(|p| p.avg_round_trip.expect("every load point completes"))
-        .collect();
-    // Monotone latency growth (small tolerance for window-edge sampling).
-    for (i, pair) in latencies.windows(2).enumerate() {
+    let config = LatencyLoadConfig::quick();
+    let points = latency_under_load(&config);
+    assert_eq!(points.len(), config.schedulers.len() * config.mlps.len());
+    for &scheduler in &config.schedulers {
+        let points: Vec<_> = points.iter().filter(|p| p.scheduler == scheduler).collect();
+        assert_eq!(points.len(), 6);
+        let latencies: Vec<f64> = points
+            .iter()
+            .map(|p| p.avg_round_trip.expect("every load point completes"))
+            .collect();
+        // Monotone latency growth (small tolerance for window-edge
+        // sampling).
+        for (i, pair) in latencies.windows(2).enumerate() {
+            assert!(
+                pair[1] >= pair[0] * 0.98,
+                "{scheduler:?}: latency not monotone at point {i}: {latencies:?}"
+            );
+        }
+        // The load sweep spans the curve: the deepest window pays several
+        // times the unloaded round trip.
         assert!(
-            pair[1] >= pair[0] * 0.98,
-            "latency not monotone at point {i}: {latencies:?}"
+            latencies[points.len() - 1] > 3.0 * latencies[0],
+            "{scheduler:?}: no latency growth across the sweep: {latencies:?}"
+        );
+        // Pre-knee the throughput still scales with the window...
+        assert!(
+            points[1].throughput > 1.4 * points[0].throughput,
+            "{scheduler:?}: no pre-knee throughput growth: {points:?}"
+        );
+        // ...post-knee it saturates: doubling the window buys <15%
+        // throughput.
+        let last = points[points.len() - 1].throughput;
+        let prev = points[points.len() - 2].throughput;
+        assert!(
+            last < 1.15 * prev,
+            "{scheduler:?}: no saturation knee: {last} vs {prev} ({points:?})"
+        );
+        // Under saturation the bounded controller queues visibly
+        // backpressure.
+        let saturated = points.last().expect("points exist");
+        assert!(saturated.max_queue_occupancy > 0);
+        assert!(
+            saturated.avg_queue_wait.expect("services happened") > 0.0,
+            "{scheduler:?}: saturation must show queueing delay"
         );
     }
-    // The load sweep spans the curve: the deepest window pays several times
-    // the unloaded round trip.
+    // Row-hit-first scheduling recovers locality a saturated FCFS queue
+    // destroys: at the deepest window FR-FCFS sustains more accepted
+    // throughput with a higher hit rate, by reordering (evicting) work.
+    let deepest = |s: DramScheduler| {
+        points
+            .iter()
+            .rfind(|p| p.scheduler == s)
+            .expect("sweep has points")
+    };
+    let fcfs = deepest(DramScheduler::Fcfs);
+    let frfcfs = deepest(DramScheduler::FrFcfs);
     assert!(
-        latencies[points.len() - 1] > 3.0 * latencies[0],
-        "no latency growth across the sweep: {latencies:?}"
+        frfcfs.throughput > fcfs.throughput,
+        "FR-FCFS should beat FCFS under saturation: {frfcfs:?} vs {fcfs:?}"
     );
-    // Pre-knee the throughput still scales with the window...
     assert!(
-        points[1].throughput > 1.4 * points[0].throughput,
-        "no pre-knee throughput growth: {points:?}"
+        frfcfs.row_hit_rate > fcfs.row_hit_rate,
+        "FR-FCFS should score more row hits: {frfcfs:?} vs {fcfs:?}"
     );
-    // ...post-knee it saturates: doubling the window buys <15% throughput.
-    let last = points[points.len() - 1].throughput;
-    let prev = points[points.len() - 2].throughput;
+    assert_eq!(fcfs.evicted_requests, 0, "FCFS never evicts");
     assert!(
-        last < 1.15 * prev,
-        "no saturation knee: {last} vs {prev} ({points:?})"
-    );
-    // Under saturation the bounded controller queues visibly backpressure.
-    let saturated = points.last().expect("points exist");
-    assert!(saturated.max_queue_occupancy > 0);
-    assert!(
-        saturated.avg_queue_wait.expect("services happened") > 0.0,
-        "saturation must show queueing delay"
+        frfcfs.evicted_requests > 0,
+        "a saturated FR-FCFS queue must exercise priority admission"
     );
 }
 
 /// The heterogeneous MLP-mix sweep shows the end-to-end QOS claim on the
-/// DRAM-backed loop: as the hog deepens its window, the protected victim's
-/// round-trip slowdown stays bounded while the unprotected fabric diverges
-/// (an order of magnitude worse or starved outright).
+/// DRAM-backed loop, for every scheduler flavour: as the hog deepens its
+/// window, the protected victim's round-trip slowdown stays bounded while
+/// the unprotected fabric diverges (an order of magnitude worse or starved
+/// outright) — and FR-FCFS with priority admission bounds the protected
+/// victim at least as tightly as FCFS at every hog window.
 #[test]
 fn protected_victim_stays_bounded_while_unprotected_diverges() {
-    let points = mlp_mix_divergence(&MlpMixConfig::quick());
-    assert_eq!(points.len(), 3);
-    for point in &points {
-        // The protected victim never starves and stays within a small
-        // multiple of its solo baseline, at every hog window.
-        assert!(
-            !point.protected.starved(),
-            "protected victim starved at hog MLP {}",
-            point.hog_mlp
-        );
-        let protected = point
-            .protected_slowdown()
-            .expect("protected victim completes");
-        assert!(
-            protected < 4.0,
-            "protected slowdown {protected:.2} unbounded at hog MLP {}",
-            point.hog_mlp
-        );
-        // The solo baseline is shared across points.
-        assert_eq!(point.solo.round_trips, points[0].solo.round_trips);
-    }
-    // At the deepest hog window the unprotected victim diverges.
-    let deepest = points.last().expect("points exist");
-    match deepest.unprotected_slowdown() {
-        None => assert!(
-            deepest.unprotected.starved(),
-            "ratio refused but not starved"
-        ),
-        Some(unprotected) => {
-            let protected = deepest.protected_slowdown().expect("bounded");
+    let config = MlpMixConfig::quick();
+    let points = mlp_mix_divergence(&config);
+    assert_eq!(
+        points.len(),
+        config.schedulers.len() * config.hog_mlps.len()
+    );
+    let by_scheduler = |s: DramScheduler| -> Vec<&MixPoint> {
+        points.iter().filter(|p| p.scheduler == s).collect()
+    };
+    for &scheduler in &config.schedulers {
+        let points = by_scheduler(scheduler);
+        assert_eq!(points.len(), 3);
+        for point in &points {
+            // The protected victim never starves and stays within a small
+            // multiple of its solo baseline, at every hog window.
             assert!(
-                unprotected > 3.0 * protected,
-                "no divergence: {unprotected:.2} vs {protected:.2}"
+                !point.protected.starved(),
+                "{scheduler:?}: protected victim starved at hog MLP {}",
+                point.hog_mlp
             );
+            let protected = point
+                .protected_slowdown()
+                .expect("protected victim completes");
+            assert!(
+                protected < 4.0,
+                "{scheduler:?}: protected slowdown {protected:.2} unbounded at hog MLP {}",
+                point.hog_mlp
+            );
+            // The solo baseline is shared across the flavour's points.
+            assert_eq!(point.solo.round_trips, points[0].solo.round_trips);
+        }
+        // At the deepest hog window the unprotected victim diverges.
+        let deepest = points.last().expect("points exist");
+        match deepest.unprotected_slowdown() {
+            None => assert!(
+                deepest.unprotected.starved(),
+                "{scheduler:?}: ratio refused but not starved"
+            ),
+            Some(unprotected) => {
+                let protected = deepest.protected_slowdown().expect("bounded");
+                assert!(
+                    unprotected > 3.0 * protected,
+                    "{scheduler:?}: no divergence: {unprotected:.2} vs {protected:.2}"
+                );
+            }
         }
     }
+    // The acceptance criterion of the scheduler extension: rate-scaled
+    // FR-FCFS with priority admission bounds the protected victim at least
+    // as tightly as FCFS at every hog MLP (2% tolerance for window-edge
+    // sampling; the observed margin is far larger).
+    for (fcfs, frfcfs) in by_scheduler(DramScheduler::Fcfs)
+        .iter()
+        .zip(by_scheduler(DramScheduler::FrFcfs))
+    {
+        assert_eq!(fcfs.hog_mlp, frfcfs.hog_mlp);
+        let fcfs_bound = fcfs.protected_slowdown().expect("FCFS victim completes");
+        let frfcfs_bound = frfcfs
+            .protected_slowdown()
+            .expect("FR-FCFS victim completes");
+        assert!(
+            frfcfs_bound <= fcfs_bound * 1.02,
+            "FR-FCFS+priority admission must bound the victim at least as tightly as FCFS \
+             at hog MLP {}: {frfcfs_bound:.2} vs {fcfs_bound:.2}",
+            fcfs.hog_mlp
+        );
+    }
+}
+
+/// Priority eviction end-to-end: a shallow-window victim sharing a
+/// saturated controller with a deep-window hog evicts the hog's queued
+/// requests (eviction NACKs route back to the hog's sources and are
+/// retried), while conservation still holds exactly.
+#[test]
+fn priority_admission_evicts_hogs_and_routes_nacks_to_their_sources() {
+    let mut sim = ChipSim::new(
+        TopologyAwareChip::new(taqos::topology::grid::ChipGrid::new(4, 4, 4), {
+            [2u16].into_iter().collect()
+        })
+        .unwrap(),
+    );
+    let grid = *sim.chip().grid();
+    let victim = sim
+        .chip_mut()
+        .allocate_domain("victim", grid.rectangle(Coord::new(0, 0), 1, 1), 1)
+        .expect("victim fits");
+    let hog = sim
+        .chip_mut()
+        .allocate_domain("hog", grid.rectangle(Coord::new(0, 1), 2, 2), 1)
+        .expect("hog fits");
+    // A tiny queue in front of one slow bank keeps the controller saturated.
+    let dram = DramConfig::paper()
+        .with_banks(1)
+        .with_queue_depth(2)
+        .with_latencies(20, 40)
+        .with_scheduler(DramScheduler::PriorityAdmission);
+    let sim = sim.with_dram(dram);
+    let mc = Coord::new(2, 0);
+    let plan = sim
+        .memory_mlp_plan(&[(victim, 2), (hog, 12)], mc)
+        .expect("mc is shared");
+    let spec = workloads::mlp_closed_loop_bounded(&plan, 40).with_dram(dram);
+    let network = sim
+        .build_closed_loop(sim.default_policy(), spec)
+        .expect("network builds");
+    let stats = taqos::netsim::sim::run_closed(network, 2_000_000).expect("loop completes");
+
+    let requesters = plan.iter().filter(|e| e.is_some()).count() as u64;
+    assert_eq!(stats.round_trips, 40 * requesters, "lost replies");
+    assert!(
+        stats.dram.evicted_requests > 0,
+        "a saturated priority-admission queue must evict"
+    );
+    // Evictions hit the over-served hog flows, not the shallow victim, and
+    // every eviction NACK reached its flow's source as a retransmission.
+    let victim_flows = sim.domain_flows(victim).expect("victim exists");
+    let hog_flows = sim.domain_flows(hog).expect("hog exists");
+    let evictions = |flows: &[FlowId]| -> u64 {
+        flows
+            .iter()
+            .map(|f| stats.flows[f.index()].dram_evictions)
+            .sum()
+    };
+    let retransmissions = |flows: &[FlowId]| -> u64 {
+        flows
+            .iter()
+            .map(|f| stats.flows[f.index()].retransmissions)
+            .sum()
+    };
+    assert!(
+        evictions(&hog_flows) > evictions(&victim_flows),
+        "evictions should fall on the over-served hog ({} vs {})",
+        evictions(&hog_flows),
+        evictions(&victim_flows)
+    );
+    for flow in hog_flows.iter().chain(&victim_flows) {
+        let fs = &stats.flows[flow.index()];
+        assert!(
+            fs.retransmissions >= fs.dram_evictions + fs.dram_rejections,
+            "flow {flow:?}: an eviction or overflow NACK without a retry"
+        );
+    }
+    assert!(retransmissions(&hog_flows) > 0, "hog never retried");
 }
 
 /// The DRAM-backed isolation experiment (the PR-3 scenario rebuilt on the
