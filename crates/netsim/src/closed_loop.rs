@@ -384,6 +384,102 @@ impl RequesterSpec {
     }
 }
 
+/// Per-request deadline and retry behaviour of every requester: the
+/// source-side half of the fault-tolerance story.
+///
+/// Without a retry policy a request that never completes (dropped by an
+/// injected fault, bounced forever by a dark controller) holds its MLP
+/// window slot until the watchdog gives up on the run. With one, each
+/// outstanding request carries a deadline; on expiry the requester either
+/// schedules a re-issue after a seeded-jitter exponential backoff or — once
+/// [`Self::max_attempts`] sends have failed — *abandons* the request,
+/// releasing the window slot and counting it so every issued request ends in
+/// exactly one of {delivered, retried-then-delivered, abandoned}:
+///
+/// `issued == round_trips + abandoned + in_flight-at-horizon`.
+///
+/// A retry reuses the original request's sequence number, cache-line
+/// address and logical birth cycle (so round-trip latency measures from the
+/// *first* send), but travels as a fresh packet. A reply for a request no
+/// longer waiting — its original raced the retry, or it was abandoned — is
+/// counted stale and discarded. All jitter is drawn from a stateless seeded
+/// hash, keeping retried runs deterministic and engine-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Cycles a request may stay outstanding before it is declared lost.
+    pub deadline: Cycle,
+    /// Base backoff before a retry; attempt `n` waits
+    /// `backoff × 2^(n-1) + jitter` with `jitter < backoff`.
+    pub backoff: Cycle,
+    /// Total send budget per request, counting the first send. A request is
+    /// abandoned when all `max_attempts` sends have timed out.
+    pub max_attempts: u32,
+    /// Seed of the backoff jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with the given deadline and attempt budget, a base backoff
+    /// of a quarter deadline, and a fixed default jitter seed.
+    pub fn new(deadline: Cycle, max_attempts: u32) -> Self {
+        RetryPolicy {
+            deadline,
+            backoff: (deadline / 4).max(1),
+            max_attempts,
+            jitter_seed: 0x005E_ED0F_FA11_BAC6,
+        }
+    }
+
+    /// Returns this policy with the given base backoff.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Cycle) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Returns this policy with the given jitter seed.
+    #[must_use]
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Validates the policy: a zero deadline would time every request out
+    /// the cycle it was issued, a zero attempt budget could never send, and
+    /// a zero backoff would hammer a dead component every cycle.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.deadline == 0 {
+            return Err(SimError::Spec(SpecError::new(
+                "retry deadline must be non-zero",
+            )));
+        }
+        if self.max_attempts == 0 {
+            return Err(SimError::Spec(SpecError::new(
+                "retry attempt budget must be at least 1",
+            )));
+        }
+        if self.backoff == 0 {
+            return Err(SimError::Spec(SpecError::new(
+                "retry backoff must be non-zero",
+            )));
+        }
+        Ok(())
+    }
+
+    /// Backoff delay before re-sending `seq` of `flow` for attempt
+    /// `attempts + 1`: exponential in the attempts already spent, plus a
+    /// seeded jitter below one base backoff so synchronized victims of a
+    /// shared fault don't retry in lockstep.
+    pub(crate) fn backoff_delay(&self, flow: FlowId, seq: u64, attempts: u32) -> Cycle {
+        let exp = attempts.saturating_sub(1).min(16);
+        let base = self.backoff << exp;
+        let jitter = crate::fault::splitmix64(
+            self.jitter_seed ^ ((flow.index() as u64) << 40) ^ (seq << 8) ^ u64::from(attempts),
+        ) % self.backoff;
+        base + jitter
+    }
+}
+
 /// Closed-loop configuration of a network: at most one requester per flow,
 /// and optionally a DRAM service-time model at every memory controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -400,6 +496,9 @@ pub struct ClosedLoopSpec {
     /// `RateAllocation::priority_weights` in `taqos-qos`). Empty means
     /// equal weights for every flow.
     pub flow_weights: Vec<u64>,
+    /// Per-request deadline/retry behaviour applied to every requester.
+    /// `None` keeps the pre-retry behaviour: requests wait forever.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl ClosedLoopSpec {
@@ -409,6 +508,7 @@ impl ClosedLoopSpec {
             requesters: vec![None; num_flows],
             dram: None,
             flow_weights: Vec::new(),
+            retry: None,
         }
     }
 
@@ -432,6 +532,13 @@ impl ClosedLoopSpec {
         self
     }
 
+    /// Applies a deadline/retry policy to every requester.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
     /// Number of flows with a requester attached.
     pub fn active_requesters(&self) -> usize {
         self.requesters.iter().flatten().count()
@@ -447,6 +554,9 @@ impl ClosedLoopSpec {
     pub fn validate(&self, spec: &NetworkSpec) -> Result<(), SimError> {
         if let Some(dram) = &self.dram {
             dram.validate()?;
+        }
+        if let Some(retry) = &self.retry {
+            retry.validate()?;
         }
         if self.requesters.len() != spec.num_flows() {
             return Err(SimError::Spec(SpecError::new(format!(
@@ -498,15 +608,55 @@ impl ClosedLoopSpec {
     }
 }
 
+/// One logical request awaiting its reply under a [`RetryPolicy`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InFlightRequest {
+    /// Request sequence number (matched against the reply's
+    /// [`crate::packet::Packet::req_seq`]).
+    pub(crate) seq: u64,
+    /// Cycle of the *first* send: the round-trip latency anchor across
+    /// retries.
+    pub(crate) birth: Cycle,
+    /// Cycle of the most recent send (deadline anchor).
+    pub(crate) sent: Cycle,
+    /// Sends so far (at least 1).
+    pub(crate) attempts: u32,
+    /// Cache-line address of the read, if the controller model is DRAM.
+    pub(crate) line: Option<u64>,
+}
+
+/// A timed-out request waiting out its backoff before re-issue.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DeferredRetry {
+    /// First cycle the retry may be sent.
+    pub(crate) ready: Cycle,
+    /// Request sequence number (preserved across retries).
+    pub(crate) seq: u64,
+    /// Cycle of the first send (round-trip anchor, preserved).
+    pub(crate) birth: Cycle,
+    /// Sends so far.
+    pub(crate) attempts: u32,
+    /// Cache-line address of the read (preserved, so a retried read hits
+    /// the same bank and row).
+    pub(crate) line: Option<u64>,
+}
+
 /// Runtime state of one requester flow.
 #[derive(Debug, Clone)]
 pub(crate) struct RequesterState {
     /// The specification this state was created from.
     pub(crate) spec: RequesterSpec,
-    /// Requests issued whose reply has not yet been delivered.
+    /// Requests issued whose reply has not yet been delivered (including
+    /// timed-out requests waiting in [`Self::deferred`] — they still hold
+    /// their MLP window slot until delivered or abandoned).
     pub(crate) outstanding: usize,
-    /// Requests issued so far.
+    /// Requests issued so far (fresh sends only; retries don't count).
     pub(crate) issued: u64,
+    /// Outstanding requests with their deadline bookkeeping. Populated only
+    /// under a [`RetryPolicy`]; empty (and never scanned) otherwise.
+    pub(crate) in_flight: Vec<InFlightRequest>,
+    /// Timed-out requests waiting out their backoff, in timeout order.
+    pub(crate) deferred: VecDeque<DeferredRetry>,
 }
 
 impl RequesterState {
@@ -515,12 +665,21 @@ impl RequesterState {
             spec,
             outstanding: 0,
             issued: 0,
+            in_flight: Vec::new(),
+            deferred: VecDeque::new(),
         }
     }
 
     /// Whether the requester may issue another request this cycle.
     pub(crate) fn can_issue(&self) -> bool {
         self.outstanding < self.spec.mlp && self.spec.total.is_none_or(|t| self.issued < t)
+    }
+
+    /// Removes and returns the first deferred retry whose backoff has
+    /// elapsed by `now`.
+    pub(crate) fn pop_ready_retry(&mut self, now: Cycle) -> Option<DeferredRetry> {
+        let idx = self.deferred.iter().position(|d| d.ready <= now)?;
+        self.deferred.remove(idx)
     }
 }
 
@@ -553,6 +712,10 @@ pub(crate) struct DramRequest {
     /// Request packet length in flits (delivery statistics under deferred
     /// delivery).
     pub(crate) len_flits: u8,
+    /// Logical sequence number of the request (copied onto the reply so the
+    /// requester's retry layer can match it). `None` without a
+    /// [`RetryPolicy`].
+    pub(crate) req_seq: Option<u64>,
 }
 
 /// A request held in the stall lane of a controller (Stall backpressure):
@@ -717,6 +880,8 @@ pub(crate) struct ClosedLoopState {
     pub(crate) weights: Vec<u64>,
     /// Sum of `weights` (the overdue threshold normaliser).
     pub(crate) total_weight: u64,
+    /// Deadline/retry policy applied to every requester, if any.
+    pub(crate) retry: Option<RetryPolicy>,
 }
 
 impl ClosedLoopState {
@@ -775,6 +940,7 @@ impl ClosedLoopState {
             mc_states,
             weights,
             total_weight,
+            retry: spec.retry,
         }
     }
 
@@ -930,6 +1096,7 @@ mod tests {
             packet: PacketId(7),
             hops: 2,
             len_flits: 1,
+            req_seq: None,
         }
     }
 

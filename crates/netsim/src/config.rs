@@ -60,6 +60,13 @@ pub struct SimConfig {
     pub ack_latency_per_hop: Cycle,
     /// Hot-path engine selection; see [`EngineKind`].
     pub engine: EngineKind,
+    /// Deadlock/livelock watchdog horizon for the closed-loop driver: if a
+    /// still-incomplete run observes no forward progress (no packet
+    /// generated, delivered, serviced or abandoned) for this many cycles,
+    /// [`crate::sim::run_closed`] fails with
+    /// [`crate::error::SimError::NoForwardProgress`] instead of spinning
+    /// until the cycle budget. `0` disables the watchdog.
+    pub progress_watchdog: Cycle,
 }
 
 impl SimConfig {
@@ -74,6 +81,14 @@ impl SimConfig {
         self.engine = engine;
         self
     }
+
+    /// Returns this configuration with the given progress-watchdog horizon
+    /// (in cycles; `0` disables the watchdog).
+    #[must_use]
+    pub fn with_progress_watchdog(mut self, cycles: Cycle) -> Self {
+        self.progress_watchdog = cycles;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -84,6 +99,7 @@ impl Default for SimConfig {
             ack_latency_base: 4,
             ack_latency_per_hop: 1,
             engine: EngineKind::Optimized,
+            progress_watchdog: 50_000,
         }
     }
 }
@@ -100,6 +116,9 @@ mod tests {
         assert_eq!(cfg.ack_latency(0), cfg.ack_latency_base);
         assert_eq!(cfg.ack_latency(3), cfg.ack_latency_base + 3);
         assert_eq!(cfg.engine, EngineKind::Optimized);
+        assert!(cfg.progress_watchdog > 0, "watchdog on by default");
+        let relaxed = cfg.with_progress_watchdog(0);
+        assert_eq!(relaxed.progress_watchdog, 0);
     }
 
     #[test]

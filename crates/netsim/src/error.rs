@@ -45,7 +45,26 @@ pub enum SimError {
         /// Number of packets still live in the network at timeout.
         live_packets: usize,
     },
+    /// The progress watchdog tripped: no packet was generated, delivered,
+    /// serviced or abandoned for the configured number of cycles while the
+    /// workload was still incomplete — a deadlock, a livelock (e.g. an
+    /// endless NACK/retry cycle against dead hardware), or a wedged
+    /// scheduler. Unlike [`SimError::Timeout`] this fires on *stalled*
+    /// runs, not merely slow ones.
+    NoForwardProgress {
+        /// Simulation time at which the watchdog gave up.
+        cycles: u64,
+        /// Cycles since the last observed forward progress.
+        stalled_for: u64,
+        /// Number of packets still live in the network.
+        live_packets: usize,
+    },
 }
+
+/// Crate-wide error alias: every fallible netsim entry point returns this
+/// type (specification validation, fault-plan installation, the closed
+/// drivers and the progress watchdog alike).
+pub type NetsimError = SimError;
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -58,6 +77,15 @@ impl fmt::Display for SimError {
                 f,
                 "simulation did not complete within {cycles} cycles ({live_packets} packets still live)"
             ),
+            SimError::NoForwardProgress {
+                cycles,
+                stalled_for,
+                live_packets,
+            } => write!(
+                f,
+                "no forward progress for {stalled_for} cycles at cycle {cycles} \
+                 ({live_packets} packets still live)"
+            ),
         }
     }
 }
@@ -66,7 +94,7 @@ impl Error for SimError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             SimError::Spec(e) => Some(e),
-            SimError::Timeout { .. } => None,
+            SimError::Timeout { .. } | SimError::NoForwardProgress { .. } => None,
         }
     }
 }
@@ -93,6 +121,20 @@ mod tests {
         let e: SimError = SpecError::new("boom").into();
         assert!(e.to_string().contains("boom"));
         assert!(matches!(e, SimError::Spec(_)));
+    }
+
+    #[test]
+    fn no_forward_progress_error_reports_counts() {
+        let e = SimError::NoForwardProgress {
+            cycles: 9000,
+            stalled_for: 4000,
+            live_packets: 7,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("9000"));
+        assert!(msg.contains("4000"));
+        assert!(msg.contains('7'));
+        assert!(msg.contains("no forward progress"));
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub mod closed_loop;
 pub mod config;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod network;
 pub mod packet;
@@ -107,9 +108,12 @@ pub mod vc;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::closed_loop::{ClosedLoopSpec, DramBackpressure, DramConfig, RequesterSpec};
+    pub use crate::closed_loop::{
+        ClosedLoopSpec, DramBackpressure, DramConfig, RequesterSpec, RetryPolicy,
+    };
     pub use crate::config::SimConfig;
-    pub use crate::error::{SimError, SpecError};
+    pub use crate::error::{NetsimError, SimError, SpecError};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::ids::{Cycle, Direction, FlowId, InPortId, NodeId, OutPortId, PacketId, VcId};
     pub use crate::network::Network;
     pub use crate::packet::{GeneratedPacket, IdleGenerator, Packet, PacketClass, PacketGenerator};

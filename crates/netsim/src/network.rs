@@ -21,12 +21,13 @@
 //! NACKed over a dedicated ACK network and retransmitted by their source.
 
 use crate::closed_loop::{
-    requester_line, ClosedLoopSpec, ClosedLoopState, DramBackpressure, DramRequest, DramScheduler,
-    StalledRequest,
+    requester_line, ClosedLoopSpec, ClosedLoopState, DeferredRetry, DramBackpressure, DramRequest,
+    DramScheduler, InFlightRequest, StalledRequest,
 };
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
+use crate::fault::{FaultPlan, FaultState};
 use crate::ids::{Cycle, FlowId, InPortId, NodeId, PacketId, VcId};
 use crate::packet::{GeneratedPacket, Packet, PacketClass, PacketGenerator, PacketStore};
 use crate::port::{Feeder, TargetCreditState, Transfer};
@@ -116,7 +117,12 @@ fn start_dram_service(
     events: &mut EventQueue,
     config: &SimConfig,
     flow_to_source: &[usize],
+    last_progress: &mut Cycle,
 ) {
+    // Entering bank service is forward progress for the watchdog: a run
+    // bottlenecked on DRAM can legitimately go many cycles between fabric
+    // deliveries.
+    *last_progress = now;
     let row = dram.row_of(request.line);
     let bank = &mut mc.banks[bank_idx];
     let (hit, latency) = dram.service_outcome(bank.open_row, row);
@@ -196,6 +202,12 @@ pub struct Network {
     unlimited: bool,
     /// Closed-loop request/reply state, if the workload is MLP-limited.
     closed_loop: Option<ClosedLoopState>,
+    /// Injected-fault state, if a [`FaultPlan`] was installed.
+    fault: Option<FaultState>,
+    /// Last cycle at which the network made observable forward progress
+    /// (a packet was generated, acknowledged, or entered DRAM service).
+    /// Consulted by the livelock watchdog ([`Self::check_progress`]).
+    last_progress: Cycle,
 }
 
 impl Network {
@@ -331,6 +343,8 @@ impl Network {
             probe_prioritized_scratch: Vec::new(),
             unlimited,
             closed_loop: None,
+            fault: None,
+            last_progress: 0,
         })
     }
 
@@ -377,6 +391,23 @@ impl Network {
         Ok(self)
     }
 
+    /// Installs a fault-injection plan: seeded, deterministic link, router,
+    /// controller and flit-corruption failures applied while the network
+    /// steps (see [`crate::fault`]). Dropped packets are NACKed back to
+    /// their source over the ACK network and retransmitted until the plan's
+    /// retransmit budget is exhausted, after which they are abandoned. An
+    /// empty plan leaves behaviour bit-identical to a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the plan fails validation against this network's
+    /// spec (out-of-range routers or ports, malformed fault windows).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, SimError> {
+        plan.validate_against(&self.spec)?;
+        self.fault = Some(FaultState::new(plan, &self.spec));
+        Ok(self)
+    }
+
     /// Current simulation time in cycles.
     pub fn now(&self) -> Cycle {
         self.now
@@ -412,6 +443,29 @@ impl Network {
         self.packets.len()
     }
 
+    /// Checks the forward-progress watchdog: if more than
+    /// [`SimConfig::progress_watchdog`] cycles have elapsed since the last
+    /// packet generation, acknowledgement, or DRAM service start, the
+    /// network is considered wedged (deadlocked or livelocked — e.g. a NACK
+    /// storm against dead hardware) and a structured error is returned. A
+    /// watchdog of 0 disables the check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoForwardProgress`] when the watchdog expires.
+    pub fn check_progress(&self) -> Result<(), SimError> {
+        let horizon = self.config.progress_watchdog;
+        let stalled_for = self.now.saturating_sub(self.last_progress);
+        if horizon > 0 && stalled_for > horizon {
+            return Err(SimError::NoForwardProgress {
+                cycles: self.now,
+                stalled_for,
+                live_packets: self.live_packets(),
+            });
+        }
+        Ok(())
+    }
+
     /// Total flits delivered to sinks so far, per the sinks' own counters.
     ///
     /// Under a priority-aware DRAM scheduler
@@ -434,6 +488,12 @@ impl Network {
             fs.injected_packets = source.injected_packets;
             fs.retransmissions = source.retransmitted_packets;
         }
+        if let Some(cl) = &self.closed_loop {
+            for (flow, requester) in cl.requesters.iter().enumerate() {
+                let Some(requester) = requester else { continue };
+                self.stats.flows[flow].requests_in_flight = requester.outstanding as u64;
+            }
+        }
         self.stats.generated_packets = self.sources.iter().map(|s| s.generated_packets).sum();
         self.stats.cycles = self.now;
         self.stats
@@ -442,6 +502,9 @@ impl Network {
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         self.now += 1;
+        if let Some(fault) = &mut self.fault {
+            fault.refresh(self.now);
+        }
         self.phase_frame_rollover();
         self.phase_events();
         self.phase_sources();
@@ -576,6 +639,9 @@ impl Network {
                 self.sources[source as usize].free_vcs.push(vc);
             }
             Event::Ack { source, packet } => {
+                // A packet left the system (delivered, or abandoned by the
+                // fault layer): that is forward progress for the watchdog.
+                self.last_progress = self.now;
                 self.sources[source as usize].acknowledge(packet);
                 self.packets.remove(packet);
             }
@@ -625,6 +691,34 @@ impl Network {
                 packet.dram_line,
             )
         };
+        let req_seq = self
+            .packets
+            .get(packet_id)
+            .expect("delivered packet must be live")
+            .req_seq;
+        // A controller outage bounces request-class packets at the dark
+        // node: the delivery is not recorded and the packet is NACKed back
+        // to its source (or abandoned once the fault retransmit budget is
+        // spent), exactly like a DRAM-queue rejection.
+        if class == PacketClass::Request
+            && self
+                .fault
+                .as_ref()
+                .is_some_and(|f| f.mc_dark(self.sinks[sink].node))
+        {
+            self.sinks[sink].discard(slot);
+            self.stats.fault.mc_outage_rejections += 1;
+            release_sink_credit(
+                &mut self.events,
+                &self.config,
+                &self.sink_feeders,
+                self.now,
+                sink,
+                slot,
+            );
+            self.fault_bounce(packet_id, flow, origin_source, hops);
+            return;
+        }
         // DRAM admission control: a closed-loop request arriving at a
         // controller whose bounded queue is full is either rejected (NACKed
         // back to its source for a retry over the fabric — it does *not*
@@ -688,6 +782,7 @@ impl Network {
                 packet_id,
                 hops,
                 len_flits,
+                req_seq,
             );
         }
         // Free the sink slot credit at the feeding ejection port — unless a
@@ -721,6 +816,56 @@ impl Network {
                 packet: packet_id,
             },
         );
+    }
+
+    /// Sends a fault-dropped (or outage-bounced) packet back to its source:
+    /// a NACK schedules a fabric retransmission, unless the packet has
+    /// already burned through the fault plan's retransmit budget, in which
+    /// case it is abandoned — acknowledged and removed without ever counting
+    /// as delivered. Abandonment guarantees NACK loops against permanently
+    /// dead hardware terminate instead of livelocking.
+    fn fault_bounce(
+        &mut self,
+        packet_id: PacketId,
+        flow: FlowId,
+        origin_source: Option<u32>,
+        hops: u32,
+    ) {
+        let budget = self
+            .fault
+            .as_ref()
+            .expect("fault_bounce requires an installed fault plan")
+            .retransmit_budget();
+        let drops = {
+            let packet = self
+                .packets
+                .get_mut(packet_id)
+                .expect("bounced packet must be live");
+            packet.fault_drops += 1;
+            packet.fault_drops
+        };
+        let source = origin_source
+            .map(|s| s as usize)
+            .unwrap_or_else(|| self.flow_to_source[flow.index()]) as u32;
+        let due = self.now + self.config.ack_latency(hops);
+        if drops > budget {
+            self.stats.fault.abandoned_packets += 1;
+            self.events.schedule(
+                due,
+                Event::Ack {
+                    source,
+                    packet: packet_id,
+                },
+            );
+        } else {
+            self.events.schedule(
+                due,
+                Event::Nack {
+                    source,
+                    packet: packet_id,
+                },
+            );
+        }
     }
 
     /// Decides what a DRAM-backed controller does with a delivered packet:
@@ -795,6 +940,7 @@ impl Network {
         packet_id: PacketId,
         hops: u32,
         len_flits: u8,
+        req_seq: Option<u64>,
     ) {
         match class {
             PacketClass::Request => {
@@ -807,6 +953,11 @@ impl Network {
                     Some(r) if r.spec.mc == sink_node => r.spec.reply_len,
                     _ => return,
                 };
+                // A retried request carries the logical birth of its
+                // original send: round trips are anchored there, so retry
+                // latency shows up in the measured round-trip time. Fresh
+                // requests carry `None` and anchor at their packet birth.
+                let birth = request_birth.unwrap_or(birth);
                 if admission != DramAdmission::None {
                     // DRAM-backed controller: the request enters the bounded
                     // queue (or the credit-withholding stall lane) and its
@@ -822,6 +973,7 @@ impl Network {
                         packet: packet_id,
                         hops,
                         len_flits,
+                        req_seq,
                     };
                     let mc = self
                         .closed_loop
@@ -876,7 +1028,15 @@ impl Network {
                     .expect("closed loop active")
                     .node_reply_source[sink_node.index()]
                 .expect("validated: controller node has a source");
-                self.release_reply(sink_node, reply_source, flow, src, reply_len, birth);
+                self.release_reply(
+                    sink_node,
+                    reply_source,
+                    flow,
+                    src,
+                    reply_len,
+                    birth,
+                    req_seq,
+                );
             }
             PacketClass::Reply => {
                 // Closed-loop replies are marked by the request birth they
@@ -885,12 +1045,38 @@ impl Network {
                     return;
                 };
                 let cl = self.closed_loop.as_mut().expect("closed loop active");
+                let retry_on = cl.retry.is_some();
                 let Some(requester) = cl.requesters[flow.index()].as_mut() else {
                     return;
                 };
-                debug_assert!(requester.outstanding > 0, "reply without a request");
-                requester.outstanding -= 1;
-                self.stats.record_round_trip(flow, request_birth, self.now);
+                if !retry_on || req_seq.is_none() {
+                    debug_assert!(requester.outstanding > 0, "reply without a request");
+                    requester.outstanding -= 1;
+                    self.stats.record_round_trip(flow, request_birth, self.now);
+                    return;
+                }
+                // Under a retry policy the reply must match a sequence
+                // number the requester still considers live: either waiting
+                // for this reply, or already timed out and parked for a
+                // retry (the original raced the deadline and won). A reply
+                // matching neither is stale — a duplicate whose request was
+                // already completed by an earlier copy — and is discarded
+                // without touching the MLP window.
+                let seq = req_seq.expect("checked above");
+                if let Some(pos) = requester.in_flight.iter().position(|r| r.seq == seq) {
+                    let entry = requester.in_flight.remove(pos);
+                    requester.outstanding -= 1;
+                    self.stats.record_round_trip(flow, entry.birth, self.now);
+                } else if let Some(pos) = requester.deferred.iter().position(|d| d.seq == seq) {
+                    let entry = requester
+                        .deferred
+                        .remove(pos)
+                        .expect("position is in bounds");
+                    requester.outstanding -= 1;
+                    self.stats.record_round_trip(flow, entry.birth, self.now);
+                } else {
+                    self.stats.record_stale_reply(flow);
+                }
             }
         }
     }
@@ -901,6 +1087,7 @@ impl Network {
     /// accounting) but is injected and retransmitted by the controller's
     /// source; it carries the request's birth so the round trip can be
     /// measured at delivery.
+    #[allow(clippy::too_many_arguments)]
     fn release_reply(
         &mut self,
         mc_node: NodeId,
@@ -909,6 +1096,7 @@ impl Network {
         requester: NodeId,
         reply_len: u8,
         request_birth: Cycle,
+        req_seq: Option<u64>,
     ) {
         let now = self.now;
         let reply_id = self.packets.insert_with(|id| {
@@ -923,6 +1111,7 @@ impl Network {
             );
             reply.request_birth = Some(request_birth);
             reply.origin_source = Some(reply_source as u32);
+            reply.req_seq = req_seq;
             reply
         });
         let source = &mut self.sources[reply_source];
@@ -959,6 +1148,7 @@ impl Network {
             request.requester,
             request.reply_len,
             request.birth,
+            request.req_seq,
         );
         self.dram_pump(mc_node);
     }
@@ -979,6 +1169,7 @@ impl Network {
             sink_feeders,
             config,
             flow_to_source,
+            last_progress,
             ..
         } = self;
         let cl = closed_loop.as_mut().expect("closed loop active");
@@ -1012,6 +1203,7 @@ impl Network {
                                 events,
                                 config,
                                 flow_to_source,
+                                last_progress,
                             );
                             progressed = true;
                         } else {
@@ -1043,6 +1235,7 @@ impl Network {
                                 events,
                                 config,
                                 flow_to_source,
+                                last_progress,
                             );
                             progressed = true;
                         }
@@ -1086,6 +1279,7 @@ impl Network {
             policy,
             qos,
             closed_loop,
+            last_progress,
             ..
         } = self;
         for (si, source) in sources.iter_mut().enumerate() {
@@ -1099,20 +1293,89 @@ impl Network {
             // room and the budget allows. Under a DRAM model the request also
             // carries the next cache line of the flow's private stream.
             let mut dram_line = None;
+            let mut req_seq = None;
+            let mut logical_birth = None;
             let generated = match closed_loop.as_mut().map(|cl| {
                 (
                     cl.dram.is_some(),
+                    cl.retry,
                     cl.requesters[source.flow.index()].as_mut(),
                 )
             }) {
-                Some((dram_enabled, Some(requester))) => {
-                    if requester.can_issue() {
+                Some((dram_enabled, retry, Some(requester))) => {
+                    let flow = source.flow;
+                    // Deadline scan: every in-flight request whose reply has
+                    // not arrived within the policy deadline either moves to
+                    // the backoff lane for a retry or — once its attempt
+                    // budget is spent — is abandoned, releasing its MLP
+                    // window slot so the flow keeps making progress past
+                    // genuinely lost requests.
+                    if let Some(policy) = retry {
+                        let mut i = 0;
+                        while i < requester.in_flight.len() {
+                            let entry = requester.in_flight[i];
+                            if now < entry.sent + policy.deadline {
+                                i += 1;
+                                continue;
+                            }
+                            requester.in_flight.remove(i);
+                            if entry.attempts >= policy.max_attempts {
+                                requester.outstanding -= 1;
+                                stats.record_request_abandoned(flow);
+                                // Giving up on a lost request is forward
+                                // progress: the window slot is usable again.
+                                *last_progress = now;
+                            } else {
+                                stats.record_request_timeout(flow);
+                                requester.deferred.push_back(DeferredRetry {
+                                    ready: now
+                                        + policy.backoff_delay(flow, entry.seq, entry.attempts),
+                                    seq: entry.seq,
+                                    birth: entry.birth,
+                                    attempts: entry.attempts,
+                                    line: entry.line,
+                                });
+                            }
+                        }
+                    }
+                    // A retry whose backoff has elapsed re-issues before any
+                    // fresh request: it already owns a window slot and its
+                    // requester has waited longest for the data.
+                    if let Some(deferred) = retry.and_then(|_| requester.pop_ready_retry(now)) {
+                        requester.in_flight.push(InFlightRequest {
+                            seq: deferred.seq,
+                            birth: deferred.birth,
+                            sent: now,
+                            attempts: deferred.attempts + 1,
+                            line: deferred.line,
+                        });
+                        stats.record_request_retry(flow);
+                        dram_line = deferred.line;
+                        req_seq = Some(deferred.seq);
+                        logical_birth = Some(deferred.birth);
+                        Some(GeneratedPacket {
+                            dst: requester.spec.mc,
+                            len_flits: requester.spec.request_len,
+                            class: PacketClass::Request,
+                        })
+                    } else if requester.can_issue() {
                         if dram_enabled {
-                            dram_line = Some(requester_line(source.flow, requester.issued));
+                            dram_line = Some(requester_line(flow, requester.issued));
+                        }
+                        if retry.is_some() {
+                            let seq = requester.issued;
+                            requester.in_flight.push(InFlightRequest {
+                                seq,
+                                birth: now,
+                                sent: now,
+                                attempts: 1,
+                                line: dram_line,
+                            });
+                            req_seq = Some(seq);
                         }
                         requester.outstanding += 1;
                         requester.issued += 1;
-                        stats.record_request_issued(source.flow);
+                        stats.record_request_issued(flow);
                         Some(GeneratedPacket {
                             dst: requester.spec.mc,
                             len_flits: requester.spec.request_len,
@@ -1125,6 +1388,8 @@ impl Network {
                 _ => source.generator.generate(now),
             };
             if let Some(gen) = generated {
+                // Generating a packet is forward progress for the watchdog.
+                *last_progress = now;
                 // `origin_source` stays `None` here: a packet generated at
                 // its own flow's source routes ACK/NACK via `flow_to_source`;
                 // only controller-injected replies carry an explicit origin.
@@ -1133,6 +1398,8 @@ impl Network {
                     let mut packet =
                         Packet::new(id, flow, node, gen.dst, gen.len_flits, gen.class, now);
                     packet.dram_line = dram_line;
+                    packet.req_seq = req_seq;
+                    packet.request_birth = logical_birth;
                     packet
                 });
                 source.enqueue_generated(id, gen.len_flits);
@@ -1610,6 +1877,137 @@ impl Network {
                 let sendable = router.inputs[from_port].vcs[from_vc].sendable_flits();
                 if sendable == 0 {
                     continue;
+                }
+
+                // Injected faults intercept whole packets at head launch: a
+                // dead output link, a dead router at either end of it, or a
+                // corrupted head flit kills the transfer before anything
+                // reaches the wire. The drop has whole-packet (virtual
+                // cut-through) granularity and fires only once every flit is
+                // buffered at this router, so no body flit is ever in flight
+                // towards a VC released here; a hard fault simply holds the
+                // head until the packet is fully resident. The claimed
+                // resources are released exactly as a completed transfer's
+                // would be, and the packet is NACKed back to its source —
+                // or abandoned once the fault retransmit budget is spent.
+                if let Some(fault) = self.fault.as_ref().filter(|f| f.any_active()) {
+                    let transfer = &out_state.granted[0];
+                    if transfer.flits_launched == 0 {
+                        let dest_router_dead = match transfer.endpoint {
+                            TargetEndpoint::Router { router, .. } => fault.router_dead(router),
+                            TargetEndpoint::Sink { .. } => false,
+                        };
+                        let hard =
+                            fault.router_dead(ri) || dest_router_dead || fault.link_dead(ri, oi);
+                        let resident =
+                            router.inputs[from_port].vcs[from_vc].flits_arrived >= transfer.len;
+                        if hard && !resident {
+                            continue;
+                        }
+                        let corrupt = !hard
+                            && resident
+                            && fault.corrupts(now, ri, oi, transfer.flow.index() as u64);
+                        if hard || corrupt {
+                            if corrupt {
+                                self.stats.fault.corruption_drops += 1;
+                            } else if fault.router_dead(ri) || dest_router_dead {
+                                self.stats.fault.router_drops += 1;
+                            } else {
+                                self.stats.fault.link_drops += 1;
+                            }
+                            let transfer = out_state.granted.remove(0);
+                            // No flit will ever consume the downstream VC
+                            // claimed at grant time: refund its credit here.
+                            out_state.targets[transfer.target_idx]
+                                .refund(transfer.to_vc, transfer.to_vc_reserved);
+                            if out_state.granted.is_empty() {
+                                if let Some(mask) = router.granted_mask.as_mut() {
+                                    *mask &= !(1 << oi);
+                                }
+                            }
+                            if let Some(mask) = router.alloc_dirty.as_mut() {
+                                *mask |= 1 << oi;
+                            }
+                            let port = &mut router.inputs[from_port];
+                            let vc_state = &mut port.vcs[from_vc];
+                            let was_reserved_vc = vc_state.reserved_vc;
+                            vc_state.release();
+                            port.occupied -= 1;
+                            router.active_vcs -= 1;
+                            match router.inputs[from_port].feeder {
+                                Some(Feeder::RouterOutput {
+                                    router: fr,
+                                    out_port: fo,
+                                    target_idx: ft,
+                                }) => {
+                                    self.events.schedule(
+                                        now + self.config.credit_delay,
+                                        Event::CreditToRouter {
+                                            router: fr as u32,
+                                            out_port: fo as u16,
+                                            target_idx: ft as u16,
+                                            vc: VcId(from_vc as u16),
+                                            reserved_vc: was_reserved_vc,
+                                        },
+                                    );
+                                }
+                                Some(Feeder::Source { source }) => {
+                                    self.events.schedule(
+                                        now + self.config.credit_delay,
+                                        Event::CreditToSource {
+                                            source: source as u32,
+                                            vc: VcId(from_vc as u16),
+                                        },
+                                    );
+                                }
+                                None => {}
+                            }
+                            // Bounce the packet: NACK for a fabric
+                            // retransmission, or — once the fault budget is
+                            // burned — abandon it (acknowledge and remove
+                            // without delivery) so NACK loops against dead
+                            // hardware terminate.
+                            let budget = fault.retransmit_budget();
+                            let (pkt_flow, pkt_src, pkt_origin, drops) = {
+                                let packet = self
+                                    .packets
+                                    .get_mut(transfer.packet)
+                                    .expect("dropped packet must be live");
+                                packet.fault_drops += 1;
+                                (
+                                    packet.flow,
+                                    packet.src,
+                                    packet.origin_source,
+                                    packet.fault_drops,
+                                )
+                            };
+                            let hops = pkt_src.column_distance(router.node);
+                            let source = pkt_origin
+                                .map(|s| s as usize)
+                                .unwrap_or_else(|| self.flow_to_source[pkt_flow.index()])
+                                as u32;
+                            let due = now + self.config.ack_latency(hops);
+                            if drops > budget {
+                                self.stats.fault.abandoned_packets += 1;
+                                self.events.schedule(
+                                    due,
+                                    Event::Ack {
+                                        source,
+                                        packet: transfer.packet,
+                                    },
+                                );
+                            } else {
+                                self.events.schedule(
+                                    due,
+                                    Event::Nack {
+                                        source,
+                                        packet: transfer.packet,
+                                    },
+                                );
+                            }
+                            continue;
+                        }
+                    }
                 }
 
                 // Launch one flit.

@@ -74,6 +74,18 @@ pub struct Packet {
     /// controller to derive the bank and row (see
     /// [`crate::closed_loop::DramConfig`]). `None` for every other packet.
     pub dram_line: Option<u64>,
+    /// Logical request sequence number for closed-loop retry matching: a
+    /// requester under a [`crate::closed_loop::RetryPolicy`] stamps each
+    /// request with its sequence number, the controller copies it onto the
+    /// reply, and the requester uses it to pair a reply with the in-flight
+    /// (or deferred-for-retry) request it answers. `None` when the retry
+    /// layer is disabled.
+    pub req_seq: Option<u64>,
+    /// Number of times this packet has been dropped by an injected fault
+    /// (dead link, dead router, corrupted flit, controller outage) and
+    /// NACKed back for retransmission. Once it exceeds the fault plan's
+    /// retransmit budget the packet is abandoned instead of retried.
+    pub fault_drops: u32,
 }
 
 impl Packet {
@@ -101,6 +113,8 @@ impl Packet {
             request_birth: None,
             origin_source: None,
             dram_line: None,
+            req_seq: None,
+            fault_drops: 0,
         }
     }
 

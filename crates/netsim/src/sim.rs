@@ -72,7 +72,10 @@ pub fn run_open_loop(mut network: Network, config: OpenLoopConfig) -> NetStats {
 /// # Errors
 ///
 /// Returns [`SimError::Timeout`] if the workload does not complete within
-/// `max_cycles`.
+/// `max_cycles`, or [`SimError::NoForwardProgress`] if the progress
+/// watchdog ([`crate::config::SimConfig::progress_watchdog`]) trips first —
+/// a wedged (deadlocked or livelocked) run errors out structurally instead
+/// of burning the whole cycle budget.
 pub fn run_closed(mut network: Network, max_cycles: Cycle) -> Result<NetStats, SimError> {
     while !network.is_quiescent() {
         if network.now() >= max_cycles {
@@ -81,6 +84,7 @@ pub fn run_closed(mut network: Network, max_cycles: Cycle) -> Result<NetStats, S
                 live_packets: network.live_packets(),
             });
         }
+        network.check_progress()?;
         network.step();
     }
     let completion = network.now();

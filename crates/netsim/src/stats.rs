@@ -55,6 +55,29 @@ pub struct FlowStats {
     /// separately from overflow NACKs (each one is retransmitted over the
     /// fabric; whole run). Only the priority-aware schedulers evict.
     pub dram_evictions: u64,
+    /// Closed-loop requests of this flow whose deadline expired before a
+    /// reply arrived (each timeout either schedules a backoff retry or, once
+    /// the attempt budget is exhausted, abandons the request). Zero without
+    /// a [`crate::closed_loop::RetryPolicy`].
+    pub request_timeouts: u64,
+    /// Timed-out requests re-issued after their exponential backoff. Retries
+    /// reuse the original request's sequence number and logical birth cycle
+    /// and do **not** count as newly issued requests.
+    pub request_retries: u64,
+    /// Requests abandoned by the retry layer after exhausting the attempt
+    /// budget: the requester gave up, released the MLP window slot, and will
+    /// discard any late reply as stale.
+    pub abandoned_requests: u64,
+    /// Replies delivered for a request that had already been abandoned or
+    /// completed by an earlier copy (a retry raced its original). Stale
+    /// replies are discarded without touching the round-trip counters.
+    pub stale_replies: u64,
+    /// Closed-loop requests of this flow still outstanding when the run's
+    /// statistics were folded (in flight at the horizon). On a completed run
+    /// this is zero; on a fixed-window or faulted run it closes the
+    /// conservation invariant
+    /// `issued == round_trips + abandoned + in_flight`.
+    pub requests_in_flight: u64,
 }
 
 impl FlowStats {
@@ -163,6 +186,40 @@ impl DramStats {
     }
 }
 
+/// Aggregate counters of injected-fault activity (all zero when the run has
+/// no [`crate::fault::FaultPlan`], so fault-free statistics stay bit-identical
+/// to pre-fault builds).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Head launches dropped because the link they were about to traverse
+    /// was down.
+    pub link_drops: u64,
+    /// Head launches dropped because the launching or receiving router was
+    /// down.
+    pub router_drops: u64,
+    /// Head launches dropped by flit corruption (the whole packet is
+    /// discarded and NACKed — virtual cut-through transfers packets
+    /// atomically).
+    pub corruption_drops: u64,
+    /// Closed-loop requests bounced (NACKed) at a memory controller whose
+    /// node was dark under an `McOutage` fault.
+    pub mc_outage_rejections: u64,
+    /// Packets abandoned at the fault layer after exhausting the fault
+    /// plan's retransmit budget: the source was ACKed without a delivery, so
+    /// the packet ends its life un-delivered by design rather than looping
+    /// forever against dead hardware.
+    pub abandoned_packets: u64,
+}
+
+impl FaultStats {
+    /// Total head launches dropped by injected faults (link + router +
+    /// corruption; controller-outage bounces are counted separately since
+    /// they happen at delivery, not launch).
+    pub fn total_drops(&self) -> u64 {
+        self.link_drops + self.router_drops + self.corruption_drops
+    }
+}
+
 /// Aggregate statistics of one simulation run.
 ///
 /// Every field is an exact integer counter, so `NetStats` is `Eq`: two runs
@@ -177,6 +234,8 @@ pub struct NetStats {
     pub energy: EnergyCounters,
     /// DRAM controller counters (zero without a DRAM model).
     pub dram: DramStats,
+    /// Injected-fault counters (zero without a fault plan).
+    pub fault: FaultStats,
     /// Start of the measurement window (inclusive), if one was set.
     pub measure_start: Option<Cycle>,
     /// End of the measurement window (exclusive), if one was set.
@@ -366,6 +425,29 @@ impl NetStats {
     /// was enqueued (high-water tracking).
     pub fn record_dram_occupancy(&mut self, occupancy: usize) {
         self.dram.max_queue_occupancy = self.dram.max_queue_occupancy.max(occupancy as u64);
+    }
+
+    /// Records the deadline expiry of an outstanding request of `flow`.
+    pub fn record_request_timeout(&mut self, flow: FlowId) {
+        self.flows[flow.index()].request_timeouts += 1;
+    }
+
+    /// Records the backoff re-issue of a previously timed-out request of
+    /// `flow`.
+    pub fn record_request_retry(&mut self, flow: FlowId) {
+        self.flows[flow.index()].request_retries += 1;
+    }
+
+    /// Records the abandonment of a request of `flow` whose retry budget ran
+    /// out.
+    pub fn record_request_abandoned(&mut self, flow: FlowId) {
+        self.flows[flow.index()].abandoned_requests += 1;
+    }
+
+    /// Records the delivery of a reply whose request was no longer waiting
+    /// (already completed by an earlier copy, or abandoned).
+    pub fn record_stale_reply(&mut self, flow: FlowId) {
+        self.flows[flow.index()].stale_replies += 1;
     }
 
     /// Records a preemption of a packet of `flow` that had traversed `hops`

@@ -18,7 +18,10 @@
 //!   checks) used by the chip-level architecture in `taqos-core`;
 //! * [`mesh2d`] — the plain two-dimensional XY mesh;
 //! * [`chip`] — the hybrid chip fabric: the 2-D mesh plus per-row MECS
-//!   express channels into the QOS-protected shared columns.
+//!   express channels into the QOS-protected shared columns;
+//! * [`reroute`] — fault-aware route recomputation: detours routing tables
+//!   around permanently dead links and routers and fails requesters over to
+//!   surviving sibling memory controllers.
 //!
 //! ## Example
 //!
@@ -46,6 +49,7 @@ pub mod geometry;
 pub mod grid;
 pub mod mesh2d;
 pub mod properties;
+pub mod reroute;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -58,6 +62,7 @@ pub mod prelude {
         bisection_bandwidth_bytes, bisection_channels, tornado_avg_hops, uniform_random_avg_hops,
         zero_load_latency, zero_load_latency_tornado, zero_load_latency_uniform,
     };
+    pub use crate::reroute::{failover_controller, reroute_around_faults, RerouteSummary};
 }
 
 pub use prelude::*;

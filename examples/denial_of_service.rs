@@ -15,12 +15,21 @@
 //! attacker's routers. PVC restores each flow's fair share and the victims'
 //! small demands are served in full.
 //!
+//! The second act arms the adversary with **injected faults** on the
+//! victims' path: a transient outage of router 2 (the column hop every
+//! victim packet must cross) plus 2% flit corruption across the region —
+//! the hog keeps flooding while the fabric itself is failing. Dropped
+//! packets are NACKed back to their sources and retransmitted, and the run
+//! prints the measured isolation bound: the share of their fault-free PVC
+//! bandwidth the victims keep on the failing fabric.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example denial_of_service
 //! ```
 
+use taqos::netsim::fault::{FaultEvent, FaultKind, FaultPlan};
 use taqos::prelude::*;
 use taqos::traffic::generators::{DestinationPattern, SyntheticGenerator};
 
@@ -56,8 +65,30 @@ fn attack_generators(column: &ColumnConfig, seed: u64) -> GeneratorSet {
     generators
 }
 
-fn run(policy: Box<dyn QosPolicy>, column: &ColumnConfig) -> NetStats {
-    let sim = SharedRegionSim::new(ColumnTopology::MeshX1).with_column(*column);
+/// The combined adversary's fault plan: router 2 — the hop every victim
+/// packet must cross on its way to the controller — goes dark for 3 000
+/// cycles of the measurement window, and 2% of head flits are corrupted
+/// (dropped and NACKed for retransmission) throughout the run.
+fn adversary_faults() -> FaultPlan {
+    FaultPlan::new(0xD05)
+        .with_event(FaultEvent::transient(
+            10_000,
+            13_000,
+            FaultKind::RouterDown { router: 2 },
+        ))
+        .with_event(FaultEvent::permanent(
+            0,
+            FaultKind::CorruptFlits {
+                probability_ppm: 20_000,
+            },
+        ))
+}
+
+fn run(policy: Box<dyn QosPolicy>, column: &ColumnConfig, faults: Option<FaultPlan>) -> NetStats {
+    let mut sim = SharedRegionSim::new(ColumnTopology::MeshX1).with_column(*column);
+    if let Some(plan) = faults {
+        sim = sim.with_fault_plan(plan);
+    }
     sim.run_open(
         policy,
         attack_generators(column, 99),
@@ -101,12 +132,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    let no_qos = run(Box::new(FifoPolicy::new()), &column);
+    let no_qos = run(Box::new(FifoPolicy::new()), &column, None);
     let (victim_no, victim_min_no, attacker_no) = summarise(&column, &no_qos);
 
     let pvc = run(
         Box::new(taqos::qos::pvc::PvcPolicy::equal_rates(column.num_flows())),
         &column,
+        None,
     );
     let (victim_pvc, victim_min_pvc, attacker_pvc) = summarise(&column, &pvc);
 
@@ -157,6 +189,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(
         victim_pvc >= victim_no,
         "victims must not lose bandwidth when QOS is enabled"
+    );
+
+    // Act two: the same hog, now with the fabric failing under it.
+    println!();
+    println!("--- combined adversary: hog + injected faults on the victims' path ---");
+    println!("router 2 dark for cycles 10000-13000, 2% flit corruption throughout.");
+    println!();
+
+    let no_qos_f = run(
+        Box::new(FifoPolicy::new()),
+        &column,
+        Some(adversary_faults()),
+    );
+    let (victim_no_f, victim_min_no_f, attacker_no_f) = summarise(&column, &no_qos_f);
+    let pvc_f = run(
+        Box::new(taqos::qos::pvc::PvcPolicy::equal_rates(column.num_flows())),
+        &column,
+        Some(adversary_faults()),
+    );
+    let (victim_pvc_f, victim_min_pvc_f, attacker_pvc_f) = summarise(&column, &pvc_f);
+
+    println!("{:<36} {:>14} {:>14}", "", "no QOS", "PVC");
+    println!(
+        "{:<36} {:>14.3} {:>14.3}",
+        "victim mean throughput (flits/cycle)",
+        victim_no_f / window,
+        victim_pvc_f / window
+    );
+    println!(
+        "{:<36} {:>14.3} {:>14.3}",
+        "victim worst-case (flits/cycle)",
+        victim_min_no_f / window,
+        victim_min_pvc_f / window
+    );
+    println!(
+        "{:<36} {:>14.3} {:>14.3}",
+        "attacker per-injector (flits/cycle)",
+        attacker_no_f / window,
+        attacker_pvc_f / window
+    );
+    println!(
+        "{:<36} {:>14} {:>14}",
+        "fault drops (router/corruption)",
+        no_qos_f.fault.total_drops(),
+        pvc_f.fault.total_drops()
+    );
+    println!();
+
+    let isolation_bound = victim_pvc_f / victim_pvc;
+    println!(
+        "measured isolation bound: on the failing fabric the PVC-protected victims keep \
+         {:.1}% of their fault-free bandwidth ({:.3} of {:.3} flits/cycle); without QOS \
+         they get {:.3}.",
+        100.0 * isolation_bound,
+        victim_pvc_f / window,
+        victim_pvc / window,
+        victim_no_f / window,
+    );
+
+    assert!(pvc_f.fault.total_drops() > 0, "the fault plan must bite");
+    assert!(
+        victim_pvc_f >= victim_no_f,
+        "victims must not lose bandwidth to QOS on a failing fabric"
     );
     Ok(())
 }

@@ -133,6 +133,40 @@ fn mesh2d_stats_match_reference_engine() {
     assert!(optimized.delivered_packets > 0);
 }
 
+fn faulted_chip_stats(engine: EngineKind) -> NetStats {
+    use taqos_core::experiment::chip_scale::chip_fault_bench_plan;
+    use taqos_netsim::closed_loop::RetryPolicy;
+
+    let sim = taqos_core::chip_sim::ChipSim::paper_default()
+        .with_sim_config(SimConfig::default().with_engine(engine));
+    let plan = chip_fault_bench_plan(&sim, 21);
+    let sim = sim.with_fault_plan(plan);
+    let mlp_plan = sim.nearest_mc_mlp_plan(4);
+    let spec = workloads::mlp_closed_loop(&mlp_plan).with_retry(RetryPolicy::new(2_000, 4));
+    let mut network = sim
+        .build_closed_loop(sim.default_policy(), spec)
+        .expect("faulted closed-loop chip builds");
+    network.run_for(12_000);
+    network.into_stats()
+}
+
+/// Engine equivalence holds on a failing fabric: dead links rerouted at
+/// build time, flit corruption recovered through NACK-retransmit, a
+/// transient controller outage, and the requesters' deadline/retry layer all
+/// hash engine-independent coordinates, so the optimized and reference
+/// engines agree counter-for-counter while actually dropping packets.
+#[test]
+fn faulted_chip_stats_match_reference_engine() {
+    let optimized = faulted_chip_stats(EngineKind::Optimized);
+    let reference = faulted_chip_stats(EngineKind::Reference);
+    assert_eq!(optimized, reference, "engines diverged on the failing chip");
+    assert!(optimized.round_trips > 0, "faulted chip starved outright");
+    assert!(
+        optimized.fault.total_drops() > 0,
+        "the fault plan dropped nothing — the case exercises no recovery"
+    );
+}
+
 /// Determinism: the same seed produces bit-identical statistics across two
 /// independent runs of the optimized engine (the timing wheel and active-set
 /// bookkeeping introduce no iteration-order dependence).
