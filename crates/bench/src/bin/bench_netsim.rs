@@ -38,13 +38,22 @@
 //! recorded): run-to-run noise on a busy machine was observed at ±20%, so
 //! single-shot figures are not comparable across commits.
 //!
+//! Every timed run executes with telemetry **off** (the hot path stays
+//! allocation-free); `--trace-out FILE` / `--series-out FILE` add one extra
+//! *untimed* instrumented run of the first selected case that exports a
+//! flit-level trace (`.jsonl` → JSON-lines events, anything else → a Chrome
+//! trace viewable in Perfetto) and/or the per-frame time series.
+//!
 //! ```text
 //! cargo run --release -p taqos-bench --bin bench_netsim
 //! cargo run --release -p taqos-bench --bin bench_netsim -- --quick
 //! cargo run --release -p taqos-bench --bin bench_netsim -- --cycles 200000 --repeat 5 --out BENCH_netsim.json
+//! cargo run --release -p taqos-bench --bin bench_netsim -- --quick --filter chip_8x8 --trace-out chip.trace.json --series-out chip.series.jsonl
 //! ```
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufWriter;
 use std::time::Instant;
 use taqos_bench::{cell, rule, CliArgs};
 use taqos_core::chip_sim::ChipSim;
@@ -55,7 +64,7 @@ use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::QosPolicy;
 use taqos_netsim::stats::NetStats;
-use taqos_netsim::SimConfig;
+use taqos_netsim::{ChromeTraceSink, JsonlSink, SimConfig, TelemetryConfig, TraceSink};
 use taqos_qos::pvc::PvcPolicy;
 use taqos_topology::column::ColumnTopology;
 use taqos_topology::mesh2d::Mesh2dConfig;
@@ -68,6 +77,8 @@ const DEFAULT_RATE: f64 = 0.08;
 /// MLP window of every requester in the closed-loop cases.
 const CLOSED_LOOP_MLP: usize = 4;
 const SEED: u64 = 1;
+/// Frame cadence of the instrumented `--trace-out`/`--series-out` run.
+const EXPORT_FRAME_LEN: u64 = 500;
 
 struct EngineRun {
     cycles_per_sec: f64,
@@ -162,7 +173,10 @@ impl BenchCase {
         }
     }
 
-    fn build(self, engine: EngineKind, rate: f64) -> Network {
+    fn build(self, engine: EngineKind, rate: f64, telemetry: TelemetryConfig) -> Network {
+        let sim_config = SimConfig::default()
+            .with_engine(engine)
+            .with_telemetry(telemetry);
         match self {
             BenchCase::Mesh8x8 => {
                 let config = Mesh2dConfig::paper_8x8();
@@ -175,21 +189,14 @@ impl BenchCase {
                 );
                 let policy: Box<dyn QosPolicy> =
                     Box::new(PvcPolicy::equal_rates(config.num_nodes()));
-                Network::new(
-                    spec,
-                    policy,
-                    generators,
-                    SimConfig::default().with_engine(engine),
-                )
-                .expect("mesh builds")
+                Network::new(spec, policy, generators, sim_config).expect("mesh builds")
             }
             BenchCase::Chip8x8 => {
                 // The hybrid fabric under its common-case workload: every
                 // non-column node streams memory requests to the controller
                 // on its own row of the shared column, over the MECS express
                 // channels, with PVC confined to the column routers.
-                let sim = ChipSim::paper_default()
-                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let sim = ChipSim::paper_default().with_sim_config(sim_config);
                 let plan = sim.nearest_mc_plan(rate);
                 let generators = workloads::per_node_fixed(&plan, PacketSizeMix::paper(), SEED);
                 sim.build(sim.default_policy(), generators)
@@ -199,8 +206,7 @@ impl BenchCase {
                 // The closed loop on the paper chip: MLP-limited requesters
                 // against their nearest controller, replies returning down
                 // the column and out over the mesh.
-                let sim = ChipSim::paper_default()
-                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let sim = ChipSim::paper_default().with_sim_config(sim_config);
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
                     .expect("closed-loop chip builds")
@@ -212,7 +218,7 @@ impl BenchCase {
                 // admission, per the case's `dram_config`.
                 let dram = self.dram_config().expect("DRAM case has a config");
                 let sim = ChipSim::paper_default()
-                    .with_sim_config(SimConfig::default().with_engine(engine))
+                    .with_sim_config(sim_config)
                     .with_dram(dram);
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
@@ -223,8 +229,7 @@ impl BenchCase {
                 // are rerouted at build time; corruption drops and the
                 // controller outage are recovered at runtime through
                 // NACK-retransmit and the requesters' deadline/retry layer.
-                let sim = ChipSim::paper_default()
-                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let sim = ChipSim::paper_default().with_sim_config(sim_config);
                 let plan = chip_fault_bench_plan(&sim, SEED);
                 let sim = sim.with_fault_plan(plan);
                 let mlp_plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
@@ -234,15 +239,13 @@ impl BenchCase {
                     .expect("faulted closed-loop chip builds")
             }
             BenchCase::ChipClosed16x16 { columns } => {
-                let sim = ChipSim::multi_column(16, 16, columns)
-                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let sim = ChipSim::multi_column(16, 16, columns).with_sim_config(sim_config);
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
                 sim.build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
                     .expect("closed-loop multi-column chip builds")
             }
             BenchCase::Column(topology) => {
-                let sim = SharedRegionSim::new(topology)
-                    .with_sim_config(SimConfig::default().with_engine(engine));
+                let sim = SharedRegionSim::new(topology).with_sim_config(sim_config);
                 let generators =
                     workloads::uniform_random(sim.column(), rate, PacketSizeMix::paper(), SEED);
                 let policy: Box<dyn QosPolicy> =
@@ -268,7 +271,9 @@ fn run_engine(
     let mut walls = Vec::with_capacity(repeat.max(1) as usize);
     let mut stats = None;
     for _ in 0..repeat.max(1) {
-        let mut network = case.build(engine, rate);
+        // Timed runs always measure the production configuration: telemetry
+        // off, hot loop allocation- and branch-free.
+        let mut network = case.build(engine, rate, TelemetryConfig::off());
         let start = Instant::now();
         network.run_for(cycles);
         walls.push(start.elapsed().as_secs_f64());
@@ -421,12 +426,106 @@ fn main() {
     std::fs::write(&out_path, json).expect("write benchmark report");
     println!("wrote {out_path}");
 
+    // `--trace-out` / `--series-out` export observability artifacts from one
+    // extra untimed instrumented run of the first selected case.
+    let trace_out = args.value("trace-out");
+    let series_out = args.value("series-out");
+    if trace_out.is_some() || series_out.is_some() {
+        match results.first().map(|r| r.case) {
+            Some(case) => export_instrumented(case, cycles, rate, trace_out, series_out),
+            None => eprintln!("--trace-out/--series-out ignored: no case matched the filter"),
+        }
+    }
+
     if args.has_flag("check") {
         let headline = headline.expect("--check requires the mesh_8x8 case");
         if headline < 3.0 {
             eprintln!("FAIL: 8x8 mesh speedup {headline:.2}x below the 3x target");
             std::process::exit(1);
         }
+    }
+}
+
+/// One extra *untimed* run of `case` with telemetry fully enabled, exporting
+/// the flit-level trace and/or the per-frame time series. Kept out of the
+/// timed loop so instrumentation can never pollute the recorded figures.
+/// `.jsonl` trace paths get raw JSON-lines events; any other extension gets a
+/// Chrome trace (load it at <https://ui.perfetto.dev>).
+fn export_instrumented(
+    case: BenchCase,
+    cycles: u64,
+    rate: f64,
+    trace_out: Option<&str>,
+    series_out: Option<&str>,
+) {
+    let telemetry = TelemetryConfig::off()
+        .with_histograms(true)
+        .with_frames(EXPORT_FRAME_LEN)
+        .with_max_frames((cycles / EXPORT_FRAME_LEN).max(1) as usize);
+    let mut network = case.build(EngineKind::Optimized, rate, telemetry);
+    if let Some(path) = trace_out {
+        let file = BufWriter::new(File::create(path).expect("create trace file"));
+        let sink: Box<dyn TraceSink> = if path.ends_with(".jsonl") {
+            Box::new(JsonlSink::new(file))
+        } else {
+            Box::new(ChromeTraceSink::new(file))
+        };
+        network = network.with_trace_sink(sink);
+    }
+    network.run_for(case.cycles(cycles));
+    if let Some(mut sink) = network.take_trace_sink() {
+        sink.finish().expect("flush trace file");
+    }
+    let stats = network.into_stats();
+    if let Some(path) = trace_out {
+        println!(
+            "wrote {path} (flit-level trace of {}, untimed run)",
+            case.name()
+        );
+    }
+    if let Some(path) = series_out {
+        let series = stats.frames.as_ref().expect("frame series enabled");
+        let mut out = String::new();
+        for snap in &series.frames {
+            let _ = write!(
+                out,
+                "{{\"frame\":{},\"cycle\":{},\"flows\":[",
+                snap.frame, snap.cycle
+            );
+            for (f, flow) in snap.flows.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"flow\":{f},\"injected_packets\":{},\"delivered_flits\":{},\
+                     \"latency_sum\":{},\"latency_samples\":{},\"round_trips\":{},\
+                     \"rt_latency_sum\":{},\"rt_samples\":{}}}",
+                    if f == 0 { "" } else { "," },
+                    flow.injected_packets,
+                    flow.delivered_flits,
+                    flow.latency_sum,
+                    flow.latency_samples,
+                    flow.round_trips,
+                    flow.rt_latency_sum,
+                    flow.rt_samples,
+                );
+            }
+            out.push_str("],\"router_occupancy\":[");
+            for (i, occ) in snap.router_occupancy.iter().enumerate() {
+                let _ = write!(out, "{}{occ}", if i == 0 { "" } else { "," });
+            }
+            out.push_str("],\"link_flits\":[");
+            for (i, flits) in snap.link_flits.iter().enumerate() {
+                let _ = write!(out, "{}{flits}", if i == 0 { "" } else { "," });
+            }
+            out.push_str("]}\n");
+        }
+        std::fs::write(path, out).expect("write series file");
+        println!(
+            "wrote {path} ({} frames of {} cycles each from {}, {} dropped)",
+            series.len(),
+            series.frame_len,
+            case.name(),
+            series.dropped_frames,
+        );
     }
 }
 
@@ -462,6 +561,37 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
             ),
             None => "null".to_string(),
         };
+        // The controller and fault-layer outcome of the run rides along in
+        // every row (all-zero objects without a DRAM model / fault plan), so
+        // a regenerated baseline records *what the fabric did*, not only how
+        // fast it simulated.
+        let ds = &result.optimized.stats.dram;
+        let dram_stats = format!(
+            "{{ \"serviced_requests\": {}, \"row_hits\": {}, \"row_misses\": {}, \
+             \"rejected_requests\": {}, \"evicted_requests\": {}, \"stalled_requests\": {}, \
+             \"queue_wait_sum\": {}, \"max_queue_wait\": {}, \"max_queue_occupancy\": {}, \
+             \"bank_busy_cycles\": {} }}",
+            ds.serviced_requests,
+            ds.row_hits,
+            ds.row_misses,
+            ds.rejected_requests,
+            ds.evicted_requests,
+            ds.stalled_requests,
+            ds.queue_wait_sum,
+            ds.max_queue_wait,
+            ds.max_queue_occupancy,
+            ds.bank_busy_cycles,
+        );
+        let fs = &result.optimized.stats.fault;
+        let fault_stats = format!(
+            "{{ \"link_drops\": {}, \"router_drops\": {}, \"corruption_drops\": {}, \
+             \"mc_outage_rejections\": {}, \"abandoned_packets\": {} }}",
+            fs.link_drops,
+            fs.router_drops,
+            fs.corruption_drops,
+            fs.mc_outage_rejections,
+            fs.abandoned_packets,
+        );
         let _ = write!(
             json,
             "    {{ \"topology\": \"{}\", \"pattern\": \"{}\", \"policy\": \"{}\", \
@@ -470,7 +600,8 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
              \"reference_cycles_per_sec\": {:.1}, \"speedup\": {:.3}, \
              \"optimized_wall_median_s\": {:.4}, \"optimized_wall_min_s\": {:.4}, \
              \"reference_wall_median_s\": {:.4}, \"reference_wall_min_s\": {:.4}, \
-             \"delivered_packets\": {} }}",
+             \"delivered_packets\": {}, \
+             \"dram_stats\": {}, \"fault_stats\": {} }}",
             result.case.name(),
             result.case.workload_name(),
             result.case.policy_name(),
@@ -484,6 +615,8 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
             result.reference.wall_median_secs,
             result.reference.wall_min_secs,
             result.optimized.stats.delivered_packets,
+            dram_stats,
+            fault_stats,
         );
         json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
     }

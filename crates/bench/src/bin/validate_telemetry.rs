@@ -1,0 +1,218 @@
+//! Structural validator for exported telemetry artifacts.
+//!
+//! CI runs the bench harness with `--trace-out trace.jsonl --series-out
+//! series.jsonl` and then this binary over the results. It checks, without
+//! any JSON dependency (the workspace has none), that:
+//!
+//! * every line of a `--trace` file is a single JSON object carrying the
+//!   required `kind`/`cycle` fields, the `kind` tag is one of the known
+//!   event kinds, flow-scoped events carry a `flow`, and event cycles are
+//!   monotone non-decreasing — globally and per flow (the simulator emits
+//!   events in simulation-time order, so any inversion is an exporter bug);
+//! * every line of a `--series` file is a frame snapshot carrying
+//!   `frame`/`cycle`/`flows`/`router_occupancy`/`link_flits`, with frame
+//!   indices consecutive and cycles strictly increasing.
+//!
+//! Exits non-zero with a line-numbered message on the first violation.
+//!
+//! ```text
+//! cargo run --release -p taqos-bench --bin validate_telemetry -- \
+//!     --trace trace.jsonl --series series.jsonl
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use taqos_bench::CliArgs;
+
+/// Every `kind` tag the trace exporter can emit.
+const KNOWN_KINDS: [&str; 9] = [
+    "inject",
+    "grant",
+    "preempt",
+    "nack",
+    "deliver",
+    "dram_service",
+    "timeout",
+    "retry",
+    "fault_transition",
+];
+
+/// Extracts an unsigned integer field from a single-line JSON object. Good
+/// enough for the flat integer fields our exporters write; not a parser.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}', ']']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Extracts a string field (`"key":"value"`) from a single-line JSON object.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn fail(path: &str, line_no: usize, msg: &str) -> ExitCode {
+    eprintln!("FAIL {path}:{line_no}: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Validates a flit-level JSONL trace: shape, known kinds, required fields,
+/// and cycle monotonicity (global and per flow).
+fn validate_trace(path: &str) -> Result<String, ExitCode> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|err| panic!("read trace file {path}: {err}"));
+    let mut last_cycle = 0u64;
+    let mut per_flow_last: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut kind_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut events = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(fail(path, line_no, "line is not a JSON object"));
+        }
+        let Some(kind) = field_str(line, "kind") else {
+            return Err(fail(path, line_no, "missing \"kind\" field"));
+        };
+        let Some(kind) = KNOWN_KINDS.iter().find(|k| **k == kind) else {
+            return Err(fail(path, line_no, &format!("unknown kind \"{kind}\"")));
+        };
+        let Some(cycle) = field_u64(line, "cycle") else {
+            return Err(fail(path, line_no, "missing \"cycle\" field"));
+        };
+        if cycle < last_cycle {
+            return Err(fail(
+                path,
+                line_no,
+                &format!("cycle {cycle} regresses below {last_cycle}: trace is not time-ordered"),
+            ));
+        }
+        last_cycle = cycle;
+        if *kind == "fault_transition" {
+            if field_u64(line, "active").is_none() {
+                return Err(fail(path, line_no, "fault_transition missing \"active\""));
+            }
+        } else {
+            // Every flow-scoped event must name its flow, and within one
+            // flow cycles must be monotone as well.
+            let Some(flow) = field_u64(line, "flow") else {
+                return Err(fail(
+                    path,
+                    line_no,
+                    &format!("{kind} missing \"flow\" field"),
+                ));
+            };
+            let flow_last = per_flow_last.entry(flow).or_insert(0);
+            if cycle < *flow_last {
+                return Err(fail(
+                    path,
+                    line_no,
+                    &format!("flow {flow}: cycle {cycle} regresses below {flow_last}"),
+                ));
+            }
+            *flow_last = cycle;
+        }
+        *kind_counts.entry(kind).or_insert(0) += 1;
+        events += 1;
+    }
+    if events == 0 {
+        return Err(fail(path, 0, "trace contains no events"));
+    }
+    let breakdown = kind_counts
+        .iter()
+        .map(|(k, n)| format!("{k}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    Ok(format!(
+        "{path}: {events} events over {} flows, time-ordered ({breakdown})",
+        per_flow_last.len()
+    ))
+}
+
+/// Validates a per-frame series export: required fields, consecutive frame
+/// indices, strictly increasing frame-end cycles.
+fn validate_series(path: &str) -> Result<String, ExitCode> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|err| panic!("read series file {path}: {err}"));
+    let mut prev: Option<(u64, u64)> = None;
+    let mut frames = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if !(line.starts_with('{') && line.ends_with('}')) {
+            return Err(fail(path, line_no, "line is not a JSON object"));
+        }
+        for key in ["flows", "router_occupancy", "link_flits"] {
+            if !line.contains(&format!("\"{key}\":[")) {
+                return Err(fail(path, line_no, &format!("missing \"{key}\" array")));
+            }
+        }
+        let Some(frame) = field_u64(line, "frame") else {
+            return Err(fail(path, line_no, "missing \"frame\" field"));
+        };
+        let Some(cycle) = field_u64(line, "cycle") else {
+            return Err(fail(path, line_no, "missing \"cycle\" field"));
+        };
+        if let Some((prev_frame, prev_cycle)) = prev {
+            if frame != prev_frame + 1 {
+                return Err(fail(
+                    path,
+                    line_no,
+                    &format!("frame {frame} does not follow {prev_frame}: series has a gap"),
+                ));
+            }
+            if cycle <= prev_cycle {
+                return Err(fail(
+                    path,
+                    line_no,
+                    &format!("frame-end cycle {cycle} does not advance past {prev_cycle}"),
+                ));
+            }
+        }
+        prev = Some((frame, cycle));
+        frames += 1;
+    }
+    if frames == 0 {
+        return Err(fail(path, 0, "series contains no frames"));
+    }
+    Ok(format!(
+        "{path}: {frames} consecutive frames, cycles strictly increasing"
+    ))
+}
+
+fn main() -> ExitCode {
+    let args = CliArgs::from_env();
+    let trace = args.value("trace");
+    let series = args.value("series");
+    if trace.is_none() && series.is_none() {
+        eprintln!("usage: validate_telemetry [--trace FILE.jsonl] [--series FILE.jsonl]");
+        return ExitCode::FAILURE;
+    }
+    let mut summaries = Vec::new();
+    for (path, validate) in [
+        (
+            trace,
+            validate_trace as fn(&str) -> Result<String, ExitCode>,
+        ),
+        (series, validate_series),
+    ] {
+        if let Some(path) = path {
+            match validate(path) {
+                Ok(summary) => summaries.push(summary),
+                Err(code) => return code,
+            }
+        }
+    }
+    for summary in summaries {
+        println!("OK {summary}");
+    }
+    ExitCode::SUCCESS
+}

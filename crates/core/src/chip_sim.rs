@@ -132,6 +132,14 @@ impl ChipSim {
         self
     }
 
+    /// Switches telemetry (latency histograms, per-frame time series) on
+    /// every network built by this simulation, keeping the other simulation
+    /// constants as configured.
+    pub fn with_telemetry(mut self, telemetry: taqos_netsim::TelemetryConfig) -> Self {
+        self.sim = self.sim.with_telemetry(telemetry);
+        self
+    }
+
     /// Installs a DRAM service-time model at every memory controller of
     /// closed-loop runs built through [`Self::build_closed_loop`] (and hence
     /// [`Self::run_closed_loop`]). Without it, controllers answer every

@@ -55,7 +55,7 @@ use taqos_netsim::ids::Direction;
 use taqos_netsim::sim::OpenLoopConfig;
 use taqos_netsim::spec::{NetworkSpec, OutputKind};
 use taqos_netsim::stats::NetStats;
-use taqos_netsim::{Cycle, FlowId};
+use taqos_netsim::{Cycle, FlowId, Hist64, TelemetryConfig};
 use taqos_power::area::AreaModel;
 use taqos_topology::chip::{ChipConfig, ChipSpec};
 use taqos_topology::grid::Coord;
@@ -126,6 +126,17 @@ pub struct DomainOutcome {
     pub issued_requests: u64,
     /// Completed round trips per cycle over the measurement window.
     pub throughput: f64,
+    /// Median round-trip latency upper bound, in cycles (log2-bucket edge,
+    /// clamped to the recorded maximum; see
+    /// [`taqos_netsim::Hist64::percentile`]). `None` when histograms were off
+    /// or the domain starved.
+    pub p50_round_trip: Option<u64>,
+    /// 95th-percentile round-trip latency upper bound, in cycles.
+    pub p95_round_trip: Option<u64>,
+    /// 99th-percentile round-trip latency upper bound, in cycles.
+    pub p99_round_trip: Option<u64>,
+    /// Largest measured round-trip latency of the domain, in cycles.
+    pub max_round_trip: Option<u64>,
 }
 
 impl DomainOutcome {
@@ -163,6 +174,19 @@ impl ChipIsolationResult {
     pub fn unprotected_slowdown(&self) -> Option<f64> {
         slowdown(&self.unprotected, &self.solo)
     }
+
+    /// Victim p99 round-trip slowdown versus its solo baseline with the
+    /// overlay: the *tail* isolation bound, stricter than the mean. `None`
+    /// when either side has no tail figure (starved, or histograms off).
+    pub fn protected_p99_slowdown(&self) -> Option<f64> {
+        p99_slowdown(&self.protected, &self.solo)
+    }
+
+    /// Victim p99 round-trip slowdown versus its solo baseline without the
+    /// overlay; `None` when either side has no tail figure.
+    pub fn unprotected_p99_slowdown(&self) -> Option<f64> {
+        p99_slowdown(&self.unprotected, &self.solo)
+    }
 }
 
 /// Latency ratio of `outcome` over `baseline`, or `None` when either side
@@ -175,25 +199,42 @@ fn slowdown(outcome: &DomainOutcome, baseline: &DomainOutcome) -> Option<f64> {
     }
 }
 
+/// p99 round-trip ratio of `outcome` over `baseline`, or `None` when either
+/// side lacks a tail figure (starved, or histograms were off).
+fn p99_slowdown(outcome: &DomainOutcome, baseline: &DomainOutcome) -> Option<f64> {
+    match (outcome.p99_round_trip, baseline.p99_round_trip) {
+        (Some(tail), Some(base)) if base > 0 => Some(tail as f64 / base as f64),
+        _ => None,
+    }
+}
+
 /// Folds the per-flow round-trip counters of a domain's flows into one
-/// outcome.
+/// outcome. When the run recorded histograms, the per-flow round-trip
+/// histograms are merged (merge order is immaterial — see
+/// [`Hist64::merge`]) into the domain's percentile columns.
 fn domain_outcome(stats: &NetStats, flows: &[FlowId], measure: Cycle) -> DomainOutcome {
     let mut rt_sum = 0u64;
     let mut rt_samples = 0u64;
     let mut completed = 0u64;
     let mut issued = 0u64;
+    let mut rt_hist = Hist64::new();
     for flow in flows {
         let fs = &stats.flows[flow.index()];
         rt_sum += fs.rt_latency_sum;
         rt_samples += fs.rt_samples;
         completed += fs.measured_round_trips;
         issued += fs.issued_requests;
+        rt_hist.merge(&fs.rt_hist);
     }
     DomainOutcome {
         avg_round_trip: (rt_samples > 0).then(|| rt_sum as f64 / rt_samples as f64),
         round_trips: completed,
         issued_requests: issued,
         throughput: completed as f64 / measure.max(1) as f64,
+        p50_round_trip: rt_hist.p50(),
+        p95_round_trip: rt_hist.p95(),
+        p99_round_trip: rt_hist.p99(),
+        max_round_trip: rt_hist.max(),
     }
 }
 
@@ -214,7 +255,11 @@ enum Scenario {
 /// downstream of the victim's and its replies leave the controller first,
 /// the adversarial placement for round-robin arbitration on both legs.
 fn isolation_chip() -> (ChipSim, crate::chip::DomainId, crate::chip::DomainId, Coord) {
-    let mut sim = ChipSim::paper_default();
+    // Histograms on: the isolation experiments bound the victim's p99 tail,
+    // not just its mean. (Frame sampling stays off — the experiments compare
+    // endpoint aggregates.)
+    let mut sim =
+        ChipSim::paper_default().with_telemetry(TelemetryConfig::default().with_histograms(true));
     let grid = *sim.chip().grid();
     let victim = sim
         .chip_mut()
@@ -421,6 +466,15 @@ pub struct LoadPoint {
     pub throughput: f64,
     /// Average round-trip latency in cycles; `None` when nothing completed.
     pub avg_round_trip: Option<f64>,
+    /// Median round-trip latency upper bound in cycles (conservative
+    /// log2-bucket edge); `None` when nothing completed.
+    pub p50_round_trip: Option<u64>,
+    /// 95th-percentile round-trip latency upper bound in cycles.
+    pub p95_round_trip: Option<u64>,
+    /// 99th-percentile round-trip latency upper bound in cycles.
+    pub p99_round_trip: Option<u64>,
+    /// Largest measured round-trip latency in cycles.
+    pub max_round_trip: Option<u64>,
     /// Mean cycles a serviced request waited for a DRAM bank; `None` when
     /// nothing was serviced.
     pub avg_queue_wait: Option<f64>,
@@ -458,7 +512,8 @@ pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
         }
     }
     parallel_map(runs, move |(scheduler, mlp)| {
-        let sim = ChipSim::paper_default();
+        let sim = ChipSim::paper_default()
+            .with_telemetry(TelemetryConfig::default().with_histograms(true));
         let dram = sim.topology_dram(base).with_scheduler(scheduler);
         let sim = sim.with_dram(dram);
         let plan = sim.nearest_mc_mlp_plan(mlp);
@@ -472,6 +527,10 @@ pub fn latency_under_load(config: &LatencyLoadConfig) -> Vec<LoadPoint> {
             requesters,
             throughput: stats.round_trip_throughput(),
             avg_round_trip: stats.avg_round_trip(),
+            p50_round_trip: stats.rt_percentile(50),
+            p95_round_trip: stats.rt_percentile(95),
+            p99_round_trip: stats.rt_percentile(99),
+            max_round_trip: stats.rt_hist.max(),
             avg_queue_wait: stats.dram.avg_queue_wait(),
             row_hit_rate: stats.dram.row_hit_rate(),
             rejected_requests: stats.dram.rejected_requests,
@@ -557,6 +616,12 @@ impl MixPoint {
     /// when either side starved.
     pub fn unprotected_slowdown(&self) -> Option<f64> {
         slowdown(&self.unprotected, &self.solo)
+    }
+
+    /// Victim p99 round-trip slowdown versus solo with the overlay (the
+    /// tail bound); `None` when either side has no tail figure.
+    pub fn protected_p99_slowdown(&self) -> Option<f64> {
+        p99_slowdown(&self.protected, &self.solo)
     }
 }
 
@@ -770,6 +835,13 @@ pub struct DegradationPoint {
     /// Victim round-trip latency relative to the sweep's first (baseline)
     /// unprotected point; `None` when either side starved.
     pub unprotected_vs_fault_free: Option<f64>,
+    /// Victim p99 round-trip latency relative to the baseline protected
+    /// point — the tail-degradation bound; `None` when either side has no
+    /// tail figure.
+    pub protected_p99_vs_fault_free: Option<f64>,
+    /// Victim p99 round-trip latency relative to the baseline unprotected
+    /// point; `None` when either side has no tail figure.
+    pub unprotected_p99_vs_fault_free: Option<f64>,
 }
 
 /// Number of distinct fault sites the degradation sweep can kill (the
@@ -949,6 +1021,8 @@ pub fn degradation_under_faults(config: &DegradationConfig) -> Vec<DegradationPo
                 protected_request_retries: p.flows.iter().map(|f| f.request_retries).sum(),
                 protected_vs_fault_free: slowdown(&protected, &baseline_protected),
                 unprotected_vs_fault_free: slowdown(&unprotected, &baseline_unprotected),
+                protected_p99_vs_fault_free: p99_slowdown(&protected, &baseline_protected),
+                unprotected_p99_vs_fault_free: p99_slowdown(&unprotected, &baseline_unprotected),
             }
         })
         .collect()

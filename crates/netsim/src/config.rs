@@ -44,6 +44,82 @@ impl EngineKind {
     }
 }
 
+/// Telemetry switches: latency histograms and per-frame time-series
+/// sampling.
+///
+/// Everything defaults to **off**, and the disabled paths are free on the
+/// hot loop: histogram recording is a single branch inside the existing
+/// delivery bookkeeping, and frame sampling only runs when a sampler was
+/// constructed. Flit-level *tracing* is not configured here — a trace sink
+/// carries a destination writer (not `Copy`), so it is installed on the
+/// network directly with [`crate::network::Network::with_trace_sink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Record per-flow and aggregate latency/round-trip histograms
+    /// ([`taqos_telemetry::Hist64`]) alongside the existing sum/count
+    /// statistics.
+    pub histograms: bool,
+    /// Per-frame time-series cadence in cycles; `0` disables sampling. At
+    /// every multiple of this cadence the network snapshots per-flow
+    /// progress deltas, router occupancy and link utilisation into
+    /// [`crate::stats::NetStats::frames`].
+    pub frame_len: Cycle,
+    /// Maximum retained frames: older frames are overwritten (and counted as
+    /// dropped) once the preallocated ring is full.
+    pub max_frames: usize,
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Histograms and frame sampling both enabled at the given cadence.
+    pub fn full(frame_len: Cycle) -> Self {
+        TelemetryConfig::default()
+            .with_histograms(true)
+            .with_frames(frame_len)
+    }
+
+    /// Returns this configuration with histogram recording switched.
+    #[must_use]
+    pub fn with_histograms(mut self, on: bool) -> Self {
+        self.histograms = on;
+        self
+    }
+
+    /// Returns this configuration with the given sampling cadence in cycles
+    /// (`0` disables frame sampling).
+    #[must_use]
+    pub fn with_frames(mut self, frame_len: Cycle) -> Self {
+        self.frame_len = frame_len;
+        self
+    }
+
+    /// Returns this configuration with the given frame-ring capacity.
+    #[must_use]
+    pub fn with_max_frames(mut self, max_frames: usize) -> Self {
+        self.max_frames = max_frames;
+        self
+    }
+
+    /// Whether frame sampling is enabled.
+    pub fn frames_enabled(&self) -> bool {
+        self.frame_len > 0 && self.max_frames > 0
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            histograms: false,
+            frame_len: 0,
+            max_frames: 1024,
+        }
+    }
+}
+
 /// Fixed mechanical parameters of the simulation (independent of topology and
 /// QOS policy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -67,6 +143,9 @@ pub struct SimConfig {
     /// [`crate::error::SimError::NoForwardProgress`] instead of spinning
     /// until the cycle budget. `0` disables the watchdog.
     pub progress_watchdog: Cycle,
+    /// Telemetry switches (histograms, frame sampling); see
+    /// [`TelemetryConfig`]. Off by default.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -89,6 +168,13 @@ impl SimConfig {
         self.progress_watchdog = cycles;
         self
     }
+
+    /// Returns this configuration with the given telemetry switches.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -100,6 +186,7 @@ impl Default for SimConfig {
             ack_latency_per_hop: 1,
             engine: EngineKind::Optimized,
             progress_watchdog: 50_000,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -119,6 +206,21 @@ mod tests {
         assert!(cfg.progress_watchdog > 0, "watchdog on by default");
         let relaxed = cfg.with_progress_watchdog(0);
         assert_eq!(relaxed.progress_watchdog, 0);
+    }
+
+    #[test]
+    fn telemetry_defaults_off() {
+        let cfg = SimConfig::default();
+        assert!(!cfg.telemetry.histograms);
+        assert!(!cfg.telemetry.frames_enabled());
+        let on = cfg.with_telemetry(TelemetryConfig::full(500));
+        assert!(on.telemetry.histograms);
+        assert!(on.telemetry.frames_enabled());
+        assert_eq!(on.telemetry.frame_len, 500);
+        assert!(on.telemetry.max_frames > 0, "default ring capacity");
+        let capped = TelemetryConfig::full(100).with_max_frames(16);
+        assert_eq!(capped.max_frames, 16);
+        assert!(!TelemetryConfig::off().frames_enabled());
     }
 
     #[test]

@@ -368,6 +368,16 @@ impl FaultState {
         self.next_change = next;
     }
 
+    /// Number of individual fault events active at `now` (for telemetry's
+    /// fault-transition events; only evaluated when tracing is on).
+    pub(crate) fn active_count(&self, now: Cycle) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .filter(|ev| ev.is_active(now))
+            .count() as u64
+    }
+
     /// Whether anything at all can fail this cycle (fast-path gate for the
     /// launch hook).
     pub(crate) fn any_active(&self) -> bool {

@@ -111,7 +111,7 @@ pub mod prelude {
     pub use crate::closed_loop::{
         ClosedLoopSpec, DramBackpressure, DramConfig, RequesterSpec, RetryPolicy,
     };
-    pub use crate::config::SimConfig;
+    pub use crate::config::{SimConfig, TelemetryConfig};
     pub use crate::error::{NetsimError, SimError, SpecError};
     pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::ids::{Cycle, Direction, FlowId, InPortId, NodeId, OutPortId, PacketId, VcId};
@@ -124,6 +124,10 @@ pub mod prelude {
         SourceSpec, TargetEndpoint, TargetSpec, VcConfig,
     };
     pub use crate::stats::{FlowStats, NetStats, ThroughputSummary};
+    pub use taqos_telemetry::{
+        ChromeTraceSink, FrameSeries, FrameSnapshot, Hist64, JsonlSink, SharedMemorySink,
+        TraceEvent, TraceSink,
+    };
 }
 
 pub use prelude::*;

@@ -38,6 +38,7 @@ use crate::source::{InjectionTransfer, SourceState};
 use crate::spec::{NetworkSpec, TargetEndpoint};
 use crate::stats::NetStats;
 use crate::vc::VcState;
+use taqos_telemetry::{FrameSampler, TraceEvent, TraceHook, TraceSink};
 
 /// What a DRAM-backed controller decided about a packet delivered at a sink.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +119,7 @@ fn start_dram_service(
     config: &SimConfig,
     flow_to_source: &[usize],
     last_progress: &mut Cycle,
+    trace: &mut TraceHook,
 ) {
     // Entering bank service is forward progress for the watchdog: a run
     // bottlenecked on DRAM can legitimately go many cycles between fabric
@@ -130,6 +132,14 @@ fn start_dram_service(
     bank.open_row = dram.row_after_service(row);
     bank.in_service = Some(request);
     stats.record_dram_service(request.flow, hit, request.arrived, now, latency);
+    trace.emit(|| TraceEvent::DramService {
+        cycle: now,
+        flow: u64::from(request.flow.0),
+        mc: mc_node as u64,
+        bank: bank_idx as u64,
+        latency,
+        row_hit: hit,
+    });
     if dram.scheduler.is_priority_aware() {
         let weight = weights.get(request.flow.index()).copied().unwrap_or(1);
         mc.charge(request.flow, latency, weight);
@@ -142,6 +152,12 @@ fn start_dram_service(
             request.birth,
             now,
         );
+        trace.emit(|| TraceEvent::Deliver {
+            cycle: now,
+            flow: u64::from(request.flow.0),
+            packet: request.packet.0,
+            birth: request.birth,
+        });
         events.schedule(
             now + config.ack_latency(request.hops),
             Event::Ack {
@@ -208,6 +224,15 @@ pub struct Network {
     /// (a packet was generated, acknowledged, or entered DRAM service).
     /// Consulted by the livelock watchdog ([`Self::check_progress`]).
     last_progress: Cycle,
+    /// Per-frame time-series sampler, present when
+    /// [`crate::config::TelemetryConfig::frame_len`] is non-zero.
+    sampler: Option<FrameSampler>,
+    /// Flit-level trace hook; [`TraceHook::Off`] unless a sink was installed
+    /// with [`Self::with_trace_sink`].
+    trace: TraceHook,
+    /// Active-fault count at the last trace emission, for fault
+    /// onset/clearance transition events.
+    traced_fault_active: u64,
 }
 
 impl Network {
@@ -320,7 +345,18 @@ impl Network {
             .collect();
 
         let sinks: Vec<SinkState> = spec.sinks.iter().map(SinkState::from_spec).collect();
-        let stats = NetStats::new(spec.num_flows());
+        let mut stats = NetStats::new(spec.num_flows());
+        stats.histograms_enabled = config.telemetry.histograms;
+        let sampler = config.telemetry.frames_enabled().then(|| {
+            let num_links: usize = spec.routers.iter().map(|r| r.outputs.len()).sum();
+            FrameSampler::new(
+                config.telemetry.frame_len,
+                config.telemetry.max_frames,
+                spec.num_flows(),
+                spec.routers.len(),
+                num_links,
+            )
+        });
         let frame_len = policy.frame_len();
 
         Ok(Network {
@@ -345,6 +381,9 @@ impl Network {
             closed_loop: None,
             fault: None,
             last_progress: 0,
+            sampler,
+            trace: TraceHook::Off,
+            traced_fault_active: 0,
         })
     }
 
@@ -406,6 +445,27 @@ impl Network {
         plan.validate_against(&self.spec)?;
         self.fault = Some(FaultState::new(plan, &self.spec));
         Ok(self)
+    }
+
+    /// Installs a flit-level trace sink: injections, grants, preemptions,
+    /// NACKs, deliveries, DRAM services, timeouts/retries and fault
+    /// transitions are streamed to it as [`TraceEvent`]s, in cycle order.
+    /// Without a sink the trace hook is a single predictable branch per
+    /// instrumentation point and no event is ever constructed.
+    ///
+    /// Call [`Self::take_trace_sink`] (and [`TraceSink::finish`]) to recover
+    /// the sink before dropping the network; [`Self::into_stats`] otherwise
+    /// finishes it implicitly, discarding any I/O error.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = TraceHook::On(sink);
+        self
+    }
+
+    /// Removes and returns the installed trace sink, if any, leaving tracing
+    /// off. The caller should invoke [`TraceSink::finish`] on it.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
     }
 
     /// Current simulation time in cycles.
@@ -496,6 +556,15 @@ impl Network {
         }
         self.stats.generated_packets = self.sources.iter().map(|s| s.generated_packets).sum();
         self.stats.cycles = self.now;
+        if let Some(sampler) = self.sampler.take() {
+            self.stats.frames = Some(sampler.into_series());
+        }
+        // A sink the caller did not reclaim is finished here so buffered
+        // formats (Chrome trace) still produce a valid file; the I/O result
+        // is unobservable at this point by construction.
+        if let Some(mut sink) = self.trace.take() {
+            let _ = sink.finish();
+        }
         self.stats
     }
 
@@ -504,6 +573,15 @@ impl Network {
         self.now += 1;
         if let Some(fault) = &mut self.fault {
             fault.refresh(self.now);
+            if self.trace.is_on() {
+                let active = fault.active_count(self.now);
+                if active != self.traced_fault_active {
+                    self.traced_fault_active = active;
+                    let cycle = self.now;
+                    self.trace
+                        .emit(|| TraceEvent::FaultTransition { cycle, active });
+                }
+            }
         }
         self.phase_frame_rollover();
         self.phase_events();
@@ -511,6 +589,53 @@ impl Network {
         self.phase_routing();
         self.phase_allocation();
         self.phase_launch();
+        if self.sampler.is_some() {
+            self.sample_frame();
+        }
+    }
+
+    /// Closes a sampling frame if one is due this cycle: snapshots the
+    /// cumulative per-flow counters, instantaneous router occupancy and
+    /// cumulative per-link launched-flit counts; the sampler converts the
+    /// cumulative figures to per-frame deltas in place. Reads existing
+    /// counters only — no simulation state is touched, so sampling cannot
+    /// perturb the run.
+    fn sample_frame(&mut self) {
+        let Network {
+            sampler,
+            stats,
+            sources,
+            flow_to_source,
+            routers,
+            now,
+            ..
+        } = self;
+        let sampler = sampler.as_mut().expect("sampler checked by caller");
+        if !sampler.due(*now) {
+            return;
+        }
+        sampler.sample_frame(*now, |snap| {
+            for (f, flow) in snap.flows.iter_mut().enumerate() {
+                let fs = &stats.flows[f];
+                flow.injected_packets = sources[flow_to_source[f]].injected_packets;
+                flow.delivered_flits = fs.delivered_flits;
+                flow.latency_sum = fs.latency_sum;
+                flow.latency_samples = fs.latency_samples;
+                flow.round_trips = fs.round_trips;
+                flow.rt_latency_sum = fs.rt_latency_sum;
+                flow.rt_samples = fs.rt_samples;
+            }
+            for (occ, router) in snap.router_occupancy.iter_mut().zip(routers.iter()) {
+                *occ = router.active_vcs as u64;
+            }
+            let mut link = 0;
+            for router in routers.iter() {
+                for out in &router.outputs {
+                    snap.link_flits[link] = out.flits_launched_total;
+                    link += 1;
+                }
+            }
+        });
     }
 
     /// Advances the simulation by `cycles` cycles.
@@ -648,6 +773,12 @@ impl Network {
             Event::Nack { source, packet } => {
                 if let Some(pkt) = self.packets.get_mut(packet) {
                     pkt.retransmissions += 1;
+                    let (cycle, flow) = (self.now, pkt.flow);
+                    self.trace.emit(|| TraceEvent::Nack {
+                        cycle,
+                        flow: u64::from(flow.0),
+                        packet: packet.0,
+                    });
                 }
                 self.sources[source as usize].retransmit(packet);
             }
@@ -767,6 +898,13 @@ impl Network {
             debug_assert_eq!(completed, packet_id);
             self.stats
                 .record_delivery(flow, len_flits, hops, birth, self.now);
+            let cycle = self.now;
+            self.trace.emit(|| TraceEvent::Deliver {
+                cycle,
+                flow: u64::from(flow.0),
+                packet: packet_id.0,
+                birth,
+            });
         }
         if self.closed_loop.is_some() {
             self.on_closed_loop_delivery(
@@ -1170,6 +1308,7 @@ impl Network {
             config,
             flow_to_source,
             last_progress,
+            trace,
             ..
         } = self;
         let cl = closed_loop.as_mut().expect("closed loop active");
@@ -1204,6 +1343,7 @@ impl Network {
                                 config,
                                 flow_to_source,
                                 last_progress,
+                                trace,
                             );
                             progressed = true;
                         } else {
@@ -1236,6 +1376,7 @@ impl Network {
                                 config,
                                 flow_to_source,
                                 last_progress,
+                                trace,
                             );
                             progressed = true;
                         }
@@ -1280,6 +1421,7 @@ impl Network {
             qos,
             closed_loop,
             last_progress,
+            trace,
             ..
         } = self;
         for (si, source) in sources.iter_mut().enumerate() {
@@ -1327,6 +1469,11 @@ impl Network {
                                 *last_progress = now;
                             } else {
                                 stats.record_request_timeout(flow);
+                                trace.emit(|| TraceEvent::Timeout {
+                                    cycle: now,
+                                    flow: u64::from(flow.0),
+                                    seq: entry.seq,
+                                });
                                 requester.deferred.push_back(DeferredRetry {
                                     ready: now
                                         + policy.backoff_delay(flow, entry.seq, entry.attempts),
@@ -1350,6 +1497,11 @@ impl Network {
                             line: deferred.line,
                         });
                         stats.record_request_retry(flow);
+                        trace.emit(|| TraceEvent::Retry {
+                            cycle: now,
+                            flow: u64::from(flow.0),
+                            seq: deferred.seq,
+                        });
                         dram_line = deferred.line;
                         req_seq = Some(deferred.seq);
                         logical_birth = Some(deferred.birth);
@@ -1441,6 +1593,13 @@ impl Network {
                 if packet.injected_at.is_none() {
                     packet.injected_at = Some(now);
                     source.injected_packets += 1;
+                    let (flow, node) = (packet.flow, source.node);
+                    trace.emit(|| TraceEvent::Inject {
+                        cycle: now,
+                        flow: u64::from(flow.0),
+                        packet: packet_id.0,
+                        node: u64::from(node.0),
+                    });
                 }
                 let len = packet.len_flits;
                 packet.reserved = match quota {
@@ -1750,6 +1909,14 @@ impl Network {
                         body_event,
                     });
                     out_state.rr_cursor = widx + 1;
+                    let (grant_cycle, grant_flow, grant_packet) = (self.now, req.flow, req.packet);
+                    self.trace.emit(|| TraceEvent::Grant {
+                        cycle: grant_cycle,
+                        flow: u64::from(grant_flow.0),
+                        packet: grant_packet.0,
+                        router: ri as u64,
+                        out_port: oi as u64,
+                    });
                     if let Some(mask) = router.granted_mask.as_mut() {
                         *mask |= 1 << oi;
                     }
@@ -2212,6 +2379,13 @@ impl Network {
         };
         let wasted_hops = victim_src.column_distance(node);
         self.stats.record_preemption(victim_flow, wasted_hops);
+        let cycle = self.now;
+        self.trace.emit(|| TraceEvent::Preempt {
+            cycle,
+            flow: u64::from(victim_flow.0),
+            packet: victim_id.0,
+            router: router as u64,
+        });
 
         // Return the freed buffer to the upstream channel so the contender
         // can claim it.

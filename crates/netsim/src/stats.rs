@@ -3,6 +3,7 @@
 
 use crate::ids::{Cycle, FlowId};
 use serde::{Deserialize, Serialize};
+use taqos_telemetry::{FrameSeries, Hist64};
 
 /// Per-flow counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -78,6 +79,13 @@ pub struct FlowStats {
     /// conservation invariant
     /// `issued == round_trips + abandoned + in_flight`.
     pub requests_in_flight: u64,
+    /// Histogram of measured packet latencies (same samples as
+    /// `latency_sum`/`latency_samples`). Empty unless
+    /// [`crate::config::TelemetryConfig::histograms`] is on.
+    pub latency_hist: Hist64,
+    /// Histogram of measured round-trip latencies (same samples as
+    /// `rt_latency_sum`/`rt_samples`). Empty unless histograms are on.
+    pub rt_hist: Hist64,
 }
 
 impl FlowStats {
@@ -270,6 +278,21 @@ pub struct NetStats {
     pub completion_cycle: Option<Cycle>,
     /// Total cycles simulated.
     pub cycles: Cycle,
+    /// Whether latency histograms were recorded (mirrors
+    /// [`crate::config::TelemetryConfig::histograms`]). When off, every
+    /// histogram in these statistics is empty and the hot path pays one
+    /// predictable branch per sample.
+    pub histograms_enabled: bool,
+    /// Aggregate histogram of measured packet latencies across all flows.
+    pub latency_hist: Hist64,
+    /// Aggregate histogram of measured round-trip latencies across all
+    /// flows.
+    pub rt_hist: Hist64,
+    /// Per-frame time series collected by the frame sampler, or `None` when
+    /// [`crate::config::TelemetryConfig::frame_len`] was `0`. Part of
+    /// `NetStats` equality, so engine-equivalence checks extend to the whole
+    /// series.
+    pub frames: Option<FrameSeries>,
 }
 
 impl NetStats {
@@ -318,6 +341,10 @@ impl NetStats {
             self.latency_sum += latency;
             self.latency_samples += 1;
             self.max_latency = self.max_latency.max(latency);
+            if self.histograms_enabled {
+                fs.latency_hist.record(latency);
+                self.latency_hist.record(latency);
+            }
         }
     }
 
@@ -347,7 +374,25 @@ impl NetStats {
             self.rt_latency_sum += latency;
             self.rt_samples += 1;
             self.max_round_trip = self.max_round_trip.max(latency);
+            if self.histograms_enabled {
+                fs.rt_hist.record(latency);
+                self.rt_hist.record(latency);
+            }
         }
+    }
+
+    /// The `pct`-th percentile of measured packet latency as a conservative
+    /// upper bound (see [`Hist64::percentile`]); `None` when histograms were
+    /// off or no latency was sampled.
+    pub fn latency_percentile(&self, pct: u8) -> Option<u64> {
+        self.latency_hist.percentile(pct)
+    }
+
+    /// The `pct`-th percentile of measured round-trip latency as a
+    /// conservative upper bound; `None` when histograms were off or no round
+    /// trip was sampled.
+    pub fn rt_percentile(&self, pct: u8) -> Option<u64> {
+        self.rt_hist.percentile(pct)
     }
 
     /// Average round-trip latency over measured closed-loop requests, or
@@ -639,6 +684,29 @@ mod tests {
         assert!((stats.preempted_packet_fraction() - 0.1).abs() < 1e-9);
         assert!((stats.wasted_hop_fraction() - 10.0 / 190.0).abs() < 1e-9);
         assert_eq!(stats.flows[0].preemptions, 10);
+    }
+
+    #[test]
+    fn histograms_record_only_when_enabled() {
+        let mut off = NetStats::new(1);
+        off.record_delivery(FlowId(0), 1, 1, 10, 30);
+        off.record_round_trip(FlowId(0), 10, 80);
+        assert!(off.latency_hist.is_empty());
+        assert!(off.rt_hist.is_empty());
+        assert!(off.flows[0].latency_hist.is_empty());
+        assert_eq!(off.latency_percentile(99), None);
+
+        let mut on = NetStats::new(1);
+        on.histograms_enabled = true;
+        on.record_delivery(FlowId(0), 1, 1, 10, 30);
+        on.record_round_trip(FlowId(0), 10, 80);
+        assert_eq!(on.latency_hist.count(), on.latency_samples);
+        assert_eq!(on.rt_hist.count(), on.rt_samples);
+        assert_eq!(on.flows[0].latency_hist.count(), 1);
+        assert_eq!(on.latency_percentile(99), Some(20));
+        assert_eq!(on.rt_percentile(99), Some(70));
+        assert_eq!(on.latency_hist.sum(), on.latency_sum);
+        assert_eq!(on.rt_hist.sum(), on.rt_latency_sum);
     }
 
     #[test]

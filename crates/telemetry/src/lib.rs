@@ -1,0 +1,34 @@
+//! # taqos-telemetry — deterministic observability primitives
+//!
+//! The simulator's statistics are exact integers so that the optimized and
+//! reference engines can be compared with `==`. This crate extends that
+//! discipline from endpoint aggregates to *distributions*, *time series* and
+//! *event streams*:
+//!
+//! * [`Hist64`] — an exact-integer log2-bucketed histogram (record, merge,
+//!   percentile; no floats anywhere), so engine-equivalence proofs extend to
+//!   tail-latency figures,
+//! * [`FrameSampler`] / [`FrameSeries`] — per-frame snapshots of per-flow
+//!   round-trip and injection counters plus per-router occupancy and
+//!   per-link utilisation deltas, collected into a preallocated ring at a
+//!   configurable cadence,
+//! * [`TraceSink`] and its exporters ([`JsonlSink`], [`ChromeTraceSink`],
+//!   [`SharedMemorySink`]) — flit-level trace events (inject, grant,
+//!   preemption, NACK, DRAM service, timeout/retry, fault onset) written as
+//!   JSON lines or as a Chrome-trace/Perfetto file.
+//!
+//! The crate is dependency-free and knows nothing about the simulator: the
+//! sampler and sinks consume plain integers, so `taqos-netsim` can depend on
+//! it without a cycle. Everything here is deterministic — identical inputs
+//! produce identical histograms, series and traces, on any engine.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod frame;
+mod hist;
+mod trace;
+
+pub use frame::{FlowFrame, FrameSampler, FrameSeries, FrameSnapshot};
+pub use hist::Hist64;
+pub use trace::{ChromeTraceSink, JsonlSink, SharedMemorySink, TraceEvent, TraceHook, TraceSink};

@@ -85,7 +85,13 @@ fn adversary_faults() -> FaultPlan {
 }
 
 fn run(policy: Box<dyn QosPolicy>, column: &ColumnConfig, faults: Option<FaultPlan>) -> NetStats {
-    let mut sim = SharedRegionSim::new(ColumnTopology::MeshX1).with_column(*column);
+    // Latency histograms on: the victims' tail (p99) is the interesting
+    // number under an attack — means hide exactly the packets the hog hurts.
+    let mut sim = SharedRegionSim::new(ColumnTopology::MeshX1)
+        .with_column(*column)
+        .with_sim_config(
+            SimConfig::default().with_telemetry(TelemetryConfig::off().with_histograms(true)),
+        );
     if let Some(plan) = faults {
         sim = sim.with_fault_plan(plan);
     }
@@ -117,6 +123,16 @@ fn summarise(column: &ColumnConfig, stats: &NetStats) -> (f64, f64, f64) {
     let victim_min = *victims.iter().min().expect("victims exist") as f64;
     let attacker_mean = attackers.iter().sum::<u64>() as f64 / attackers.len() as f64;
     (victim_mean, victim_min, attacker_mean)
+}
+
+/// 99th-percentile packet latency across the victims' terminals (exact
+/// upper bound from the merged per-flow histograms), in cycles.
+fn victim_p99(column: &ColumnConfig, stats: &NetStats) -> u64 {
+    let mut hist = Hist64::default();
+    for &node in &VICTIM_NODES {
+        hist.merge(&stats.flows[column.flow_of(node, 0).index()].latency_hist);
+    }
+    hist.p99().unwrap_or(0)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -166,6 +182,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "average packet latency (cycles)",
         no_qos.avg_latency(),
         pvc.avg_latency()
+    );
+    println!(
+        "{:<36} {:>14} {:>14}",
+        "victim p99 latency (cycles)",
+        victim_p99(&column, &no_qos),
+        victim_p99(&column, &pvc)
     );
     println!(
         "{:<36} {:>14.3} {:>14.3}",
@@ -231,6 +253,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{:<36} {:>14} {:>14}",
+        "victim p99 latency (cycles)",
+        victim_p99(&column, &no_qos_f),
+        victim_p99(&column, &pvc_f)
+    );
+    println!(
+        "{:<36} {:>14} {:>14}",
         "fault drops (router/corruption)",
         no_qos_f.fault.total_drops(),
         pvc_f.fault.total_drops()
@@ -246,6 +274,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         victim_pvc_f / window,
         victim_pvc / window,
         victim_no_f / window,
+    );
+
+    let p99_clean = victim_p99(&column, &pvc);
+    let p99_faulted = victim_p99(&column, &pvc_f);
+    println!(
+        "victim p99 bound through the attack: PVC holds the victims' 99th-percentile \
+         latency at {p99_clean} cycles under the clean hog and {p99_faulted} cycles with \
+         the fabric failing (no QOS: {} / {} cycles).",
+        victim_p99(&column, &no_qos),
+        victim_p99(&column, &no_qos_f),
     );
 
     assert!(pvc_f.fault.total_drops() > 0, "the fault plan must bite");

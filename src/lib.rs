@@ -13,6 +13,7 @@
 //! | [`topology`] | mesh x1/x2/x4, MECS and DPS column topologies; chip-level grid primitives |
 //! | [`traffic`]  | uniform random, tornado, hotspot and adversarial workloads |
 //! | [`power`]    | 32 nm area and energy models (buffers, crossbar, flow state) |
+//! | [`telemetry`] | deterministic observability: integer latency histograms, per-frame time series, flit-level trace export |
 //! | [`core`]     | the paper's architecture: shared-region simulation, domains, OS support, experiments |
 //!
 //! ## Quick start
@@ -38,6 +39,7 @@ pub use taqos_core as core;
 pub use taqos_netsim as netsim;
 pub use taqos_power as power;
 pub use taqos_qos as qos;
+pub use taqos_telemetry as telemetry;
 pub use taqos_topology as topology;
 pub use taqos_traffic as traffic;
 

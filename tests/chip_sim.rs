@@ -537,8 +537,19 @@ fn shared_column_overlay_isolates_domains() {
         protected < 2.5,
         "protected slowdown {protected:.2} too large"
     );
+    // The tail bound is the stronger claim: the hog cannot push even the
+    // victim's 99th-percentile round trip far past its solo tail. (The
+    // histogram percentile is a log2-bucket upper bound, so the ratio moves
+    // in powers of two — the bound is correspondingly coarser than the mean.)
+    let protected_p99 = result
+        .protected_p99_slowdown()
+        .expect("protected victim has a tail figure");
+    assert!(
+        protected_p99 <= 4.0,
+        "protected p99 slowdown {protected_p99:.2} too large"
+    );
     // Without the overlay the victim is starved outright or slowed down by a
-    // large multiple of the protected figure.
+    // large multiple of the protected figure — in the mean AND in the tail.
     match result.unprotected_slowdown() {
         None => assert!(
             result.unprotected.starved(),
@@ -548,6 +559,13 @@ fn shared_column_overlay_isolates_domains() {
             unprotected > 3.0 * protected,
             "no interference without the overlay ({unprotected:.2} vs {protected:.2})"
         ),
+    }
+    if let Some(unprotected_p99) = result.unprotected_p99_slowdown() {
+        assert!(
+            unprotected_p99 > 2.0 * protected_p99,
+            "the unprotected tail should blow out past the protected bound \
+             ({unprotected_p99:.2} vs {protected_p99:.2})"
+        );
     }
 }
 

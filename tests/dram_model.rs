@@ -277,6 +277,18 @@ fn protected_victim_stays_bounded_while_unprotected_diverges() {
                 "{scheduler:?}: protected slowdown {protected:.2} unbounded at hog MLP {}",
                 point.hog_mlp
             );
+            // And the victim's p99 tail stays bounded at every hog window —
+            // the overlay protects the worst round trips, not only the mean
+            // (log2-bucket upper-bound ratio, hence the coarser constant).
+            let protected_p99 = point
+                .protected_p99_slowdown()
+                .expect("protected victim has a tail figure");
+            assert!(
+                protected_p99 <= 8.0,
+                "{scheduler:?}: protected p99 slowdown {protected_p99:.2} unbounded \
+                 at hog MLP {}",
+                point.hog_mlp
+            );
             // The solo baseline is shared across the flavour's points.
             assert_eq!(point.solo.round_trips, points[0].solo.round_trips);
         }
@@ -410,6 +422,17 @@ fn dram_backed_isolation_keeps_the_headline() {
     assert!(
         protected < 4.0,
         "protected slowdown {protected:.2} too large"
+    );
+    // The tail holds too: behind DRAM bank conflicts and bounded controller
+    // queues, the protected victim's p99 round trip stays within a small
+    // multiple of its solo tail (log2-bucket upper bound, hence the coarser
+    // constant than the mean bound).
+    let protected_p99 = result
+        .protected_p99_slowdown()
+        .expect("protected victim has a tail figure");
+    assert!(
+        protected_p99 <= 8.0,
+        "protected p99 slowdown {protected_p99:.2} too large"
     );
     match result.unprotected_slowdown() {
         None => assert!(result.unprotected.starved()),

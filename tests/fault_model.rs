@@ -316,6 +316,19 @@ fn protected_victim_degrades_gracefully_under_faults() {
         );
         previous = ratio;
 
+        // Graceful degradation must hold in the tail as well: the victim's
+        // p99 round trip stays within a small multiple of its fault-free
+        // tail at every fault count (log2-bucket upper-bound ratio, so the
+        // constant is coarser than the 1.5x mean bound).
+        let p99_ratio = p
+            .protected_p99_vs_fault_free
+            .expect("protected victim has a tail figure");
+        assert!(
+            p99_ratio <= 4.0,
+            "{} faults: protected p99 degraded {p99_ratio:.3}x, past the graceful tail bound",
+            p.faults
+        );
+
         let protected_rt = p.protected.avg_round_trip.expect("protected completes");
         let unprotected_rt = p.unprotected.avg_round_trip.expect("unprotected completes");
         assert!(
