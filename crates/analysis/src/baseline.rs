@@ -1,0 +1,255 @@
+//! The ratcheting baseline: known violations that are tolerated but may
+//! only shrink.
+//!
+//! Each entry carries a content fingerprint rather than a bare line number,
+//! so unrelated edits that shift lines do not churn the baseline: the
+//! fingerprint hashes the file path, the rule, the whitespace-normalized
+//! source line and a disambiguating occurrence index (for files with
+//! several identical violating lines). Line numbers are stored for human
+//! orientation only and are ignored by the comparison.
+//!
+//! The ratchet is two-sided:
+//!
+//! * a violation whose fingerprint is absent from the baseline is **new**
+//!   and fails the check — nobody adds panic paths, hash maps or hot-path
+//!   allocations without either fixing them or justifying them with an
+//!   allow directive;
+//! * a baseline entry with no matching violation is **resolved** and also
+//!   fails the check until the baseline is regenerated — the committed
+//!   file can never overstate the debt, so progress is permanent.
+
+use crate::json::{self, Value};
+use crate::scan::Violation;
+use std::collections::BTreeSet;
+
+/// One tolerated violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// Rule identifier.
+    pub rule: String,
+    /// Line at the time the baseline was written (informational).
+    pub line: u32,
+    /// Content fingerprint; the identity used for comparison.
+    pub fingerprint: String,
+}
+
+/// A committed set of tolerated violations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries sorted by (file, line, rule).
+    pub entries: Vec<Entry>,
+}
+
+/// Outcome of comparing current violations against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff<'a> {
+    /// Violations not present in the baseline: the check fails on any.
+    pub new: Vec<&'a Violation>,
+    /// Baseline entries no longer observed: the baseline must be rewritten
+    /// (shrunk) before the check passes.
+    pub resolved: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Captures the current violation set as the new baseline.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut entries: Vec<Entry> = violations
+            .iter()
+            .map(|v| Entry {
+                file: v.file.clone(),
+                rule: v.rule.id().to_string(),
+                line: v.line,
+                fingerprint: v.fingerprint.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+        Baseline { entries }
+    }
+
+    /// Serializes to the committed JSON form (stable ordering, one entry
+    /// per line so diffs in review show exactly which debt moved).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"version\": 1,\n");
+        out.push_str(&format!("  \"total\": {},\n", self.entries.len()));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"fingerprint\": \"{}\"}}{}\n",
+                json::escape(&e.file),
+                e.line,
+                json::escape(&e.rule),
+                json::escape(&e.fingerprint),
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON form.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let doc = json::parse(src)?;
+        match doc.get("version").and_then(Value::as_u64) {
+            Some(1) => {}
+            other => return Err(format!("unsupported baseline version {other:?}")),
+        }
+        let Some(Value::Arr(items)) = doc.get("entries") else {
+            return Err("baseline has no `entries` array".to_string());
+        };
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry missing string field `{k}`"))
+            };
+            entries.push(Entry {
+                file: field("file")?,
+                rule: field("rule")?,
+                line: item
+                    .get("line")
+                    .and_then(Value::as_u64)
+                    .ok_or("entry missing `line`")? as u32,
+                fingerprint: field("fingerprint")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Compares current violations against this baseline by fingerprint.
+    pub fn diff<'a>(&self, current: &'a [Violation]) -> Diff<'a> {
+        let known: BTreeSet<&str> = self
+            .entries
+            .iter()
+            .map(|e| e.fingerprint.as_str())
+            .collect();
+        let observed: BTreeSet<&str> = current.iter().map(|v| v.fingerprint.as_str()).collect();
+        Diff {
+            new: current
+                .iter()
+                .filter(|v| !known.contains(v.fingerprint.as_str()))
+                .collect(),
+            resolved: self
+                .entries
+                .iter()
+                .filter(|e| !observed.contains(e.fingerprint.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// Fills the `fingerprint` field of every violation: FNV-1a over the file,
+/// rule, normalized excerpt and an occurrence index that disambiguates
+/// repeated identical lines within a file.
+pub fn fingerprint(violations: &mut [Violation]) {
+    use std::collections::BTreeMap;
+    let mut occurrence: BTreeMap<(String, &'static str, String), u32> = BTreeMap::new();
+    // Violations arrive sorted by file then line, so occurrence indices are
+    // assigned in source order and stay stable under unrelated edits.
+    for v in violations.iter_mut() {
+        let normalized = v.excerpt.split_whitespace().collect::<Vec<_>>().join(" ");
+        let key = (v.file.clone(), v.rule.id(), normalized.clone());
+        let n = occurrence.entry(key).or_insert(0);
+        let material = format!("{}\x1f{}\x1f{}\x1f{}", v.file, v.rule.id(), normalized, n);
+        *n += 1;
+        v.fingerprint = format!("{:016x}", fnv1a64(material.as_bytes()));
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Rule;
+
+    fn violation(file: &str, line: u32, excerpt: &str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule: Rule::PanicPath,
+            message: "m".to_string(),
+            excerpt: excerpt.to_string(),
+            fingerprint: String::new(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_survive_line_drift_but_split_duplicates() {
+        let mut a = vec![
+            violation("f.rs", 10, "x.unwrap()"),
+            violation("f.rs", 20, "x.unwrap()"),
+        ];
+        let mut b = vec![
+            violation("f.rs", 30, "x.unwrap()"),
+            violation("f.rs", 44, "x.unwrap()"),
+        ];
+        fingerprint(&mut a);
+        fingerprint(&mut b);
+        // Same content at shifted lines: identical fingerprints, in order.
+        assert_eq!(a[0].fingerprint, b[0].fingerprint);
+        assert_eq!(a[1].fingerprint, b[1].fingerprint);
+        // Two identical lines do not collapse into one identity.
+        assert_ne!(a[0].fingerprint, a[1].fingerprint);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut v = vec![
+            violation("a/b.rs", 3, "q[i]"),
+            violation("a/b.rs", 9, "y.unwrap()"),
+        ];
+        fingerprint(&mut v);
+        let base = Baseline::from_violations(&v);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(parsed, base);
+    }
+
+    #[test]
+    fn diff_reports_new_and_resolved() {
+        let mut old = vec![
+            violation("f.rs", 1, "a.unwrap()"),
+            violation("f.rs", 2, "b.unwrap()"),
+        ];
+        fingerprint(&mut old);
+        let base = Baseline::from_violations(&old);
+
+        // One violation fixed, one introduced.
+        let mut now = vec![
+            violation("f.rs", 1, "a.unwrap()"),
+            violation("f.rs", 7, "c.unwrap()"),
+        ];
+        fingerprint(&mut now);
+        let diff = base.diff(&now);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].excerpt, "c.unwrap()");
+        assert_eq!(diff.resolved.len(), 1);
+        assert!(diff.resolved[0]
+            .fingerprint
+            .starts_with(|c: char| c.is_ascii_hexdigit()));
+
+        // Unchanged set: clean diff.
+        let clean = base.diff(&old);
+        assert!(clean.new.is_empty() && clean.resolved.is_empty());
+    }
+
+    #[test]
+    fn empty_baseline_flags_everything_as_new() {
+        let mut now = vec![violation("f.rs", 1, "a.unwrap()")];
+        fingerprint(&mut now);
+        let diff = Baseline::default().diff(&now);
+        assert_eq!(diff.new.len(), 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Comment- and string-aware Rust lexer.
+//!
+//! The analyzer does not need a real parser: every rule it enforces can be
+//! phrased over a flat token stream plus brace tracking, as long as the
+//! lexer never mistakes the inside of a string literal or a comment for
+//! code. That is the whole job of this module: split source text into
+//! identifiers, punctuation and opaque literals, record the line of every
+//! token, and collect comments (with their text) into a side channel so the
+//! rule engine can read lint directives and `SAFETY:` justifications.
+//!
+//! Handled literal forms: line comments, nested block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth,
+//! byte variants), character and byte literals, and lifetimes (which share
+//! the quote character with char literals).
+
+/// One lexed token. Literal payloads are dropped — no rule inspects the
+/// contents of a string or number, only that it is not code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A single punctuation byte.
+    Punct(u8),
+    /// String literal (normal, raw, or byte form).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime or loop label.
+    Lifetime,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A comment with its text, kept out of the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for `//` form).
+    pub end_line: u32,
+    /// Comment text without the `//` / `/*` delimiters, untrimmed.
+    pub text: String,
+    /// Whether code tokens precede the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unexpected bytes
+/// become punctuation tokens, and unterminated literals run to end of file
+/// (the compiler, not the linter, reports those).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        last_code_line: 0,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Line of the most recent code token, for trailing-comment detection.
+    last_code_line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.quote(),
+                b'r' | b'b' if self.raw_or_byte_literal() => {}
+                b if b == b'_' || b.is_ascii_alphabetic() => self.ident(),
+                b if b.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(Tok::Punct(b));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, tok: Tok) {
+        self.last_code_line = self.line;
+        self.out.tokens.push(Token {
+            tok,
+            line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let trailing = self.last_code_line == start_line;
+        self.pos += 2;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: start_line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let trailing = self.last_code_line == start_line;
+        self.pos += 2;
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos.min(self.bytes.len())])
+            .into_owned();
+        self.pos = (self.pos + 2).min(self.bytes.len());
+        self.out.comments.push(Comment {
+            line: start_line,
+            end_line: self.line,
+            text,
+            trailing,
+        });
+    }
+
+    /// A `"`-delimited string with `\` escapes; may span lines.
+    fn string(&mut self) {
+        self.push(Tok::Str);
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                // A line-continuation escape (`\` at end of line) consumes
+                // the newline; it still has to count toward line numbering.
+                b'\\' => {
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+    fn quote(&mut self) {
+        let next = self.peek(1);
+        let is_lifetime = matches!(next, Some(b) if b == b'_' || b.is_ascii_alphabetic())
+            && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.push(Tok::Lifetime);
+            self.pos += 2;
+            while matches!(self.peek(0), Some(b) if b == b'_' || b.is_ascii_alphanumeric()) {
+                self.pos += 1;
+            }
+            return;
+        }
+        self.push(Tok::Char);
+        self.pos += 1;
+        if self.peek(0) == Some(b'\\') {
+            self.pos += 2;
+        } else {
+            self.pos += 1;
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    /// Detects and consumes raw strings (`r"…"`, `r#"…"#`, `br"…"`) and byte
+    /// strings (`b"…"`), which would otherwise lex as an identifier followed
+    /// by a mis-delimited string. Returns false if the `r`/`b` at the cursor
+    /// starts a plain identifier.
+    fn raw_or_byte_literal(&mut self) -> bool {
+        let mut idx = self.pos;
+        if self.bytes[idx] == b'b' {
+            idx += 1;
+        }
+        let raw = self.bytes.get(idx) == Some(&b'r');
+        if raw {
+            idx += 1;
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(idx) == Some(&b'#') {
+            hashes += 1;
+            idx += 1;
+        }
+        if self.bytes.get(idx) != Some(&b'"') || (!raw && hashes > 0) {
+            return false;
+        }
+        if !raw {
+            // Plain byte string `b"…"`: escapes apply, reuse the scanner.
+            self.pos += 1;
+            self.string();
+            return true;
+        }
+        self.push(Tok::Str);
+        self.pos = idx + 1;
+        // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if b == b'"' {
+                let tail = &self.bytes[self.pos + 1..];
+                if tail.len() >= hashes && tail[..hashes].iter().all(|&h| h == b'#') {
+                    self.pos += 1 + hashes;
+                    return true;
+                }
+            }
+            self.pos += 1;
+        }
+        true
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b) if b == b'_' || b.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(Tok::Ident(text));
+    }
+
+    /// Numbers are consumed as opaque atoms. `1.5` lexes as `1` `.` `5`,
+    /// which is fine: no rule looks inside numbers, and suffixed literals
+    /// like `0_f64` stay numeric instead of producing a spurious `f64`
+    /// identifier.
+    fn number(&mut self) {
+        while matches!(self.peek(0), Some(b) if b == b'_' || b.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        self.push(Tok::Num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let src = "let a = \"unwrap()\"; // unwrap()\n/* unwrap() */ let b = 1;";
+        assert_eq!(idents(src), ["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"has \" quote and unwrap()\"#; done();";
+        assert_eq!(idents(src), ["let", "s", "done"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        assert_eq!(idents("f(b\"x\\\"y\"); g(br\"z\");"), ["f", "g"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.tok == Tok::Lifetime)
+            .count();
+        let chars = lexed.tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn comment_lines_and_trailing_flags() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_track_lines() {
+        let src = "/* outer /* inner */\nstill comment */ let z = 3;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].end_line, 2);
+        assert_eq!(lexed.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn float_suffix_stays_numeric() {
+        assert_eq!(idents("let x = 0_f64 + 1f32;"), ["let", "x"]);
+    }
+
+    #[test]
+    fn line_continuation_escapes_count_toward_line_numbers() {
+        // The `\` at end of line consumes the newline inside the literal;
+        // tokens after the string must still land on the right line.
+        let src = "let s = \"wrapped \\\n    tail\";\nlet next = 1;";
+        let lexed = lex(src);
+        let next = lexed
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(n) if n == "next"))
+            .unwrap();
+        assert_eq!(next.line, 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! `taqos-analyze` — command-line front end for the workspace linter.
+//!
+//! Modes:
+//!
+//! * default — print every violation (human diagnostic form) and exit
+//!   non-zero if any exist;
+//! * `--check --baseline <file>` — the CI gate: compare against the
+//!   committed ratchet, print the delta, fail on new *or* resolved
+//!   entries (the baseline may only shrink, so resolved entries require a
+//!   rewrite);
+//! * `--write-baseline <file>` — capture the current violation set;
+//! * `--json [file]` — machine-readable violation dump (stdout or file).
+//!
+//! `--root <dir>` points the analyzer somewhere other than the current
+//! directory.
+
+use std::process::ExitCode;
+use taqos_analyze::{analyze, report, Baseline, Config};
+
+struct Cli {
+    root: String,
+    check: bool,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    json: Option<Option<String>>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: taqos-analyze [--root <dir>] [--check --baseline <file>] \
+         [--write-baseline <file>] [--json [file]]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Cli, ()> {
+    let mut cli = Cli {
+        root: ".".to_string(),
+        check: false,
+        baseline: None,
+        write_baseline: None,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => cli.root = args.next().ok_or(())?,
+            "--check" => cli.check = true,
+            "--baseline" => cli.baseline = Some(args.next().ok_or(())?),
+            "--write-baseline" => cli.write_baseline = Some(args.next().ok_or(())?),
+            "--json" => {
+                let value = match args.peek() {
+                    Some(next) if !next.starts_with("--") => Some(args.next().ok_or(())?),
+                    _ => None,
+                };
+                cli.json = Some(value);
+            }
+            _ => return Err(()),
+        }
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let Ok(cli) = parse_args() else {
+        return usage();
+    };
+    let violations = match analyze(&Config::for_workspace(&cli.root)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("taqos-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(target) = &cli.json {
+        let body = report::machine(&violations);
+        match target {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("taqos-analyze: write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{body}"),
+        }
+    }
+
+    if let Some(path) = &cli.write_baseline {
+        let base = Baseline::from_violations(&violations);
+        if let Err(e) = std::fs::write(path, base.to_json()) {
+            eprintln!("taqos-analyze: write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "taqos-analyze: wrote baseline with {} entries to {path}",
+            base.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.check {
+        let Some(path) = &cli.baseline else {
+            eprintln!("taqos-analyze: --check requires --baseline <file>");
+            return usage();
+        };
+        let base = match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(src) => match Baseline::parse(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("taqos-analyze: parse {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("taqos-analyze: read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = base.diff(&violations);
+        print!("{}", report::delta(&diff, base.entries.len()));
+        if !diff.new.is_empty() || !diff.resolved.is_empty() {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if cli.json.is_none() {
+        print!("{}", report::human(&violations));
+    }
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,108 @@
+//! Human and machine rendering of analysis results.
+
+use crate::baseline::Diff;
+use crate::scan::{Rule, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Renders violations in rustc-ish diagnostic style.
+pub fn human(violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        let _ = writeln!(out, "error[{}]: {}", v.rule.id(), v.message);
+        let _ = writeln!(out, "  --> {}:{}", v.file, v.line);
+        if !v.excerpt.is_empty() {
+            let _ = writeln!(out, "   |     {}", v.excerpt);
+        }
+        let _ = writeln!(out, "   = help: {}", v.rule.help());
+    }
+    out.push_str(&summary(violations));
+    out
+}
+
+/// One-paragraph totals, per rule.
+pub fn summary(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "taqos-analyze: clean — no violations\n".to_string();
+    }
+    let mut per_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut files: BTreeMap<&str, ()> = BTreeMap::new();
+    for v in violations {
+        *per_rule.entry(v.rule.id()).or_insert(0) += 1;
+        files.insert(&v.file, ());
+    }
+    let mut out = format!(
+        "taqos-analyze: {} violation(s) in {} file(s):",
+        violations.len(),
+        files.len()
+    );
+    // Report in fixed rule order rather than alphabetically.
+    for rule in Rule::ALL {
+        if let Some(n) = per_rule.get(rule.id()) {
+            let _ = write!(out, " {}={}", rule.id(), n);
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Machine-readable violation dump (a JSON array, one object per line).
+pub fn machine(violations: &[Violation]) -> String {
+    use crate::json::escape;
+    let mut out = String::from("[\n");
+    for (i, v) in violations.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \
+             \"excerpt\": \"{}\", \"fingerprint\": \"{}\"}}",
+            escape(&v.file),
+            v.line,
+            escape(v.rule.id()),
+            escape(&v.message),
+            escape(&v.excerpt),
+            escape(&v.fingerprint),
+        );
+        out.push_str(if i + 1 == violations.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Renders a baseline comparison: the delta CI prints on every run.
+pub fn delta(diff: &Diff<'_>, baseline_len: usize) -> String {
+    let mut out = String::new();
+    for v in &diff.new {
+        let _ = writeln!(
+            out,
+            "NEW  error[{}]: {} at {}:{}",
+            v.rule.id(),
+            v.message,
+            v.file,
+            v.line
+        );
+        if !v.excerpt.is_empty() {
+            let _ = writeln!(out, "     {}", v.excerpt);
+        }
+        let _ = writeln!(out, "     = help: {}", v.rule.help());
+    }
+    for e in &diff.resolved {
+        let _ = writeln!(
+            out,
+            "RESOLVED [{}] {}:{} — shrink the baseline with --write-baseline",
+            e.rule, e.file, e.line
+        );
+    }
+    let _ = writeln!(
+        out,
+        "taqos-analyze --check: {} new, {} resolved (baseline {} -> {})",
+        diff.new.len(),
+        diff.resolved.len(),
+        baseline_len,
+        baseline_len - diff.resolved.len(),
+    );
+    out
+}

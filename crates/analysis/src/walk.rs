@@ -1,0 +1,47 @@
+//! Deterministic workspace walker.
+//!
+//! Collects every `*.rs` file that lives under a `src` directory of the
+//! workspace (member crates and the root package), skipping build output,
+//! VCS metadata and test fixtures. Integration tests and examples are
+//! intentionally out of scope: the invariants protect simulation results,
+//! and test code unwraps and allocates by design.
+
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Returns root-relative, `/`-separated paths of all analyzable sources,
+/// sorted for deterministic output.
+pub fn rust_sources(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    descend(root, root, false, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, under_src: bool, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            descend(root, &path, under_src || name == "src", out)?;
+        } else if under_src && name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| e.to_string())?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

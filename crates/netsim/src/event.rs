@@ -29,7 +29,7 @@ use std::collections::BinaryHeap;
 /// per transfer (see `Transfer::body_event`) rather than a re-assembled wide
 /// record — the event queue stores millions of these under saturation, and
 /// the wheel-slot traffic is the dominant common cost of both engines.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// A head flit matures at a router input VC, claiming it for `packet`.
     HeadToRouter {

@@ -415,8 +415,12 @@ impl Network {
                     requester_source.name
                 ))));
             }
-            let mc_source = state.node_reply_source[requester.mc.index()]
-                .expect("validated: controller node has a source");
+            let Some(mc_source) = state.node_reply_source[requester.mc.index()] else {
+                return Err(SimError::Spec(crate::error::SpecError::new(format!(
+                    "memory controller node {} has no source to inject replies",
+                    requester.mc
+                ))));
+            };
             let mc_source = &self.sources[mc_source];
             if !mc_source.generator.exhausted() {
                 return Err(SimError::Spec(crate::error::SpecError::new(format!(
@@ -569,6 +573,7 @@ impl Network {
     }
 
     /// Advances the simulation by one cycle.
+    // taqos-lint: hot
     pub fn step(&mut self) {
         self.now += 1;
         if let Some(fault) = &mut self.fault {
@@ -600,6 +605,7 @@ impl Network {
     /// cumulative figures to per-frame deltas in place. Reads existing
     /// counters only — no simulation state is touched, so sampling cannot
     /// perturb the run.
+    // taqos-lint: hot
     fn sample_frame(&mut self) {
         let Network {
             sampler,
@@ -610,7 +616,9 @@ impl Network {
             now,
             ..
         } = self;
-        let sampler = sampler.as_mut().expect("sampler checked by caller");
+        let Some(sampler) = sampler.as_mut() else {
+            return;
+        };
         if !sampler.due(*now) {
             return;
         }
@@ -645,6 +653,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_frame_rollover(&mut self) {
         if let Some(frame) = self.frame_len {
             if frame > 0 && self.now.is_multiple_of(frame) {
@@ -667,6 +676,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_events(&mut self) {
         if self.config.engine.is_reference() {
             // Seed behaviour: a fresh vector of due events every cycle.
@@ -795,20 +805,34 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn complete_delivery(&mut self, sink: usize, slot: VcId) {
         // Peek at the occupant first: DRAM admission may reject the packet,
         // and a rejected request must not touch the sink's delivery
         // counters (`SinkState::discard` vs `SinkState::complete` below).
         let packet_id = self.sinks[sink]
             .occupant(slot)
+            // taqos-lint: allow(panic-path) -- delivery events fire only for occupied sink slots
             .expect("completing an empty sink slot");
         // Only scalar fields of the packet feed the stats recorder and the
         // closed-loop hook; copying them out avoids cloning the whole packet
         // on every delivery.
-        let (flow, len_flits, hops, birth, class, src, request_birth, origin_source, dram_line) = {
+        let (
+            flow,
+            len_flits,
+            hops,
+            birth,
+            class,
+            src,
+            request_birth,
+            origin_source,
+            dram_line,
+            req_seq,
+        ) = {
             let packet = self
                 .packets
                 .get(packet_id)
+                // taqos-lint: allow(panic-path) -- sink slots only ever hold live packet ids
                 .expect("delivered packet must be live");
             (
                 packet.flow,
@@ -820,13 +844,9 @@ impl Network {
                 packet.request_birth,
                 packet.origin_source,
                 packet.dram_line,
+                packet.req_seq,
             )
         };
-        let req_seq = self
-            .packets
-            .get(packet_id)
-            .expect("delivered packet must be live")
-            .req_seq;
         // A controller outage bounces request-class packets at the dark
         // node: the delivery is not recorded and the packet is NACKed back
         // to its source (or abandoned once the fault retransmit budget is
@@ -962,6 +982,7 @@ impl Network {
     /// case it is abandoned — acknowledged and removed without ever counting
     /// as delivered. Abandonment guarantees NACK loops against permanently
     /// dead hardware terminate instead of livelocking.
+    // taqos-lint: hot
     fn fault_bounce(
         &mut self,
         packet_id: PacketId,
@@ -972,12 +993,14 @@ impl Network {
         let budget = self
             .fault
             .as_ref()
+            // taqos-lint: allow(panic-path) -- fault_bounce is only reached from fault-plan drop handling
             .expect("fault_bounce requires an installed fault plan")
             .retransmit_budget();
         let drops = {
             let packet = self
                 .packets
                 .get_mut(packet_id)
+                // taqos-lint: allow(panic-path) -- NACKed packets stay live until acked or abandoned
                 .expect("bounced packet must be live");
             packet.fault_drops += 1;
             packet.fault_drops
@@ -1011,6 +1034,7 @@ impl Network {
     /// request at a DRAM-modelled controller (including the whole non-DRAM
     /// configuration), otherwise accept/stall/reject per queue occupancy and
     /// the configured backpressure.
+    // taqos-lint: hot
     fn dram_admission(&self, sink: usize, flow: FlowId, class: PacketClass) -> DramAdmission {
         if class != PacketClass::Request {
             return DramAdmission::None;
@@ -1031,6 +1055,7 @@ impl Network {
         }
         let mc = cl.mc_states[sink_node.index()]
             .as_ref()
+            // taqos-lint: allow(panic-path) -- admission is gated on the requester match, which implies DRAM state
             .expect("requester controllers have DRAM state");
         if mc.queue.len() < dram.queue_depth {
             DramAdmission::Accept
@@ -1083,6 +1108,7 @@ impl Network {
         match class {
             PacketClass::Request => {
                 let sink_node = self.sinks[sink].node;
+                // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
                 let cl = self.closed_loop.as_ref().expect("closed loop active");
                 let reply_len = match &cl.requesters[flow.index()] {
                     // Only requests of a requester flow arriving at that
@@ -1106,6 +1132,7 @@ impl Network {
                         requester: src,
                         birth,
                         reply_len,
+                        // taqos-lint: allow(panic-path) -- requester-generated requests always carry a DRAM line
                         line: dram_line.expect("closed-loop DRAM requests carry a line"),
                         arrived: self.now,
                         packet: packet_id,
@@ -1116,9 +1143,11 @@ impl Network {
                     let mc = self
                         .closed_loop
                         .as_mut()
+                        // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
                         .expect("closed loop active")
                         .mc_states[sink_node.index()]
                     .as_mut()
+                    // taqos-lint: allow(panic-path) -- admission is gated on the requester match, which implies DRAM state
                     .expect("requester controllers have DRAM state");
                     match admission {
                         DramAdmission::Accept => {
@@ -1132,6 +1161,7 @@ impl Network {
                             // still-live packet is NACKed back to its source
                             // and retried over the fabric.
                             let victim =
+                                // taqos-lint: allow(panic-path) -- eviction_victim returns an index into the live queue
                                 mc.queue.remove(victim_idx).expect("victim index in bounds");
                             mc.queue.push_back(request);
                             let occupancy = mc.queue.len();
@@ -1154,6 +1184,7 @@ impl Network {
                             self.stats.record_dram_stall();
                         }
                         DramAdmission::Reject | DramAdmission::None => {
+                            // taqos-lint: allow(panic-path) -- Reject and None verdicts return before delivery bookkeeping
                             unreachable!("rejections return before delivery")
                         }
                     }
@@ -1163,8 +1194,10 @@ impl Network {
                 let reply_source = self
                     .closed_loop
                     .as_ref()
+                    // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
                     .expect("closed loop active")
                     .node_reply_source[sink_node.index()]
+                // taqos-lint: allow(panic-path) -- ClosedLoopSpec::validate pins a reply source to every controller
                 .expect("validated: controller node has a source");
                 self.release_reply(
                     sink_node,
@@ -1182,17 +1215,12 @@ impl Network {
                 let Some(request_birth) = request_birth else {
                     return;
                 };
+                // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
                 let cl = self.closed_loop.as_mut().expect("closed loop active");
                 let retry_on = cl.retry.is_some();
                 let Some(requester) = cl.requesters[flow.index()].as_mut() else {
                     return;
                 };
-                if !retry_on || req_seq.is_none() {
-                    debug_assert!(requester.outstanding > 0, "reply without a request");
-                    requester.outstanding -= 1;
-                    self.stats.record_round_trip(flow, request_birth, self.now);
-                    return;
-                }
                 // Under a retry policy the reply must match a sequence
                 // number the requester still considers live: either waiting
                 // for this reply, or already timed out and parked for a
@@ -1200,7 +1228,15 @@ impl Network {
                 // matching neither is stale — a duplicate whose request was
                 // already completed by an earlier copy — and is discarded
                 // without touching the MLP window.
-                let seq = req_seq.expect("checked above");
+                let seq = match req_seq {
+                    Some(seq) if retry_on => seq,
+                    _ => {
+                        debug_assert!(requester.outstanding > 0, "reply without a request");
+                        requester.outstanding -= 1;
+                        self.stats.record_round_trip(flow, request_birth, self.now);
+                        return;
+                    }
+                };
                 if let Some(pos) = requester.in_flight.iter().position(|r| r.seq == seq) {
                     let entry = requester.in_flight.remove(pos);
                     requester.outstanding -= 1;
@@ -1209,6 +1245,7 @@ impl Network {
                     let entry = requester
                         .deferred
                         .remove(pos)
+                        // taqos-lint: allow(panic-path) -- position was just found by the scan above
                         .expect("position is in bounds");
                     requester.outstanding -= 1;
                     self.stats.record_round_trip(flow, entry.birth, self.now);
@@ -1257,6 +1294,7 @@ impl Network {
         source.generated_flits += u64::from(reply_len);
         self.closed_loop
             .as_mut()
+            // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
             .expect("closed loop active")
             .pending_replies[reply_source]
             .push_back((reply_id, flow));
@@ -1264,10 +1302,13 @@ impl Network {
 
     /// A DRAM bank completed: release the reply of the serviced request and
     /// let the controller pull waiting work onto its freed bank.
+    // taqos-lint: hot
     fn handle_dram_complete(&mut self, mc_node: usize, bank: usize) {
+        // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
         let cl = self.closed_loop.as_mut().expect("closed loop active");
         let mc = cl.mc_states[mc_node]
             .as_mut()
+            // taqos-lint: allow(panic-path) -- completions fire only at controllers that started service
             .expect("completion at a controller without DRAM state");
         debug_assert_eq!(
             mc.banks[bank].busy_until, self.now,
@@ -1276,8 +1317,10 @@ impl Network {
         let request = mc.banks[bank]
             .in_service
             .take()
+            // taqos-lint: allow(panic-path) -- a completion event is scheduled exactly when service starts
             .expect("completion for an idle bank");
         let reply_source =
+            // taqos-lint: allow(panic-path) -- ClosedLoopSpec::validate pins a reply source to every controller
             cl.node_reply_source[mc_node].expect("validated: controller node has a source");
         self.release_reply(
             NodeId(mc_node as u16),
@@ -1298,6 +1341,7 @@ impl Network {
     /// admitted (releasing their withheld ejection-slot credits) while the
     /// bounded queue has room. Called after every arrival and every bank
     /// completion; deterministic and identical on both engines.
+    // taqos-lint: hot
     fn dram_pump(&mut self, mc_node: usize) {
         let now = self.now;
         let Network {
@@ -1311,12 +1355,15 @@ impl Network {
             trace,
             ..
         } = self;
+        // taqos-lint: allow(panic-path) -- request/reply bookkeeping is only reached under an active closed loop
         let cl = closed_loop.as_mut().expect("closed loop active");
+        // taqos-lint: allow(panic-path) -- pump callers checked admission, which requires a DRAM model
         let dram = cl.dram.expect("DRAM pump requires a DRAM model");
         let weights = &cl.weights;
         let total_weight = cl.total_weight;
         let mc = cl.mc_states[mc_node]
             .as_mut()
+            // taqos-lint: allow(panic-path) -- pump targets controllers that accepted a request, so state exists
             .expect("pump at a controller without DRAM state");
         loop {
             let mut progressed = false;
@@ -1329,6 +1376,7 @@ impl Network {
                     while i < mc.queue.len() {
                         let bank_idx = dram.bank_of(mc.queue[i].line);
                         if mc.banks[bank_idx].is_idle() {
+                            // taqos-lint: allow(panic-path) -- i < queue.len() is the loop condition
                             let request = mc.queue.remove(i).expect("index checked in bounds");
                             start_dram_service(
                                 mc,
@@ -1362,6 +1410,7 @@ impl Network {
                         if let Some(idx) =
                             mc.frfcfs_pick(&dram, bank_idx, now, weights, total_weight)
                         {
+                            // taqos-lint: allow(panic-path) -- frfcfs_pick returns an index into the live queue
                             let request = mc.queue.remove(idx).expect("pick index in bounds");
                             start_dram_service(
                                 mc,
@@ -1407,6 +1456,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_sources(&mut self) {
         let now = self.now;
         // Split-borrow the fields once so the per-source loop indexes each
@@ -1572,6 +1622,7 @@ impl Network {
                     let router_qos = &qos[source.router];
                     let picked = closed_loop
                         .as_mut()
+                        // taqos-lint: allow(panic-path) -- pending_replies is only populated under a closed loop
                         .expect("pending replies imply closed loop")
                         .pop_best_reply(si, |flow| router_qos.priority(flow));
                     if let Some((reply, _)) = picked {
@@ -1584,11 +1635,14 @@ impl Network {
 
             // 2. Start a new injection if possible.
             if source.can_start_injection() {
+                // taqos-lint: allow(panic-path) -- can_start_injection checked the queue is non-empty
                 let packet_id = source.queue.pop_front().expect("queue checked non-empty");
+                // taqos-lint: allow(panic-path) -- can_start_injection checked a free VC is available
                 let vc = source.free_vcs.pop().expect("credit checked available");
                 let quota = policy.reserved_quota(source.flow);
                 let packet = packets
                     .get_mut(packet_id)
+                    // taqos-lint: allow(panic-path) -- queued ids are removed before their packets are freed
                     .expect("queued packet must be live");
                 if packet.injected_at.is_none() {
                     packet.injected_at = Some(now);
@@ -1641,6 +1695,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_routing(&mut self) {
         let skip_idle = !self.config.engine.is_reference();
         for (ri, router) in self.routers.iter_mut().enumerate() {
@@ -1664,6 +1719,7 @@ impl Network {
                         let packet = self
                             .packets
                             .get(packet_id)
+                            // taqos-lint: allow(panic-path) -- VC occupancy and packet lifetime are updated together
                             .expect("buffered packet must be live");
                         let out = if !skip_idle {
                             compute_route(rspec, pspec, packet.dst, &mut router.route_rr_cursor)
@@ -1729,6 +1785,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_allocation(&mut self) {
         let preemption = self.policy.preemption_enabled();
         let reference = self.config.engine.is_reference();
@@ -1759,7 +1816,7 @@ impl Network {
                     let clean = router.alloc_dirty.is_some_and(|mask| mask & (1 << oi) == 0);
                     if clean {
                         if preemption {
-                            if let Some(probe) = router.cached_probe[oi].clone() {
+                            if let Some(probe) = router.cached_probe[oi] {
                                 self.events.schedule(self.now + 1, probe);
                             }
                         }
@@ -1769,6 +1826,7 @@ impl Network {
                 let mut requests = if reference {
                     // Reference gather: fresh vector and full port/VC rescan
                     // per output, reproducing the original engine's cost.
+                    // taqos-lint: allow(hot-alloc) -- seed-faithful reference gather allocates by design
                     let mut requests = Vec::new();
                     for (pi, port) in router.inputs.iter().enumerate() {
                         let pspec = &rspec.inputs[pi];
@@ -1777,10 +1835,12 @@ impl Network {
                             {
                                 continue;
                             }
+                            // taqos-lint: allow(panic-path) -- wants_allocation implies an occupant
                             let packet_id = vc.packet.expect("allocating VC holds a packet");
                             let packet = self
                                 .packets
                                 .get(packet_id)
+                                // taqos-lint: allow(panic-path) -- VC occupancy and packet lifetime are updated together
                                 .expect("buffered packet must be live");
                             let target_idx = resolve_target_idx(&rspec.outputs[oi], packet.dst);
                             let has_credit =
@@ -1867,6 +1927,7 @@ impl Network {
                     let out_state = &mut router.outputs[oi];
                     let (to_vc, to_vc_reserved) = out_state.targets[req.target_idx as usize]
                         .claim(req.reserved)
+                        // taqos-lint: allow(panic-path) -- has_credit was checked when the request was filed
                         .expect("credit was checked");
                     let ospec = &rspec.outputs[oi];
                     let target = &ospec.targets[req.target_idx as usize];
@@ -1964,7 +2025,7 @@ impl Network {
                                 });
                             }
                         }
-                        if let Some(probe) = probe.clone() {
+                        if let Some(probe) = probe {
                             self.events.schedule(self.now + 1, probe);
                         }
                     }
@@ -1984,6 +2045,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn phase_launch(&mut self) {
         let now = self.now;
         let skip_idle = !self.config.engine.is_reference();
@@ -2139,6 +2201,7 @@ impl Network {
                                 let packet = self
                                     .packets
                                     .get_mut(transfer.packet)
+                                    // taqos-lint: allow(panic-path) -- fault drops target in-flight packets only
                                     .expect("dropped packet must be live");
                                 packet.fault_drops += 1;
                                 (
@@ -2208,7 +2271,7 @@ impl Network {
                         } else {
                             // Body and tail flits replay the per-packet
                             // template built at grant time.
-                            transfer.body_event.clone()
+                            transfer.body_event
                         }
                     }
                     TargetEndpoint::Sink { sink } => {
@@ -2221,7 +2284,7 @@ impl Network {
                                 packet: transfer.packet,
                             }
                         } else {
-                            transfer.body_event.clone()
+                            transfer.body_event
                         }
                     }
                 };
@@ -2280,6 +2343,7 @@ impl Network {
         }
     }
 
+    // taqos-lint: hot
     fn handle_preemption_probe(&mut self, router: usize, in_port: usize, contender: FlowId) {
         let node = self.routers[router].node;
         // Victim candidates are gathered into a reusable buffer: under
@@ -2287,6 +2351,7 @@ impl Network {
         // this path must not allocate. The reference engine allocates a
         // fresh vector per probe, as the seed did.
         let mut candidates = if self.config.engine.is_reference() {
+            // taqos-lint: allow(hot-alloc) -- reference engine allocates per probe, as the seed did
             Vec::new()
         } else {
             std::mem::take(&mut self.probe_scratch)
@@ -2294,6 +2359,7 @@ impl Network {
         candidates.clear();
         for vc in &self.routers[router].inputs[in_port].vcs {
             if vc.is_resident_idle() {
+                // taqos-lint: allow(panic-path) -- is_resident_idle implies an occupant
                 let pid = vc.packet.expect("resident VC has a packet");
                 if let Some(packet) = self.packets.get(pid) {
                     candidates.push((pid, packet.flow, packet.reserved));
@@ -2360,6 +2426,7 @@ impl Network {
                 let bucket = &mut router_state.alloc_buckets[out.0];
                 let pos = bucket
                     .binary_search_by_key(&(in_port as u16, vc_idx as u16), |r| (r.in_port, r.vc))
+                    // taqos-lint: allow(panic-path) -- routed non-reference VCs always have a filed request
                     .expect("preempted packet must have a pending request");
                 bucket.remove(pos);
                 if let Some(mask) = router_state.alloc_dirty.as_mut() {
@@ -2374,6 +2441,7 @@ impl Network {
             let victim = self
                 .packets
                 .get(victim_id)
+                // taqos-lint: allow(panic-path) -- preemption victims are chosen from live residents
                 .expect("victim packet must be live");
             (victim.flow, victim.src, victim.origin_source)
         };

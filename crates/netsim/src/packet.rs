@@ -237,6 +237,7 @@ enum Backend {
         next_seq: u32,
     },
     Map {
+        // taqos-lint: allow(hash-iter) -- seed-faithful reference backend; keyed access only, never iterated
         packets: HashMap<PacketId, Packet>,
         next_id: u64,
     },
@@ -284,6 +285,7 @@ impl PacketStore {
     pub fn new_reference() -> Self {
         PacketStore {
             backend: Backend::Map {
+                // taqos-lint: allow(hash-iter) -- seed-faithful reference backend; keyed access only, never iterated
                 packets: HashMap::new(),
                 next_id: 0,
             },

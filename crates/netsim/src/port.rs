@@ -67,7 +67,7 @@ impl InputPortState {
             .iter()
             .enumerate()
             .filter(|(_, vc)| vc.is_resident_idle())
-            .map(|(i, vc)| (VcId(i as u16), vc.packet.expect("resident VC has a packet")))
+            .filter_map(|(i, vc)| vc.packet.map(|p| (VcId(i as u16), p)))
             .collect()
     }
 

@@ -27,7 +27,7 @@
 //! All other destinations use plain XY mesh routing.
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use taqos_netsim::spec::{
     InputPortSpec, NetworkSpec, OutputPortSpec, RouterSpec, SinkSpec, SourceSpec, TargetEndpoint,
     TargetSpec, VcConfig,
@@ -219,7 +219,7 @@ impl ChipConfig {
 
 /// Key identifying a network input port during spec construction, so
 /// upstream routers can reference downstream port indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum PortKey {
     /// Mesh input carrying traffic travelling in `dir`.
     Mesh(Direction),
@@ -231,7 +231,7 @@ enum PortKey {
 struct ChipBuilder<'a> {
     config: &'a ChipConfig,
     inputs: Vec<Vec<InputPortSpec>>,
-    input_index: Vec<HashMap<PortKey, usize>>,
+    input_index: Vec<BTreeMap<PortKey, usize>>,
 }
 
 impl<'a> ChipBuilder<'a> {
@@ -255,7 +255,7 @@ impl<'a> ChipBuilder<'a> {
             let mesh_vcs = VcConfig::with_reserved(cfg.network_vcs, cfg.vc_depth, reserved);
             let express_vcs = VcConfig::with_reserved(cfg.express_vcs, cfg.vc_depth, reserved);
             let mut ports = vec![InputPortSpec::injection("term", inj_vcs, 0)];
-            let mut index = HashMap::new();
+            let mut index = BTreeMap::new();
             let mut group = 1u8;
             for dir in Direction::all() {
                 if let Some((ux, uy)) = cfg.upstream(x, y, dir) {
@@ -311,7 +311,7 @@ impl<'a> ChipBuilder<'a> {
             let (x, y) = cfg.coords(NodeId(node as u16));
             let qos = cfg.is_shared_column(x);
             let mut outputs: Vec<OutputPortSpec> = Vec::new();
-            let mut mesh_out: HashMap<Direction, OutPortId> = HashMap::new();
+            let mut mesh_out: BTreeMap<Direction, OutPortId> = BTreeMap::new();
             for dir in Direction::all() {
                 if let Some((dx, dy)) = cfg.downstream(x, y, dir) {
                     let neighbour = cfg.node_at(dx, dy).index();
@@ -335,7 +335,7 @@ impl<'a> ChipBuilder<'a> {
             outputs.push(OutputPortSpec::ejection("eject", node, 0));
             // Express outputs of non-column nodes: one multidrop channel per
             // row direction that has shared columns, dropping off at each.
-            let mut express_out: HashMap<Direction, OutPortId> = HashMap::new();
+            let mut express_out: BTreeMap<Direction, OutPortId> = BTreeMap::new();
             if !qos {
                 for dir in [Direction::East, Direction::West] {
                     let columns = cfg.shared_columns_towards(x, dir);

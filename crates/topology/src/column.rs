@@ -23,7 +23,7 @@
 //! per-topology defaults in [`TopologyParams`].
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use taqos_netsim::spec::{
     InputPortSpec, NetworkSpec, OutputPortSpec, RouterSpec, SinkSpec, SourceSpec, TargetEndpoint,
     TargetSpec, VcConfig,
@@ -288,7 +288,7 @@ fn sources_and_sinks(config: &ColumnConfig) -> (Vec<SourceSpec>, Vec<SinkSpec>) 
 
 /// Key identifying a column network input port of a router during spec
 /// construction, so upstream routers can reference downstream port indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum PortKey {
     /// Mesh input from `from` on replicated channel `channel`.
     Mesh { from: usize, channel: u8 },
@@ -305,7 +305,7 @@ struct ColumnBuilder {
     /// Per-router input ports (injection ports first).
     inputs: Vec<Vec<InputPortSpec>>,
     /// Per-router map of network-port keys to input indices.
-    input_index: Vec<HashMap<PortKey, usize>>,
+    input_index: Vec<BTreeMap<PortKey, usize>>,
 }
 
 impl ColumnBuilder {
@@ -332,7 +332,7 @@ impl ColumnBuilder {
         let n = self.config.nodes;
         for node in 0..n {
             let mut ports = injection_ports(&self.config);
-            let mut index = HashMap::new();
+            let mut index = BTreeMap::new();
             let mut next_group = GROUP_NETWORK_BASE;
             let vcs = self.network_vcs();
             match self.topology {
@@ -574,7 +574,7 @@ impl ColumnBuilder {
                 ColumnTopology::Dps => {
                     // One output per destination subnet, towards the next hop
                     // of that subnet.
-                    let mut subnet_out: HashMap<usize, OutPortId> = HashMap::new();
+                    let mut subnet_out: BTreeMap<usize, OutPortId> = BTreeMap::new();
                     for subnet in 0..n {
                         if subnet == node {
                             continue;

@@ -94,7 +94,8 @@ pub fn geometry_from_spec(
         };
         flow_table_entries += spec.num_flows() as f64 * tables;
         // Crossbar input sharing: count non-pass-through ports per group.
-        let mut per_group: std::collections::HashMap<u8, usize> = std::collections::HashMap::new();
+        let mut per_group: std::collections::BTreeMap<u8, usize> =
+            std::collections::BTreeMap::new();
         for port in router.inputs.iter().filter(|p| !p.passthrough) {
             *per_group.entry(port.xbar_group).or_insert(0) += 1;
         }

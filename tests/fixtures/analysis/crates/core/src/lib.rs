@@ -1,0 +1,16 @@
+//! Unsafe hygiene and directive diagnostics fixture.
+
+pub fn read_first(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees p points at a live u32.
+    unsafe { *p }
+}
+
+pub fn read_second(p: *const u32) -> u32 {
+    unsafe { *p.add(1) }
+}
+
+pub fn sloppy() -> u32 {
+    // taqos-lint: allow(panic-path)
+    // taqos-lint: allow(made-up-rule) -- not a rule
+    7
+}

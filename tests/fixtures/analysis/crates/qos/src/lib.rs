@@ -1,0 +1,16 @@
+//! Determinism fixture: containers and stats floats.
+
+use std::collections::HashMap;
+
+pub struct FlowStats {
+    pub mean_latency: f64,
+    pub delivered: u64,
+}
+
+pub struct Gauge {
+    pub level: f64,
+}
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,10 @@
+//! Wall-clock and RNG fixture.
+
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn roll() -> u32 {
+    let rng = rand::thread_rng();
+    rng.next_u32()
+}
