@@ -28,6 +28,13 @@
 //!   3% flit corruption recovered via NACK-retransmit, a transient
 //!   memory-controller outage window, and deadline/retry recovery at
 //!   every requester;
+//! * `chip_incast_8x8` — the closed loop under **bursty incast**: every
+//!   requester converges on one column controller, the attackers breathe
+//!   through on/off phase schedules (exercising the per-cycle phase hook)
+//!   while a single MLP-1 victim shares the controller;
+//! * `chip_weighted_8x8` — the closed loop with **heterogeneous PVC
+//!   rates**: row-banded weights (8:4:1) instead of equal shares, the
+//!   weighted-VM configuration of the adversarial experiments;
 //! * `chip_16x16_cols2` / `chip_16x16_cols4` — multi-column 16×16 chips
 //!   (256 routers) under the closed loop, at a quarter of the cycle budget
 //!   (cycles/sec stays comparable);
@@ -64,9 +71,12 @@ use taqos_netsim::config::EngineKind;
 use taqos_netsim::network::Network;
 use taqos_netsim::qos::QosPolicy;
 use taqos_netsim::stats::NetStats;
+use taqos_netsim::FlowId;
 use taqos_netsim::{ChromeTraceSink, JsonlSink, SimConfig, TelemetryConfig, TraceSink};
 use taqos_qos::pvc::PvcPolicy;
+use taqos_qos::rates::RateAllocation;
 use taqos_topology::column::ColumnTopology;
+use taqos_topology::grid::Coord;
 use taqos_topology::mesh2d::Mesh2dConfig;
 use taqos_traffic::injection::PacketSizeMix;
 use taqos_traffic::workloads;
@@ -79,6 +89,34 @@ const CLOSED_LOOP_MLP: usize = 4;
 const SEED: u64 = 1;
 /// Frame cadence of the instrumented `--trace-out`/`--series-out` run.
 const EXPORT_FRAME_LEN: u64 = 500;
+/// MLP window of each incast attacker; the incast victim keeps MLP 1.
+const INCAST_ATTACKER_MLP: usize = 6;
+/// On/off cadence of the bursty incast attackers: `INCAST_BURST_ON` cycles
+/// of attack out of every `INCAST_BURST_PERIOD`-cycle period.
+const INCAST_BURST_PERIOD: u64 = 1_000;
+const INCAST_BURST_ON: u64 = 400;
+/// Per-row PVC weight bands of the weighted case (rows 0-1 / 2-4 / rest).
+const WEIGHT_BANDS: [f64; 3] = [8.0, 4.0, 1.0];
+
+/// Row-banded heterogeneous rates for the weighted case: rows 0-1 weigh
+/// `WEIGHT_BANDS[0]`, rows 2-4 `WEIGHT_BANDS[1]`, the rest
+/// `WEIGHT_BANDS[2]`, normalised to a total rate of one.
+fn weighted_chip_rates(sim: &ChipSim) -> RateAllocation {
+    let config = sim.config();
+    let mut weights = Vec::with_capacity(config.num_nodes());
+    for y in 0..config.height {
+        let band = if y < 2 {
+            WEIGHT_BANDS[0]
+        } else if y < 5 {
+            WEIGHT_BANDS[1]
+        } else {
+            WEIGHT_BANDS[2]
+        };
+        weights.extend(std::iter::repeat_n(band, config.width));
+    }
+    let total: f64 = weights.iter().sum();
+    RateAllocation::from_rates(weights.into_iter().map(|w| w / total).collect())
+}
 
 struct EngineRun {
     cycles_per_sec: f64,
@@ -99,6 +137,8 @@ enum BenchCase {
     ChipDram8x8,
     ChipDramFrfcfs8x8,
     ChipFault8x8,
+    ChipIncast8x8,
+    ChipWeighted8x8,
     ChipClosed16x16 { columns: usize },
     Column(ColumnTopology),
 }
@@ -112,6 +152,8 @@ impl BenchCase {
             BenchCase::ChipDram8x8 => "chip_dram_8x8",
             BenchCase::ChipDramFrfcfs8x8 => "chip_dram_frfcfs_8x8",
             BenchCase::ChipFault8x8 => "chip_fault_8x8",
+            BenchCase::ChipIncast8x8 => "chip_incast_8x8",
+            BenchCase::ChipWeighted8x8 => "chip_weighted_8x8",
             BenchCase::ChipClosed16x16 { columns: 2 } => "chip_16x16_cols2",
             BenchCase::ChipClosed16x16 { columns: 4 } => "chip_16x16_cols4",
             BenchCase::ChipClosed16x16 { .. } => "chip_16x16",
@@ -126,8 +168,10 @@ impl BenchCase {
             BenchCase::ChipClosed8x8
             | BenchCase::ChipDram8x8
             | BenchCase::ChipDramFrfcfs8x8
+            | BenchCase::ChipWeighted8x8
             | BenchCase::ChipClosed16x16 { .. } => "nearest_mc_mlp",
             BenchCase::ChipFault8x8 => "nearest_mc_mlp_retry",
+            BenchCase::ChipIncast8x8 => "incast_bursty_mlp",
             _ => "uniform_random",
         }
     }
@@ -140,8 +184,30 @@ impl BenchCase {
             | BenchCase::ChipDram8x8
             | BenchCase::ChipDramFrfcfs8x8
             | BenchCase::ChipFault8x8
+            | BenchCase::ChipIncast8x8
             | BenchCase::ChipClosed16x16 { .. } => "pvc@columns",
+            BenchCase::ChipWeighted8x8 => "pvc@columns_weighted",
             _ => "pvc",
+        }
+    }
+
+    /// Weight/phase parameters of the heterogeneous cases, recorded per row
+    /// in the JSON report (from the same constants `build` installs) so
+    /// regenerated baselines self-describe what actually ran.
+    fn workload_spec(self) -> String {
+        match self {
+            BenchCase::ChipIncast8x8 => format!(
+                "{{ \"victim\": \"node (0,4), mlp 1\", \
+                 \"attacker_mlp\": {INCAST_ATTACKER_MLP}, \
+                 \"burst_period\": {INCAST_BURST_PERIOD}, \
+                 \"burst_on\": {INCAST_BURST_ON}, \
+                 \"pattern\": \"all-to-one column controller, seeded bursty phases\" }}"
+            ),
+            BenchCase::ChipWeighted8x8 => format!(
+                "{{ \"weights\": \"rows 0-1:{}, rows 2-4:{}, rest:{} (normalised)\" }}",
+                WEIGHT_BANDS[0], WEIGHT_BANDS[1], WEIGHT_BANDS[2]
+            ),
+            _ => "null".to_string(),
         }
     }
 
@@ -173,7 +239,16 @@ impl BenchCase {
         }
     }
 
-    fn build(self, engine: EngineKind, rate: f64, telemetry: TelemetryConfig) -> Network {
+    /// Builds the case's network. `horizon` is the cycle budget the caller
+    /// will run — the bursty incast case materialises its phase schedules up
+    /// to exactly that horizon.
+    fn build(
+        self,
+        engine: EngineKind,
+        rate: f64,
+        telemetry: TelemetryConfig,
+        horizon: u64,
+    ) -> Network {
         let sim_config = SimConfig::default()
             .with_engine(engine)
             .with_telemetry(telemetry);
@@ -238,6 +313,54 @@ impl BenchCase {
                 sim.build_closed_loop(sim.default_policy(), spec)
                     .expect("faulted closed-loop chip builds")
             }
+            BenchCase::ChipIncast8x8 => {
+                // Bursty incast: every requester converges on the victim
+                // row's column controller; the attackers switch between
+                // full-MLP bursts and silence on seeded on/off schedules
+                // (driving the per-cycle phase hook), while an MLP-1 victim
+                // shares the controller throughout.
+                let sim = ChipSim::paper_default().with_sim_config(sim_config);
+                let victim = sim.node_id(Coord::new(0, 4)).index();
+                let mut plan = sim.nearest_mc_mlp_plan(INCAST_ATTACKER_MLP);
+                let mc = plan[victim].expect("the victim node issues requests").1;
+                let mut hogs = Vec::new();
+                for (node, slot) in plan.iter_mut().enumerate() {
+                    let Some((mlp, dest)) = slot.as_mut() else {
+                        continue;
+                    };
+                    *dest = mc;
+                    if node == victim {
+                        *mlp = 1;
+                    } else {
+                        hogs.push(FlowId(node as u16));
+                    }
+                }
+                let phases = workloads::bursty_hogs(
+                    plan.len(),
+                    &hogs,
+                    INCAST_ATTACKER_MLP,
+                    INCAST_BURST_PERIOD,
+                    INCAST_BURST_ON,
+                    horizon,
+                    SEED,
+                );
+                let spec = workloads::mlp_closed_loop(&plan).with_phases(phases);
+                sim.build_closed_loop(sim.default_policy(), spec)
+                    .expect("incast chip builds")
+            }
+            BenchCase::ChipWeighted8x8 => {
+                // Heterogeneous tenants: the same closed loop as
+                // chip_closed_8x8, but PVC programmed with row-banded
+                // weights instead of equal shares.
+                let sim = ChipSim::paper_default().with_sim_config(sim_config);
+                let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
+                let rates = weighted_chip_rates(&sim);
+                sim.build_closed_loop(
+                    sim.weighted_policy(rates),
+                    workloads::mlp_closed_loop(&plan),
+                )
+                .expect("weighted closed-loop chip builds")
+            }
             BenchCase::ChipClosed16x16 { columns } => {
                 let sim = ChipSim::multi_column(16, 16, columns).with_sim_config(sim_config);
                 let plan = sim.nearest_mc_mlp_plan(CLOSED_LOOP_MLP);
@@ -273,7 +396,7 @@ fn run_engine(
     for _ in 0..repeat.max(1) {
         // Timed runs always measure the production configuration: telemetry
         // off, hot loop allocation- and branch-free.
-        let mut network = case.build(engine, rate, TelemetryConfig::off());
+        let mut network = case.build(engine, rate, TelemetryConfig::off(), cycles);
         let start = Instant::now();
         network.run_for(cycles);
         walls.push(start.elapsed().as_secs_f64());
@@ -339,6 +462,8 @@ fn main() {
         BenchCase::ChipDram8x8,
         BenchCase::ChipDramFrfcfs8x8,
         BenchCase::ChipFault8x8,
+        BenchCase::ChipIncast8x8,
+        BenchCase::ChipWeighted8x8,
         BenchCase::ChipClosed16x16 { columns: 2 },
         BenchCase::ChipClosed16x16 { columns: 4 },
         BenchCase::Column(ColumnTopology::MeshX1),
@@ -354,6 +479,8 @@ fn main() {
          MLP-{CLOSED_LOOP_MLP} closed loop (chip_closed_8x8, chip_dram_8x8 with DRAM-backed \
          controllers, chip_dram_frfcfs_8x8 with FR-FCFS + priority admission, \
          chip_fault_8x8 on a failing fabric with retry recovery, \
+         chip_incast_8x8 all-to-one with bursty phased attackers, \
+         chip_weighted_8x8 with row-banded 8:4:1 PVC rates, \
          chip_16x16_cols2/4 at cycles/4)"
     );
     println!("{}", rule(108));
@@ -437,6 +564,23 @@ fn main() {
         }
     }
 
+    // The adversarial cases carry a functional oracle on top of the engine
+    // cross-check: an incast or weighted run that delivers nothing is a
+    // broken workload, however fast it simulated. Deterministic, so checked
+    // unconditionally (the speedup targets stay behind `--check`).
+    for result in &results {
+        if matches!(
+            result.case,
+            BenchCase::ChipIncast8x8 | BenchCase::ChipWeighted8x8
+        ) {
+            assert!(
+                result.optimized.stats.delivered_packets > 0,
+                "{} delivered no packets — the workload is wired wrong",
+                result.case.name()
+            );
+        }
+    }
+
     if args.has_flag("check") {
         let headline = headline.expect("--check requires the mesh_8x8 case");
         if headline < 3.0 {
@@ -462,7 +606,7 @@ fn export_instrumented(
         .with_histograms(true)
         .with_frames(EXPORT_FRAME_LEN)
         .with_max_frames((cycles / EXPORT_FRAME_LEN).max(1) as usize);
-    let mut network = case.build(EngineKind::Optimized, rate, telemetry);
+    let mut network = case.build(EngineKind::Optimized, rate, telemetry, case.cycles(cycles));
     if let Some(path) = trace_out {
         let file = BufWriter::new(File::create(path).expect("create trace file"));
         let sink: Box<dyn TraceSink> = if path.ends_with(".jsonl") {
@@ -595,7 +739,7 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
         let _ = write!(
             json,
             "    {{ \"topology\": \"{}\", \"pattern\": \"{}\", \"policy\": \"{}\", \
-             \"dram\": {}, \"cycles\": {}, \
+             \"dram\": {}, \"workload_spec\": {}, \"cycles\": {}, \
              \"optimized_cycles_per_sec\": {:.1}, \
              \"reference_cycles_per_sec\": {:.1}, \"speedup\": {:.3}, \
              \"optimized_wall_median_s\": {:.4}, \"optimized_wall_min_s\": {:.4}, \
@@ -606,6 +750,7 @@ fn render_json(cycles: u64, rate: f64, repeat: u32, results: &[TopologyResult]) 
             result.case.workload_name(),
             result.case.policy_name(),
             dram,
+            result.case.workload_spec(),
             result.case.cycles(cycles),
             result.optimized.cycles_per_sec,
             result.reference.cycles_per_sec,

@@ -146,6 +146,67 @@ impl Hypervisor {
         Ok(())
     }
 
+    /// Migrates a VM to a new region anchored at `to`: the domain's shape is
+    /// preserved (every node moves by the same offset), the old region is
+    /// released, and the thread placement follows the nodes. The destination
+    /// is explicit — first-fit would simply re-find the region the VM already
+    /// occupies. Returns the new domain id.
+    ///
+    /// The hypervisor moves only the *placement*; in-flight memory traffic of
+    /// the old region is drained by the simulation side (phase the old nodes'
+    /// requesters off, the new nodes' on, and reprogram rates at the same
+    /// instant — see `ChipSim`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the domain is unknown or the target region is
+    /// unusable (outside the grid, overlapping a shared column or another
+    /// domain). On error the VM keeps its old region.
+    pub fn migrate_vm(&mut self, domain: DomainId, to: Coord) -> Result<DomainId, ChipError> {
+        let placement_idx = self
+            .placements
+            .iter()
+            .position(|p| p.domain == domain)
+            .ok_or(ChipError::UnknownDomain(domain))?;
+        let old = self.chip.release_domain(domain)?;
+        let min_x = old
+            .nodes
+            .iter()
+            .map(|c| c.x)
+            .min()
+            .expect("domains are non-empty");
+        let min_y = old
+            .nodes
+            .iter()
+            .map(|c| c.y)
+            .min()
+            .expect("domains are non-empty");
+        let shift = |c: Coord| Coord::new(to.x + (c.x - min_x), to.y + (c.y - min_y));
+        let target: std::collections::BTreeSet<Coord> =
+            old.nodes.iter().map(|&c| shift(c)).collect();
+        match self
+            .chip
+            .allocate_domain(old.name.clone(), target, old.weight)
+        {
+            Ok(new_id) => {
+                let placement = &mut self.placements[placement_idx];
+                placement.domain = new_id;
+                for (node, _) in &mut placement.threads_per_node {
+                    *node = shift(*node);
+                }
+                Ok(new_id)
+            }
+            Err(err) => {
+                let restored = self
+                    .chip
+                    .allocate_domain(old.name, old.nodes, old.weight)
+                    .expect("re-allocating the just-released region cannot fail");
+                self.placements[placement_idx].domain = restored;
+                Err(err)
+            }
+        }
+    }
+
     /// Whether friendly co-scheduling holds: no node hosts threads of more
     /// than one VM. True by construction, verified for testing.
     pub fn co_scheduling_respected(&self) -> bool {
@@ -194,6 +255,32 @@ impl Hypervisor {
             }
         }
         RateAllocation::from_rates(rates)
+    }
+
+    /// Programs per-node service rates for the chip-scale simulation, where
+    /// every node injects one flow (`ChipSim`'s flow convention: flow index =
+    /// node id = `y * width + x`).
+    ///
+    /// Each node occupied by a VM receives the VM's service weight on top of
+    /// a base weight of one (so idle nodes and shared-column terminals are
+    /// not starved of their reply/background bandwidth), normalised over the
+    /// whole chip. The same allocation then drives the scoped virtual clock
+    /// at the column routers and, through the closed-loop engine's flow
+    /// weights, DRAM admission and bank scheduling.
+    pub fn program_node_rates(&self) -> RateAllocation {
+        let width = usize::from(self.chip.grid().width);
+        let height = usize::from(self.chip.grid().height);
+        let mut weights = vec![1.0f64; width * height];
+        for placement in &self.placements {
+            if let Some(domain) = self.chip.domain(placement.domain) {
+                for node in &domain.nodes {
+                    weights[usize::from(node.y) * width + usize::from(node.x)] +=
+                        f64::from(placement.weight);
+                }
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        RateAllocation::from_rates(weights.into_iter().map(|w| w / total).collect())
     }
 }
 
@@ -274,6 +361,85 @@ mod tests {
         assert_eq!(rectangle_for(16, 8), (4, 4));
         // Width is clamped to the grid.
         assert_eq!(rectangle_for(30, 4), (4, 8));
+    }
+
+    #[test]
+    fn migration_moves_the_domain_and_the_thread_placement() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let id = hv.launch_vm(&VmSpec::new("web", 16, 2)).unwrap();
+        let old_nodes: Vec<Coord> = hv
+            .chip()
+            .domain(id)
+            .unwrap()
+            .nodes
+            .iter()
+            .copied()
+            .collect();
+        let free_before = hv.chip().free_nodes();
+        // Move the 2x2-origin VM to the east half of the die.
+        let new_id = hv.migrate_vm(id, Coord::new(5, 3)).unwrap();
+        assert_ne!(new_id, id);
+        assert!(hv.chip().domain(id).is_none(), "old domain released");
+        let new_nodes = &hv.chip().domain(new_id).unwrap().nodes;
+        assert_eq!(new_nodes.len(), old_nodes.len(), "shape preserved");
+        assert!(new_nodes.contains(&Coord::new(5, 3)), "anchored at target");
+        assert_eq!(hv.chip().free_nodes(), free_before, "no nodes leaked");
+        // The thread placement follows the nodes.
+        let placement = &hv.placements()[0];
+        assert_eq!(placement.domain, new_id);
+        assert_eq!(placement.total_threads(), 16);
+        for (node, _) in &placement.threads_per_node {
+            assert!(new_nodes.contains(node), "thread on a migrated node");
+        }
+        assert!(hv.co_scheduling_respected());
+    }
+
+    #[test]
+    fn failed_migration_rolls_back_and_keeps_the_old_region() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let id = hv.launch_vm(&VmSpec::new("web", 16, 2)).unwrap();
+        let old_nodes: Vec<Coord> = hv
+            .chip()
+            .domain(id)
+            .unwrap()
+            .nodes
+            .iter()
+            .copied()
+            .collect();
+        // A target straddling the shared column (x = 4 on the paper chip) is
+        // rejected; the VM must keep its old region under a fresh id.
+        let err = hv.migrate_vm(id, Coord::new(3, 0)).unwrap_err();
+        assert!(matches!(err, ChipError::DomainRejected(_)), "got {err:?}");
+        let placement = &hv.placements()[0];
+        let restored = hv.chip().domain(placement.domain).unwrap();
+        let restored_nodes: Vec<Coord> = restored.nodes.iter().copied().collect();
+        assert_eq!(restored_nodes, old_nodes, "old region restored");
+        // An unknown domain is reported as such.
+        assert!(matches!(
+            hv.migrate_vm(DomainId(99), Coord::new(0, 0)),
+            Err(ChipError::UnknownDomain(_))
+        ));
+    }
+
+    #[test]
+    fn node_rates_weight_occupied_nodes_and_normalise() {
+        let mut hv = Hypervisor::new(TopologyAwareChip::paper_default());
+        let heavy = hv.launch_vm(&VmSpec::new("premium", 16, 8)).unwrap();
+        hv.launch_vm(&VmSpec::new("basic", 16, 1)).unwrap();
+        let rates = hv.program_node_rates();
+        assert_eq!(rates.len(), 64);
+        let sum: f64 = rates.rates().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "rates must normalise, got {sum}");
+        let node_flow = |c: Coord| FlowId(c.y * 8 + c.x);
+        let premium_node = *hv.chip().domain(heavy).unwrap().nodes.first().unwrap();
+        // Premium nodes out-rank idle nodes 9:1 (weight 8 + base 1).
+        let premium = rates.rate(node_flow(premium_node));
+        let idle = rates.rate(node_flow(Coord::new(7, 7)));
+        assert!(
+            (premium / idle - 9.0).abs() < 1e-9,
+            "ratio {}",
+            premium / idle
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@
 
 use crate::chip::{ChipError, DomainId, TopologyAwareChip};
 use std::collections::{BTreeMap, BTreeSet};
-use taqos_netsim::closed_loop::{ClosedLoopSpec, DramConfig};
+use taqos_netsim::closed_loop::{
+    ClosedLoopSpec, DramConfig, PhaseChange, PhaseSchedule, PhasedWorkload,
+};
 use taqos_netsim::error::SimError;
 use taqos_netsim::fault::FaultPlan;
 use taqos_netsim::network::Network;
@@ -44,7 +46,8 @@ use taqos_netsim::qos::{FifoPolicy, QosPolicy};
 use taqos_netsim::sim::{run_closed, run_open_loop, OpenLoopConfig};
 use taqos_netsim::stats::NetStats;
 use taqos_netsim::{Cycle, FlowId, NodeId, SimConfig};
-use taqos_qos::pvc::PvcPolicy;
+use taqos_qos::pvc::{PvcConfig, PvcPolicy};
+use taqos_qos::rates::RateAllocation;
 use taqos_qos::scoped::ScopedQosPolicy;
 use taqos_topology::chip::{ChipConfig, ChipSpec};
 use taqos_topology::grid::Coord;
@@ -295,6 +298,24 @@ impl ChipSim {
         ChipPolicy::ColumnPvc(PvcPolicy::equal_rates(self.config.num_nodes()))
     }
 
+    /// A PVC overlay programmed with explicit (non-equal) per-flow rates,
+    /// confined to the shared columns — the knob the `Hypervisor` turns when
+    /// tenants carry different service weights
+    /// ([`crate::chip::Hypervisor::program_node_rates`] produces a matching
+    /// allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the allocation does not carry one rate per node.
+    pub fn weighted_policy(&self, rates: RateAllocation) -> ChipPolicy {
+        assert_eq!(
+            rates.len(),
+            self.config.num_nodes(),
+            "need one rate per node flow"
+        );
+        ChipPolicy::ColumnPvc(PvcPolicy::new(PvcConfig::paper(), rates))
+    }
+
     /// Flows injected by the nodes of a domain, in node order.
     ///
     /// # Errors
@@ -398,6 +419,49 @@ impl ChipSim {
                 }
             })
             .collect()
+    }
+
+    /// Closed-loop plan over an explicit node set: each listed node runs an
+    /// MLP-limited loop against the controller on its own row of the nearest
+    /// shared column; every other node idles. Used by migration experiments,
+    /// whose source and destination regions are plain node sets (the source
+    /// domain no longer exists once the hypervisor has migrated the VM).
+    pub fn mlp_plan_for(&self, nodes: &[Coord], mlp: usize) -> MlpPlan {
+        let mut plan: MlpPlan = vec![None; self.config.num_nodes()];
+        for &c in nodes {
+            plan[self.node_id(c).index()] = Some((mlp, self.memory_controller_for(c)));
+        }
+        plan
+    }
+
+    /// Phase schedules realising a VM migration in the fabric: the `from`
+    /// nodes' requesters run from the start and switch off at `at`, the `to`
+    /// nodes' requesters stay idle until `at` and then open an MLP window of
+    /// `mlp`. Apply on top of a spec whose requesters cover both node sets
+    /// (e.g. [`Self::mlp_plan_for`] over their union); in-flight requests of
+    /// the switched-off nodes drain normally, so flit conservation holds
+    /// through the move.
+    pub fn migration_phases(
+        &self,
+        from: &[Coord],
+        to: &[Coord],
+        at: Cycle,
+        mlp: usize,
+    ) -> PhasedWorkload {
+        let mut phases = PhasedWorkload::new(self.config.num_nodes());
+        for &c in from {
+            phases = phases.with_schedule(
+                FlowId(self.node_id(c).0),
+                PhaseSchedule::new(vec![PhaseChange { at, mlp: 0 }]),
+            );
+        }
+        for &c in to {
+            phases = phases.with_schedule(
+                FlowId(self.node_id(c).0),
+                PhaseSchedule::new(vec![PhaseChange { at: 0, mlp: 0 }, PhaseChange { at, mlp }]),
+            );
+        }
+        phases
     }
 
     /// Builds a [`Network`] with the given QOS configuration and one
@@ -539,6 +603,47 @@ impl ChipSim {
         config: OpenLoopConfig,
     ) -> Result<NetStats, SimError> {
         let network = self.build_closed_loop(policy, spec)?;
+        Ok(run_open_loop(network, config))
+    }
+
+    /// Like [`Self::build_closed_loop`] with mid-run rate re-provisionings
+    /// scheduled on top: each `(cycle, rates)` entry reprograms the QOS
+    /// policy, every column router's virtual clock, and the closed-loop
+    /// engine's flow weights at the first frame rollover at or after `cycle`
+    /// (rate changes land only at frame boundaries, where the PVC counters
+    /// flush — mid-frame priorities never move under a live programme).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors and rejects reprogrammings whose rate
+    /// vector does not cover every flow or is not finite and positive.
+    pub fn build_closed_loop_reprogrammed(
+        &self,
+        policy: ChipPolicy,
+        spec: ClosedLoopSpec,
+        reprograms: &[(Cycle, RateAllocation)],
+    ) -> Result<Network, SimError> {
+        let mut network = self.build_closed_loop(policy, spec)?;
+        for (at, rates) in reprograms {
+            network.schedule_reprogram(*at, rates.rates().to_vec())?;
+        }
+        Ok(network)
+    }
+
+    /// Builds and runs a closed-loop experiment with mid-run rate
+    /// re-provisionings ([`Self::build_closed_loop_reprogrammed`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction and scheduling errors.
+    pub fn run_closed_loop_reprogrammed(
+        &self,
+        policy: ChipPolicy,
+        spec: ClosedLoopSpec,
+        reprograms: &[(Cycle, RateAllocation)],
+        config: OpenLoopConfig,
+    ) -> Result<NetStats, SimError> {
+        let network = self.build_closed_loop_reprogrammed(policy, spec, reprograms)?;
         Ok(run_open_loop(network, config))
     }
 
@@ -723,6 +828,98 @@ mod tests {
             .map(|f| f.measured_delivered_packets)
             .sum();
         assert!(measured < stats.delivered_packets);
+    }
+
+    #[test]
+    fn migration_helpers_cover_both_node_sets() {
+        let sim = ChipSim::paper_default();
+        let from = [Coord::new(0, 0), Coord::new(1, 0)];
+        let to = [Coord::new(0, 7), Coord::new(1, 7)];
+        let union: Vec<Coord> = from.iter().chain(to.iter()).copied().collect();
+        let plan = sim.mlp_plan_for(&union, 2);
+        assert_eq!(plan.iter().filter(|e| e.is_some()).count(), 4);
+        for &c in &union {
+            let (mlp, mc) = plan[sim.node_id(c).index()].expect("listed node is active");
+            assert_eq!(mlp, 2);
+            assert_eq!(sim.coord(mc).y, c.y, "controller on the node's own row");
+        }
+        let phases = sim.migration_phases(&from, &to, 5_000, 2);
+        assert!(!phases.is_static());
+        // Source nodes switch off at the instant; destination nodes hold an
+        // initial off phase and open their window at the instant.
+        let source = &phases.schedules[sim.node_id(from[0]).index()];
+        assert_eq!(source.changes, vec![PhaseChange { at: 5_000, mlp: 0 }]);
+        let dest = &phases.schedules[sim.node_id(to[0]).index()];
+        assert_eq!(
+            dest.changes,
+            vec![
+                PhaseChange { at: 0, mlp: 0 },
+                PhaseChange { at: 5_000, mlp: 2 }
+            ]
+        );
+        // Unlisted nodes stay static.
+        assert!(phases.schedules[sim.node_id(Coord::new(3, 3)).index()].is_empty());
+    }
+
+    #[test]
+    fn reprogramming_rates_mid_run_changes_the_outcome() {
+        let sim = ChipSim::new(
+            TopologyAwareChip::new(ChipGrid::new(4, 4, 4), [2u16].into_iter().collect()).unwrap(),
+        );
+        let n = sim.config().num_nodes();
+        // Short frames so the run crosses several rollovers.
+        let policy = || {
+            ChipPolicy::ColumnPvc(PvcPolicy::new(
+                PvcConfig {
+                    frame_len: 1_000,
+                    ..PvcConfig::paper()
+                },
+                RateAllocation::equal(n),
+            ))
+        };
+        let plan = sim.nearest_mc_mlp_plan(4);
+        let config = OpenLoopConfig {
+            warmup: 500,
+            measure: 5_000,
+            drain: 500,
+        };
+        let baseline = sim
+            .run_closed_loop(policy(), &plan, config)
+            .expect("baseline runs");
+        // Strongly favour node 0's flow from the second frame on.
+        let mut skew = vec![1.0; n];
+        skew[0] = 60.0;
+        let total: f64 = skew.iter().sum();
+        let skewed = RateAllocation::from_rates(skew.into_iter().map(|r| r / total).collect());
+        let reprogrammed = sim
+            .run_closed_loop_reprogrammed(
+                policy(),
+                workloads::mlp_closed_loop(&plan),
+                &[(1_000, skewed.clone())],
+                config,
+            )
+            .expect("reprogrammed run succeeds");
+        assert_ne!(
+            baseline, reprogrammed,
+            "a mid-run rate change must be observable"
+        );
+        // Bad programmes are rejected up front, not at the rollover.
+        let short = RateAllocation::equal(n - 1);
+        assert!(sim
+            .build_closed_loop_reprogrammed(
+                policy(),
+                workloads::mlp_closed_loop(&plan),
+                &[(1_000, short)]
+            )
+            .is_err());
+        // The QOS-free fabric has no frames to anchor a change to.
+        assert!(sim
+            .build_closed_loop_reprogrammed(
+                ChipPolicy::NoQos,
+                workloads::mlp_closed_loop(&plan),
+                &[(1_000, skewed)]
+            )
+            .is_err());
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //! | Ablations beyond the paper (frame length, reserved quota, VCs) | [`ablation`] |
 //! | Differentiated service (SLA weights) beyond the paper | [`differentiated`] |
 //! | Chip-scale isolation & QOS area saving (§2, the headline claim) | [`chip_scale`] |
+//! | Adversarial battery, weighted VMs & live migration (§4.3 extended) | [`adversarial`] |
 //!
 //! The experiment functions are deterministic given their seed and are reused
 //! by the `taqos-bench` binaries that print the paper-style tables.
 
 pub mod ablation;
+pub mod adversarial;
 pub mod chip_scale;
 pub mod differentiated;
 pub mod energy_area;

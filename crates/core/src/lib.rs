@@ -53,6 +53,11 @@ pub mod prelude {
     pub use crate::experiment::ablation::{
         frame_length_sweep, reserved_quota_ablation, vc_count_sweep, QuotaAblation,
     };
+    pub use crate::experiment::adversarial::{
+        attack_battery, incast_mob, migration_experiment, open_row_squatter, queue_storm,
+        row_flood, weighted_vm_experiment, ArbitrationPoint, AttackConfig, AttackReport,
+        MigrationConfig, MigrationResult, WeightedVmConfig, WeightedVmResult,
+    };
     pub use crate::experiment::chip_scale::{
         chip_fault_bench_plan, chip_isolation, chip_qos_area, degradation_under_faults,
         latency_under_load, mlp_mix_divergence, multi_column_scaling, ChipIsolationConfig,

@@ -384,6 +384,73 @@ impl RequesterSpec {
     }
 }
 
+/// One step of a requester's phase schedule: from cycle [`Self::at`] on, the
+/// requester's *effective* MLP window becomes [`Self::mlp`]. A window of 0
+/// turns the flow off — no fresh requests issue, but replies and retries for
+/// already-issued requests still drain, so conservation holds across phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseChange {
+    /// First cycle the new window applies.
+    pub at: Cycle,
+    /// Effective MLP window from [`Self::at`] on (0 = off).
+    pub mlp: usize,
+}
+
+/// A per-flow sequence of [`PhaseChange`]s, strictly increasing in cycle.
+/// The default (empty) schedule leaves the requester's static window from
+/// [`RequesterSpec::mlp`] in force for the whole run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSchedule {
+    /// The changes, strictly increasing in [`PhaseChange::at`].
+    pub changes: Vec<PhaseChange>,
+}
+
+impl PhaseSchedule {
+    /// A schedule from explicit changes.
+    pub fn new(changes: Vec<PhaseChange>) -> Self {
+        PhaseSchedule { changes }
+    }
+
+    /// Whether the schedule never changes anything.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+/// Dynamic (phased) traffic for a closed-loop network: one [`PhaseSchedule`]
+/// per flow, applied deterministically by cycle number in both engines, so
+/// bursty on/off hogs, incast onsets and trace-shaped demand changes extend
+/// engine equivalence unchanged. An empty workload (the default) is fully
+/// static.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    /// Per-flow schedules, indexed by flow identifier. Empty means no flow
+    /// ever changes phase.
+    pub schedules: Vec<PhaseSchedule>,
+}
+
+impl PhasedWorkload {
+    /// A workload with an empty schedule for each of `num_flows` flows.
+    pub fn new(num_flows: usize) -> Self {
+        PhasedWorkload {
+            schedules: vec![PhaseSchedule::default(); num_flows],
+        }
+    }
+
+    /// Installs `schedule` for `flow`.
+    #[must_use]
+    pub fn with_schedule(mut self, flow: FlowId, schedule: PhaseSchedule) -> Self {
+        // taqos-lint: allow(panic-index) -- build-time builder; an out-of-range flow is a caller bug worth a panic
+        self.schedules[flow.index()] = schedule;
+        self
+    }
+
+    /// Whether no flow ever changes phase.
+    pub fn is_static(&self) -> bool {
+        self.schedules.iter().all(PhaseSchedule::is_empty)
+    }
+}
+
 /// Per-request deadline and retry behaviour of every requester: the
 /// source-side half of the fault-tolerance story.
 ///
@@ -499,6 +566,10 @@ pub struct ClosedLoopSpec {
     /// Per-request deadline/retry behaviour applied to every requester.
     /// `None` keeps the pre-retry behaviour: requests wait forever.
     pub retry: Option<RetryPolicy>,
+    /// Dynamic traffic: per-flow phase schedules changing the effective MLP
+    /// window at fixed cycles. Empty (the default) keeps every requester's
+    /// static window.
+    pub phases: PhasedWorkload,
 }
 
 impl ClosedLoopSpec {
@@ -509,6 +580,7 @@ impl ClosedLoopSpec {
             dram: None,
             flow_weights: Vec::new(),
             retry: None,
+            phases: PhasedWorkload::default(),
         }
     }
 
@@ -536,6 +608,14 @@ impl ClosedLoopSpec {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Installs a dynamic (phased) workload: per-flow schedules of effective
+    /// MLP-window changes.
+    #[must_use]
+    pub fn with_phases(mut self, phases: PhasedWorkload) -> Self {
+        self.phases = phases;
         self
     }
 
@@ -577,6 +657,32 @@ impl ClosedLoopSpec {
                 return Err(SimError::Spec(SpecError::new(
                     "flow weights must be positive",
                 )));
+            }
+        }
+        if !self.phases.schedules.is_empty() {
+            if self.phases.schedules.len() != self.requesters.len() {
+                return Err(SimError::Spec(SpecError::new(format!(
+                    "phase schedules cover {} flows but the network has {}",
+                    self.phases.schedules.len(),
+                    spec.num_flows()
+                ))));
+            }
+            for (flow, schedule) in self.phases.schedules.iter().enumerate() {
+                if schedule.is_empty() {
+                    continue;
+                }
+                // taqos-lint: allow(panic-index) -- schedules.len() == num_flows == requesters.len(), checked just above
+                if self.requesters[flow].is_none() {
+                    return Err(SimError::Spec(SpecError::new(format!(
+                        "flow {flow}: a phase schedule needs a requester to act on"
+                    ))));
+                }
+                // taqos-lint: allow(panic-index) -- windows(2) yields exactly-two-element slices
+                if !schedule.changes.windows(2).all(|w| w[0].at < w[1].at) {
+                    return Err(SimError::Spec(SpecError::new(format!(
+                        "flow {flow}: phase changes must be strictly increasing in cycle"
+                    ))));
+                }
             }
         }
         for (flow, requester) in self.requesters.iter().enumerate() {
@@ -657,22 +763,47 @@ pub(crate) struct RequesterState {
     pub(crate) in_flight: Vec<InFlightRequest>,
     /// Timed-out requests waiting out their backoff, in timeout order.
     pub(crate) deferred: VecDeque<DeferredRetry>,
+    /// Effective MLP window this cycle: starts at `spec.mlp` and moves with
+    /// the phase schedule. Gates fresh issues only — retries and reply
+    /// draining stay ungated, so in-flight work conserves across phases.
+    pub(crate) effective_mlp: usize,
+    /// Phase schedule of this flow (empty = static workload).
+    pub(crate) schedule: PhaseSchedule,
+    /// Index of the next unapplied entry of [`Self::schedule`].
+    pub(crate) next_phase: usize,
 }
 
 impl RequesterState {
-    pub(crate) fn new(spec: RequesterSpec) -> Self {
+    pub(crate) fn with_schedule(spec: RequesterSpec, schedule: PhaseSchedule) -> Self {
         RequesterState {
+            effective_mlp: spec.mlp,
             spec,
             outstanding: 0,
             issued: 0,
             in_flight: Vec::new(),
             deferred: VecDeque::new(),
+            schedule,
+            next_phase: 0,
         }
     }
 
     /// Whether the requester may issue another request this cycle.
     pub(crate) fn can_issue(&self) -> bool {
-        self.outstanding < self.spec.mlp && self.spec.total.is_none_or(|t| self.issued < t)
+        self.outstanding < self.effective_mlp && self.spec.total.is_none_or(|t| self.issued < t)
+    }
+
+    /// Applies every phase change due by `now` to the effective MLP window.
+    /// A cursor into the sorted schedule keeps the common static case a
+    /// single bounds check per cycle.
+    // taqos-lint: hot
+    pub(crate) fn advance_phases(&mut self, now: Cycle) {
+        while let Some(change) = self.schedule.changes.get(self.next_phase) {
+            if change.at > now {
+                break;
+            }
+            self.effective_mlp = change.mlp;
+            self.next_phase += 1;
+        }
     }
 
     /// Removes and returns the first deferred retry whose backoff has
@@ -932,7 +1063,13 @@ impl ClosedLoopState {
             requesters: spec
                 .requesters
                 .iter()
-                .map(|r| r.map(RequesterState::new))
+                .enumerate()
+                .map(|(flow, r)| {
+                    r.map(|r| {
+                        let schedule = spec.phases.schedules.get(flow).cloned().unwrap_or_default();
+                        RequesterState::with_schedule(r, schedule)
+                    })
+                })
                 .collect(),
             pending_replies: vec![VecDeque::new(); net.sources.len()],
             node_reply_source,
@@ -950,6 +1087,17 @@ impl ClosedLoopState {
         for mc in self.mc_states.iter_mut().flatten() {
             mc.vclock.fill(0);
         }
+    }
+
+    /// Reprograms the per-flow DRAM rate weights from new relative rates,
+    /// mirroring `RateAllocation::priority_weights` in `taqos-qos`. The
+    /// engine calls this only at frame rollover (together with the vclock
+    /// flush), so mid-frame virtual clocks never mix two rate programmes.
+    pub(crate) fn reprogram_weights(&mut self, rates: &[f64]) {
+        for (weight, &rate) in self.weights.iter_mut().zip(rates) {
+            *weight = ((rate * VCLOCK_SCALE as f64).round() as u64).max(1);
+        }
+        self.total_weight = self.weights.iter().sum::<u64>().max(1);
     }
 
     /// Picks the pending reply at `source` whose flow has the best (lowest)
@@ -1004,7 +1152,10 @@ mod tests {
 
     #[test]
     fn requester_state_window_and_budget_gate_issue() {
-        let mut state = RequesterState::new(RequesterSpec::paper(NodeId(0), 2).with_total(3));
+        let mut state = RequesterState::with_schedule(
+            RequesterSpec::paper(NodeId(0), 2).with_total(3),
+            PhaseSchedule::default(),
+        );
         assert!(state.can_issue());
         state.outstanding = 2;
         assert!(!state.can_issue(), "window full");

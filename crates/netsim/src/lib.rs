@@ -109,7 +109,8 @@ pub mod vc;
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::closed_loop::{
-        ClosedLoopSpec, DramBackpressure, DramConfig, RequesterSpec, RetryPolicy,
+        ClosedLoopSpec, DramBackpressure, DramConfig, PhaseChange, PhaseSchedule, PhasedWorkload,
+        RequesterSpec, RetryPolicy,
     };
     pub use crate::config::{SimConfig, TelemetryConfig};
     pub use crate::error::{NetsimError, SimError, SpecError};

@@ -233,6 +233,13 @@ pub struct Network {
     /// Active-fault count at the last trace emission, for fault
     /// onset/clearance transition events.
     traced_fault_active: u64,
+    /// Scheduled mid-run rate reprogrammings as `(cycle, rates)`, sorted by
+    /// cycle (stable: the last-scheduled of equal cycles wins). Each applies
+    /// at the first frame rollover at or after its cycle, never mid-frame —
+    /// see [`Self::schedule_reprogram`].
+    pending_reprograms: Vec<(Cycle, Vec<f64>)>,
+    /// Index of the next unapplied entry of [`Self::pending_reprograms`].
+    next_reprogram: usize,
 }
 
 impl Network {
@@ -384,6 +391,8 @@ impl Network {
             sampler,
             trace: TraceHook::Off,
             traced_fault_active: 0,
+            pending_reprograms: Vec::new(),
+            next_reprogram: 0,
         })
     }
 
@@ -449,6 +458,76 @@ impl Network {
         plan.validate_against(&self.spec)?;
         self.fault = Some(FaultState::new(plan, &self.spec));
         Ok(self)
+    }
+
+    /// Schedules a mid-run reprogramming of the per-flow rate programme (one
+    /// positive relative rate per flow, as a hypervisor would write into the
+    /// QOS flow tables). The new rates take effect at the **first frame
+    /// rollover at or after** cycle `at` — never mid-frame — so the change
+    /// coincides with the bandwidth-counter and virtual-clock flush and the
+    /// routers' priority-stability contract is preserved. Scheduling two
+    /// programmes for the same rollover applies them in call order (the
+    /// last one wins).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the policy has no frames (nothing to anchor the
+    /// change to), the rate count does not match the flow count, or any rate
+    /// is non-finite or not positive.
+    pub fn schedule_reprogram(&mut self, at: Cycle, rates: Vec<f64>) -> Result<(), SimError> {
+        if self.frame_len.is_none_or(|f| f == 0) {
+            return Err(SimError::Spec(crate::error::SpecError::new(
+                "rate reprogramming needs a frame-based policy to anchor the change to",
+            )));
+        }
+        if rates.len() != self.spec.num_flows() {
+            return Err(SimError::Spec(crate::error::SpecError::new(format!(
+                "{} rates supplied for {} flows",
+                rates.len(),
+                self.spec.num_flows()
+            ))));
+        }
+        if rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+            return Err(SimError::Spec(crate::error::SpecError::new(
+                "rates must be finite and positive",
+            )));
+        }
+        // taqos-lint: allow(panic-index) -- next_reprogram only advances past applied entries, so it never exceeds len
+        let idx = self.pending_reprograms[self.next_reprogram..]
+            .partition_point(|&(cycle, _)| cycle <= at)
+            + self.next_reprogram;
+        self.pending_reprograms.insert(idx, (at, rates));
+        Ok(())
+    }
+
+    /// Applies every scheduled rate reprogramming due by now to the policy,
+    /// each router's QOS state and the closed loop's DRAM weights. Called
+    /// only from a frame rollover, which immediately flushes the bandwidth
+    /// counters and bumps every router's priority epoch — so the new
+    /// programme starts from a clean frame in both engines.
+    fn apply_due_reprograms(&mut self) {
+        let Network {
+            pending_reprograms,
+            next_reprogram,
+            policy,
+            qos,
+            closed_loop,
+            now,
+            ..
+        } = self;
+        while let Some((at, rates)) = pending_reprograms.get(*next_reprogram) {
+            if *at > *now {
+                break;
+            }
+            policy.reprogram_rates(rates);
+            for q in qos.iter_mut() {
+                q.reprogram_rates(rates);
+            }
+            if let Some(cl) = closed_loop {
+                cl.reprogram_weights(rates);
+            }
+            *next_reprogram += 1;
+        }
     }
 
     /// Installs a flit-level trace sink: injections, grants, preemptions,
@@ -657,6 +736,11 @@ impl Network {
     fn phase_frame_rollover(&mut self) {
         if let Some(frame) = self.frame_len {
             if frame > 0 && self.now.is_multiple_of(frame) {
+                // Rate reprogrammings land exactly here, before the flush,
+                // so a new programme always starts from a clean frame.
+                if self.next_reprogram < self.pending_reprograms.len() {
+                    self.apply_due_reprograms();
+                }
                 for qos in &mut self.qos {
                     qos.on_frame_rollover();
                 }
@@ -1496,6 +1580,9 @@ impl Network {
             }) {
                 Some((dram_enabled, retry, Some(requester))) => {
                     let flow = source.flow;
+                    // Dynamic traffic: apply any phase change due this cycle
+                    // to the effective MLP window before the issue decision.
+                    requester.advance_phases(now);
                     // Deadline scan: every in-flight request whose reply has
                     // not arrived within the policy deadline either moves to
                     // the backoff lane for a retry or — once its attempt

@@ -71,6 +71,15 @@ pub trait RouterQos: Send {
             .collect();
         self.select_victim(contender, &plain)
     }
+
+    /// Replaces the policy's per-flow relative service rates (one positive
+    /// value per flow) with a new programme. The engine calls this **only at
+    /// a frame rollover**, immediately before [`Self::on_frame_rollover`], so
+    /// the priority stability contract is preserved: priorities move at a
+    /// rollover either way. Stateless policies ignore it.
+    fn reprogram_rates(&mut self, rates: &[f64]) {
+        let _ = rates;
+    }
 }
 
 /// A quality-of-service policy, i.e. a factory for per-router QOS state plus
@@ -108,6 +117,14 @@ pub trait QosPolicy: Send {
     /// reference in slowdown measurements.
     fn unlimited_buffering(&self) -> bool {
         false
+    }
+
+    /// Replaces the network-wide per-flow rate programme (one positive value
+    /// per flow), so subsequent [`Self::reserved_quota`] answers reflect the
+    /// new rates. Applied by the engine only at frame rollovers; policies
+    /// without rates ignore it.
+    fn reprogram_rates(&mut self, rates: &[f64]) {
+        let _ = rates;
     }
 }
 

@@ -51,7 +51,7 @@ pub mod prelude {
     };
     pub use crate::per_flow::{PerFlowConfig, PerFlowQueuedPolicy};
     pub use crate::pvc::{PvcConfig, PvcPolicy, PvcRouterQos};
-    pub use crate::rates::RateAllocation;
+    pub use crate::rates::{RateAllocation, RateError};
     pub use crate::scoped::ScopedQosPolicy;
     pub use taqos_netsim::qos::{FifoPolicy, QosPolicy, RouterQos};
 }

@@ -129,6 +129,12 @@ impl QosPolicy for PvcPolicy {
                 .reserved_quota(flow, self.config.frame_len, self.config.reserved_fraction),
         )
     }
+
+    fn reprogram_rates(&mut self, rates: &[f64]) {
+        // The engine validated the rates when they were scheduled (finite,
+        // positive, one per flow), so the asserting constructor cannot fire.
+        self.rates = RateAllocation::from_rates(rates.to_vec());
+    }
 }
 
 /// Per-router PVC state: one bandwidth counter per flow.
@@ -170,6 +176,12 @@ impl RouterQos for PvcRouterQos {
         for counter in &mut self.consumed_flits {
             *counter = 0;
         }
+    }
+
+    fn reprogram_rates(&mut self, rates: &[f64]) {
+        // Only ever called at a frame rollover (immediately before the
+        // counter flush), so priorities never move mid-frame.
+        self.rates = RateAllocation::from_rates(rates.to_vec());
     }
 
     fn select_victim(

@@ -85,6 +85,10 @@ impl<P: QosPolicy> QosPolicy for ScopedQosPolicy<P> {
     fn unlimited_buffering(&self) -> bool {
         self.inner.unlimited_buffering()
     }
+
+    fn reprogram_rates(&mut self, rates: &[f64]) {
+        self.inner.reprogram_rates(rates);
+    }
 }
 
 #[cfg(test)]

@@ -73,6 +73,14 @@ pub struct ChipConfig {
     pub mesh_va_latency: u32,
     /// Crossbar traversal latency of every router.
     pub xt_latency: u32,
+    /// Route inter-domain traffic (different row, non-column destination)
+    /// through the nearest shared column instead of plain XY, so VM-to-VM
+    /// transfers never turn inside an unprotected third-party router: one
+    /// MECS express hop to the column, the QOS-protected column to the
+    /// destination's row, then the mesh out along that row. This is the
+    /// fabric image of `TopologyAwareChip::inter_domain_route` in
+    /// `taqos-core`. Off by default: same-chip traffic then routes plain XY.
+    pub inter_domain_via_column: bool,
 }
 
 impl Default for ChipConfig {
@@ -92,6 +100,7 @@ impl Default for ChipConfig {
             column_va_latency: 2,
             mesh_va_latency: 1,
             xt_latency: 1,
+            inter_domain_via_column: false,
         }
     }
 }
@@ -118,6 +127,14 @@ impl ChipConfig {
     /// fabric is simulated without QOS for interference comparisons).
     pub fn without_reservations(mut self) -> Self {
         self.column_reserved_vcs = 0;
+        self
+    }
+
+    /// Enables shared-column transit for inter-domain traffic (see
+    /// [`Self::inter_domain_via_column`]).
+    #[must_use]
+    pub fn with_inter_domain_via_column(mut self) -> Self {
+        self.inter_domain_via_column = true;
         self
     }
 
@@ -161,6 +178,18 @@ impl ChipConfig {
     /// for `dst` takes next, or `None` if it ejects here.
     fn xy_direction(&self, x: usize, y: usize, dst: NodeId) -> Option<Direction> {
         crate::mesh2d::grid_geometry::xy_direction(self.width, x, y, dst)
+    }
+
+    /// The shared column nearest to `x` (by row distance, the westernmost
+    /// among equidistant ones) — the same tie-break as
+    /// `TopologyAwareChip::nearest_shared_column` in `taqos-core`, so the
+    /// fabric's inter-domain transit column and the chip model's agree.
+    fn nearest_shared_column(&self, x: usize) -> u16 {
+        *self
+            .shared_columns
+            .iter()
+            .min_by_key(|&&c| usize::from(c).abs_diff(x))
+            .expect("build() guarantees at least one shared column")
     }
 
     /// Shared columns strictly east (`East`) or west (`West`) of `x`, in
@@ -336,6 +365,7 @@ impl<'a> ChipBuilder<'a> {
             // Express outputs of non-column nodes: one multidrop channel per
             // row direction that has shared columns, dropping off at each.
             let mut express_out: BTreeMap<Direction, OutPortId> = BTreeMap::new();
+            let nearest_column = cfg.nearest_shared_column(x);
             if !qos {
                 for dir in [Direction::East, Direction::West] {
                     let columns = cfg.shared_columns_towards(x, dir);
@@ -348,9 +378,19 @@ impl<'a> ChipBuilder<'a> {
                             let drop_node = cfg.node_at(usize::from(c), y).index();
                             let in_port =
                                 self.input_index[drop_node][&PortKey::Express { from_x: x }];
-                            let covers = (0..cfg.height)
+                            let mut covers: Vec<NodeId> = (0..cfg.height)
                                 .map(|dy| cfg.node_at(usize::from(c), dy))
                                 .collect();
+                            // Inter-domain transit rides this channel to the
+                            // *nearest* column: its drop must also cover the
+                            // unprotected destinations such packets carry.
+                            if cfg.inter_domain_via_column && c == nearest_column {
+                                covers.extend(
+                                    (0..cfg.num_nodes())
+                                        .map(|n| NodeId(n as u16))
+                                        .filter(|&n| !cfg.is_qos_node(n)),
+                                );
+                            }
                             TargetSpec::covering(
                                 TargetEndpoint::Router {
                                     router: drop_node,
@@ -379,6 +419,20 @@ impl<'a> ChipBuilder<'a> {
                     // Topology-aware: destinations inside a shared column are
                     // one MECS express hop away along this node's own row.
                     let dir = if dx > x {
+                        Direction::East
+                    } else {
+                        Direction::West
+                    };
+                    express_out[&dir]
+                } else if !qos && cfg.inter_domain_via_column && dy != y {
+                    // Inter-domain transit: a different-row unprotected
+                    // destination is reached through the nearest shared
+                    // column (express hop in; the column's reply rule turns
+                    // at the destination's row and exits over the mesh).
+                    // Same-row destinations keep plain XY — they need no
+                    // turn, and diverting them through the column would
+                    // bounce them between the column and the row.
+                    let dir = if usize::from(nearest_column) > x {
                         Direction::East
                     } else {
                         Direction::West
@@ -656,6 +710,37 @@ mod tests {
         // Self destination ejects.
         let eject = router.route_table[&config.node_at(1, 1)][0];
         assert_eq!(router.outputs[eject.0].name, "eject");
+    }
+
+    #[test]
+    fn inter_domain_flag_routes_cross_row_traffic_via_the_nearest_column() {
+        let config = ChipConfig::paper_8x8().with_inter_domain_via_column();
+        let chip = config.build();
+        let router = &chip.spec.routers[config.node_at(1, 1).index()];
+        // A different-row unprotected destination now transits the shared
+        // column: one express hop east toward x = 4.
+        let out = router.route_table[&config.node_at(2, 5)][0];
+        assert_eq!(router.outputs[out.0].name, "mecs_E");
+        // Same-row destinations keep plain XY (no turn needed, and a column
+        // detour would bounce between the column and the row).
+        let out = router.route_table[&config.node_at(6, 1)][0];
+        assert_eq!(router.outputs[out.0].name, "out_E");
+        let out = router.route_table[&config.node_at(0, 1)][0];
+        assert_eq!(router.outputs[out.0].name, "out_W");
+        // Self destination still ejects.
+        let eject = router.route_table[&config.node_at(1, 1)][0];
+        assert_eq!(router.outputs[eject.0].name, "eject");
+        // Multi-column grids stay valid: the nearest column's drop point
+        // covers the unprotected destinations riding the shared channel.
+        let multi = ChipConfig::with_size(8, 4, [2u16, 5].into_iter().collect())
+            .with_inter_domain_via_column();
+        let chip = multi.build();
+        let router = &chip.spec.routers[multi.node_at(0, 1).index()];
+        let out = router.route_table[&multi.node_at(3, 0)][0];
+        assert_eq!(router.outputs[out.0].name, "mecs_E");
+        let port = &router.outputs[out.0];
+        assert!(port.targets[0].covers.contains(&multi.node_at(3, 0)));
+        assert!(!port.targets[1].covers.contains(&multi.node_at(3, 0)));
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use crate::generators::{DestinationPattern, SyntheticGenerator};
 use crate::injection::PacketSizeMix;
-use taqos_netsim::closed_loop::{ClosedLoopSpec, RequesterSpec};
+use taqos_netsim::closed_loop::{
+    ClosedLoopSpec, PhaseChange, PhaseSchedule, PhasedWorkload, RequesterSpec,
+};
 use taqos_netsim::packet::{IdleGenerator, PacketGenerator};
 use taqos_netsim::{FlowId, NodeId};
 use taqos_topology::column::ColumnConfig;
@@ -341,6 +343,89 @@ pub fn packet_budget(rate: f64, mix: PacketSizeMix, budget_cycles: u64) -> u64 {
         .max(1.0) as u64
 }
 
+/// Stateless seeded hash (splitmix64) used to derive deterministic per-flow
+/// phase offsets, so bursty flows are mutually de-synchronised without any
+/// runtime randomness.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A bursty on/off phase schedule for one flow: `burst_mlp`-deep bursts of
+/// `on_len` cycles every `period` cycles, off (window 0) in between, up to
+/// `horizon`. The burst offset within the period is a seeded per-flow hash,
+/// so a population of hogs built from one seed attacks out of phase. The
+/// flow starts *off* (unless its first burst begins at cycle 0) — give the
+/// requester spec any non-zero static window; the schedule overrides it from
+/// the first cycle.
+pub fn bursty_schedule(
+    flow: FlowId,
+    burst_mlp: usize,
+    period: u64,
+    on_len: u64,
+    horizon: u64,
+    seed: u64,
+) -> PhaseSchedule {
+    assert!(period > 0, "burst period must be non-zero");
+    assert!(
+        on_len > 0 && on_len < period,
+        "burst length must be non-zero and shorter than the period"
+    );
+    let offset = splitmix64(seed ^ ((flow.index() as u64) << 17)) % period;
+    let mut changes = Vec::new();
+    if offset > 0 {
+        changes.push(PhaseChange { at: 0, mlp: 0 });
+    }
+    let mut start = offset;
+    while start < horizon {
+        changes.push(PhaseChange {
+            at: start,
+            mlp: burst_mlp,
+        });
+        changes.push(PhaseChange {
+            at: start + on_len,
+            mlp: 0,
+        });
+        start += period;
+    }
+    PhaseSchedule::new(changes)
+}
+
+/// A phased workload of bursty on/off hogs: every flow in `hogs` gets a
+/// [`bursty_schedule`] with the shared period/length/seed (per-flow offsets
+/// de-synchronise them); all other flows stay static.
+pub fn bursty_hogs(
+    num_flows: usize,
+    hogs: &[FlowId],
+    burst_mlp: usize,
+    period: u64,
+    on_len: u64,
+    horizon: u64,
+    seed: u64,
+) -> PhasedWorkload {
+    hogs.iter().fold(PhasedWorkload::new(num_flows), |w, &f| {
+        w.with_schedule(
+            f,
+            bursty_schedule(f, burst_mlp, period, on_len, horizon, seed),
+        )
+    })
+}
+
+/// A trace-shaped phased workload from an explicit change list of
+/// `(flow, cycle, mlp)` triples (each flow's cycles strictly increasing, as
+/// a demand trace replay would produce them).
+pub fn trace_phases(num_flows: usize, changes: &[(FlowId, u64, usize)]) -> PhasedWorkload {
+    let mut workload = PhasedWorkload::new(num_flows);
+    for &(flow, at, mlp) in changes {
+        workload.schedules[flow.index()]
+            .changes
+            .push(PhaseChange { at, mlp });
+    }
+    workload
+}
+
 /// Demands (flits per cycle) offered by each flow of a generator set built by
 /// [`workload1`]; used to compute the max-min fair reference allocation.
 pub fn workload1_demands(config: &ColumnConfig, rates: &[f64]) -> Vec<f64> {
@@ -379,6 +464,43 @@ mod tests {
             .iter_mut()
             .map(|g| (0..cycles).filter(|&now| g.generate(now).is_some()).count() as u64)
             .collect()
+    }
+
+    #[test]
+    fn bursty_schedules_are_deterministic_offset_and_strictly_increasing() {
+        let a = bursty_schedule(FlowId(3), 8, 1_000, 250, 10_000, 42);
+        let b = bursty_schedule(FlowId(3), 8, 1_000, 250, 10_000, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(!a.is_empty());
+        assert!(a.changes.windows(2).all(|w| w[0].at < w[1].at));
+        // On/off changes alternate between the burst window and zero.
+        assert!(a.changes.iter().all(|c| c.mlp == 0 || c.mlp == 8));
+        assert!(a.changes.iter().any(|c| c.mlp == 8));
+        // A different flow of the same seed bursts at a different offset.
+        let other = bursty_schedule(FlowId(4), 8, 1_000, 250, 10_000, 42);
+        assert_ne!(
+            a.changes.iter().find(|c| c.mlp == 8).map(|c| c.at),
+            other.changes.iter().find(|c| c.mlp == 8).map(|c| c.at),
+        );
+    }
+
+    #[test]
+    fn bursty_hogs_and_trace_phases_touch_only_named_flows() {
+        let hogs = bursty_hogs(8, &[FlowId(1), FlowId(5)], 4, 500, 100, 5_000, 7);
+        assert_eq!(hogs.schedules.len(), 8);
+        assert!(!hogs.schedules[1].is_empty());
+        assert!(!hogs.schedules[5].is_empty());
+        assert!(hogs.schedules[0].is_empty());
+        assert!(!hogs.is_static());
+        let trace = trace_phases(4, &[(FlowId(2), 100, 0), (FlowId(2), 900, 6)]);
+        assert_eq!(
+            trace.schedules[2].changes,
+            vec![
+                PhaseChange { at: 100, mlp: 0 },
+                PhaseChange { at: 900, mlp: 6 }
+            ]
+        );
+        assert!(trace.schedules[0].is_empty());
     }
 
     #[test]

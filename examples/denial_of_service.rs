@@ -1,27 +1,22 @@
-//! Denial-of-service resilience: a tenant adjacent to the memory controller
-//! floods it and starves distant tenants — unless the shared region enforces
-//! QOS.
+//! Adversarial battery: one named denial-of-service attack per arbitration
+//! point of the memory path, and the p99 bound PVC holds each one to.
 //!
-//! The attacker VM occupies the three nodes closest to the memory controller
-//! (nodes 1–3 of the column) and drives every one of its 24 injectors at 30%
-//! of link bandwidth. The victim tenants own the distant nodes 4–7 and only
-//! ask for a modest 3% each from their terminals. The same scenario is run
-//! twice — without QOS support and with Preemptive Virtual Clock — comparing
-//! the bandwidth and latency each side obtains.
+//! The original version of this example staged a single attack — a tenant
+//! adjacent to the memory controller flooding it. That scenario has grown
+//! into [`taqos::core::experiment::adversarial`]: a battery with one named
+//! attack per arbitration point of the memory path (fabric VA/SA where row
+//! traffic merges into the column, the column's PVC arbitration itself,
+//! admission into the controller's bounded request queue, and FR-FCFS bank
+//! scheduling inside the controller). Each attack drives its point to
+//! saturation from a hostile tenant while a modest victim shares it; the
+//! experiment measures the victim's 99th-percentile latency with the point
+//! unprotected and under PVC — the PVC number *is* the isolation bound.
 //!
-//! Without QOS, locally fair round-robin arbitration compounds hop by hop
-//! (the parking-lot effect): the attacker's traffic, merging close to the
-//! memory controller, crowds out the victims' packets that must traverse the
-//! attacker's routers. PVC restores each flow's fair share and the victims'
-//! small demands are served in full.
-//!
-//! The second act arms the adversary with **injected faults** on the
-//! victims' path: a transient outage of router 2 (the column hop every
-//! victim packet must cross) plus 2% flit corruption across the region —
-//! the hog keeps flooding while the fabric itself is failing. Dropped
-//! packets are NACKed back to their sources and retransmitted, and the run
-//! prints the measured isolation bound: the share of their fault-free PVC
-//! bandwidth the victims keep on the failing fabric.
+//! Two heterogeneity experiments complete the picture: VMs with different
+//! service weights must receive memory service proportional to their
+//! programmed rates, and a VM live-migrated away from a hog mid-run must
+//! keep its bound *through* the transition (rates reprogrammed and MLP
+//! windows phased over at the same instant, in-flight requests drained).
 //!
 //! Run with:
 //!
@@ -29,267 +24,91 @@
 //! cargo run --release --example denial_of_service
 //! ```
 
-use taqos::netsim::fault::{FaultEvent, FaultKind, FaultPlan};
-use taqos::prelude::*;
-use taqos::traffic::generators::{DestinationPattern, SyntheticGenerator};
-
-const ATTACKER_NODES: [usize; 3] = [1, 2, 3];
-const VICTIM_NODES: [usize; 4] = [4, 5, 6, 7];
-const ATTACKER_RATE: f64 = 0.30;
-const VICTIM_RATE: f64 = 0.03;
-
-/// Builds the attack scenario's per-injector traffic.
-fn attack_generators(column: &ColumnConfig, seed: u64) -> GeneratorSet {
-    let mut generators: GeneratorSet = Vec::with_capacity(column.num_flows());
-    for node in 0..column.nodes {
-        for injector in 0..column.injectors_per_node() {
-            let rate = if ATTACKER_NODES.contains(&node) {
-                ATTACKER_RATE
-            } else if VICTIM_NODES.contains(&node) && injector == 0 {
-                VICTIM_RATE
-            } else {
-                0.0
-            };
-            if rate > 0.0 {
-                generators.push(Box::new(SyntheticGenerator::open_loop(
-                    rate,
-                    PacketSizeMix::paper(),
-                    DestinationPattern::Fixed(NodeId(0)),
-                    seed + (node * 8 + injector) as u64,
-                )));
-            } else {
-                generators.push(Box::new(IdleGenerator));
-            }
-        }
-    }
-    generators
-}
-
-/// The combined adversary's fault plan: router 2 — the hop every victim
-/// packet must cross on its way to the controller — goes dark for 3 000
-/// cycles of the measurement window, and 2% of head flits are corrupted
-/// (dropped and NACKed for retransmission) throughout the run.
-fn adversary_faults() -> FaultPlan {
-    FaultPlan::new(0xD05)
-        .with_event(FaultEvent::transient(
-            10_000,
-            13_000,
-            FaultKind::RouterDown { router: 2 },
-        ))
-        .with_event(FaultEvent::permanent(
-            0,
-            FaultKind::CorruptFlits {
-                probability_ppm: 20_000,
-            },
-        ))
-}
-
-fn run(policy: Box<dyn QosPolicy>, column: &ColumnConfig, faults: Option<FaultPlan>) -> NetStats {
-    // Latency histograms on: the victims' tail (p99) is the interesting
-    // number under an attack — means hide exactly the packets the hog hurts.
-    let mut sim = SharedRegionSim::new(ColumnTopology::MeshX1)
-        .with_column(*column)
-        .with_sim_config(
-            SimConfig::default().with_telemetry(TelemetryConfig::off().with_histograms(true)),
-        );
-    if let Some(plan) = faults {
-        sim = sim.with_fault_plan(plan);
-    }
-    sim.run_open(
-        policy,
-        attack_generators(column, 99),
-        OpenLoopConfig {
-            warmup: 5_000,
-            measure: 30_000,
-            drain: 5_000,
-        },
-    )
-    .expect("scenario runs")
-}
-
-/// Mean flits delivered per victim terminal and per attacker injector.
-fn summarise(column: &ColumnConfig, stats: &NetStats) -> (f64, f64, f64) {
-    let per_flow = stats.measured_flits_per_flow();
-    let victims: Vec<u64> = VICTIM_NODES
-        .iter()
-        .map(|&node| per_flow[column.flow_of(node, 0).index()])
-        .collect();
-    let attackers: Vec<u64> = ATTACKER_NODES
-        .iter()
-        .flat_map(|&node| (0..column.injectors_per_node()).map(move |inj| (node, inj)))
-        .map(|(node, inj)| per_flow[column.flow_of(node, inj).index()])
-        .collect();
-    let victim_mean = victims.iter().sum::<u64>() as f64 / victims.len() as f64;
-    let victim_min = *victims.iter().min().expect("victims exist") as f64;
-    let attacker_mean = attackers.iter().sum::<u64>() as f64 / attackers.len() as f64;
-    (victim_mean, victim_min, attacker_mean)
-}
-
-/// 99th-percentile packet latency across the victims' terminals (exact
-/// upper bound from the merged per-flow histograms), in cycles.
-fn victim_p99(column: &ColumnConfig, stats: &NetStats) -> u64 {
-    let mut hist = Hist64::default();
-    for &node in &VICTIM_NODES {
-        hist.merge(&stats.flows[column.flow_of(node, 0).index()].latency_hist);
-    }
-    hist.p99().unwrap_or(0)
-}
+use taqos::core::experiment::adversarial::{
+    attack_battery, migration_experiment, weighted_vm_experiment, AttackConfig, MigrationConfig,
+    WeightedVmConfig,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let column = ColumnConfig::paper();
-    let window = 30_000.0;
+    let config = AttackConfig::default();
     println!(
-        "attacker VM on nodes 1-3: 24 injectors x {:.0}% towards the memory",
-        ATTACKER_RATE * 100.0
-    );
-    println!(
-        "controller at node 0; victim tenants on nodes 4-7 request {:.0}% each.",
-        VICTIM_RATE * 100.0
+        "adversarial battery on the {}x{} chip ({} shared column(s)), {}-cycle window",
+        config.width, config.height, config.columns, config.measure
     );
     println!();
-
-    let no_qos = run(Box::new(FifoPolicy::new()), &column, None);
-    let (victim_no, victim_min_no, attacker_no) = summarise(&column, &no_qos);
-
-    let pvc = run(
-        Box::new(taqos::qos::pvc::PvcPolicy::equal_rates(column.num_flows())),
-        &column,
-        None,
-    );
-    let (victim_pvc, victim_min_pvc, attacker_pvc) = summarise(&column, &pvc);
-
-    println!("{:<36} {:>14} {:>14}", "", "no QOS", "PVC");
     println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "victim mean throughput (flits/cycle)",
-        victim_no / window,
-        victim_pvc / window
+        "{:<20} {:<22} {:>16} {:>12} {:>14}",
+        "attack", "arbitration point", "victim p99 no-QOS", "PVC bound", "victim service"
     );
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "victim worst-case (flits/cycle)",
-        victim_min_no / window,
-        victim_min_pvc / window
-    );
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "attacker per-injector (flits/cycle)",
-        attacker_no / window,
-        attacker_pvc / window
-    );
-    println!(
-        "{:<36} {:>14.1} {:>14.1}",
-        "average packet latency (cycles)",
-        no_qos.avg_latency(),
-        pvc.avg_latency()
-    );
-    println!(
-        "{:<36} {:>14} {:>14}",
-        "victim p99 latency (cycles)",
-        victim_p99(&column, &no_qos),
-        victim_p99(&column, &pvc)
-    );
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "preempted packet fraction",
-        no_qos.preempted_packet_fraction(),
-        pvc.preempted_packet_fraction()
-    );
+    let reports = attack_battery(&config);
+    for report in &reports {
+        println!(
+            "{:<20} {:<22} {:>16} {:>12} {:>7} -> {:<5}",
+            report.attack,
+            report.point.label(),
+            report.victim_p99_unprotected,
+            report.bound(),
+            report.victim_service_unprotected,
+            report.victim_service_pvc,
+        );
+    }
+    println!();
+    for report in &reports {
+        assert!(
+            report.holds(),
+            "{}: PVC bound {} exceeds unprotected p99 {}",
+            report.attack,
+            report.bound(),
+            report.victim_p99_unprotected
+        );
+    }
+    println!("every attack is held to its measured p99 bound by PVC.");
     println!();
 
-    let requested = VICTIM_RATE;
+    // Heterogeneous tenants: service must track the programmed weights.
+    let weighted = weighted_vm_experiment(&WeightedVmConfig::default());
+    println!("--- weighted VMs (hypervisor-programmed rates) ---");
+    for (i, ((&w, &rt), (delivered, programmed))) in weighted
+        .vm_weights
+        .iter()
+        .zip(&weighted.round_trips_per_vm)
+        .zip(
+            weighted
+                .delivered_shares
+                .iter()
+                .zip(&weighted.programmed_shares),
+        )
+        .enumerate()
+    {
+        println!(
+            "vm{i} weight {w}: {rt} round trips, {:.1}% of service (programmed {:.1}%)",
+            100.0 * delivered,
+            100.0 * programmed
+        );
+    }
     println!(
-        "victims requested {requested:.3} flits/cycle each; without QOS they receive {:.3},",
-        victim_no / window
+        "worst share error {:.1}% — memory service tracks the programmed weights.",
+        100.0 * weighted.worst_share_error
     );
-    println!(
-        "with PVC they receive {:.3} — the QOS-protected shared region isolates them from",
-        victim_pvc / window
-    );
-    println!("the attacker, which is throttled towards its fair share of the memory port.");
-
-    assert!(
-        victim_pvc >= victim_no,
-        "victims must not lose bandwidth when QOS is enabled"
-    );
-
-    // Act two: the same hog, now with the fabric failing under it.
-    println!();
-    println!("--- combined adversary: hog + injected faults on the victims' path ---");
-    println!("router 2 dark for cycles 10000-13000, 2% flit corruption throughout.");
-    println!();
-
-    let no_qos_f = run(
-        Box::new(FifoPolicy::new()),
-        &column,
-        Some(adversary_faults()),
-    );
-    let (victim_no_f, victim_min_no_f, attacker_no_f) = summarise(&column, &no_qos_f);
-    let pvc_f = run(
-        Box::new(taqos::qos::pvc::PvcPolicy::equal_rates(column.num_flows())),
-        &column,
-        Some(adversary_faults()),
-    );
-    let (victim_pvc_f, victim_min_pvc_f, attacker_pvc_f) = summarise(&column, &pvc_f);
-
-    println!("{:<36} {:>14} {:>14}", "", "no QOS", "PVC");
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "victim mean throughput (flits/cycle)",
-        victim_no_f / window,
-        victim_pvc_f / window
-    );
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "victim worst-case (flits/cycle)",
-        victim_min_no_f / window,
-        victim_min_pvc_f / window
-    );
-    println!(
-        "{:<36} {:>14.3} {:>14.3}",
-        "attacker per-injector (flits/cycle)",
-        attacker_no_f / window,
-        attacker_pvc_f / window
-    );
-    println!(
-        "{:<36} {:>14} {:>14}",
-        "victim p99 latency (cycles)",
-        victim_p99(&column, &no_qos_f),
-        victim_p99(&column, &pvc_f)
-    );
-    println!(
-        "{:<36} {:>14} {:>14}",
-        "fault drops (router/corruption)",
-        no_qos_f.fault.total_drops(),
-        pvc_f.fault.total_drops()
-    );
+    assert!(weighted.worst_share_error < 0.35);
     println!();
 
-    let isolation_bound = victim_pvc_f / victim_pvc;
+    // Live migration under attack: the bound holds through the transition.
+    let migration = migration_experiment(&MigrationConfig::default());
+    println!("--- live migration away from a hog, mid-run ---");
     println!(
-        "measured isolation bound: on the failing fabric the PVC-protected victims keep \
-         {:.1}% of their fault-free bandwidth ({:.3} of {:.3} flits/cycle); without QOS \
-         they get {:.3}.",
-        100.0 * isolation_bound,
-        victim_pvc_f / window,
-        victim_pvc / window,
-        victim_no_f / window,
+        "old site completed {} round trips and drained to {} in flight; \
+         new site completed {} round trips.",
+        migration.old_site_round_trips,
+        migration.old_site_in_flight,
+        migration.new_site_round_trips
     );
-
-    let p99_clean = victim_p99(&column, &pvc);
-    let p99_faulted = victim_p99(&column, &pvc_f);
     println!(
-        "victim p99 bound through the attack: PVC holds the victims' 99th-percentile \
-         latency at {p99_clean} cycles under the clean hog and {p99_faulted} cycles with \
-         the fabric failing (no QOS: {} / {} cycles).",
-        victim_p99(&column, &no_qos),
-        victim_p99(&column, &no_qos_f),
+        "victim p99 through the transition: {} cycles; conservation held: {}.",
+        migration.victim_p99, migration.conserved
     );
-
-    assert!(pvc_f.fault.total_drops() > 0, "the fault plan must bite");
-    assert!(
-        victim_pvc_f >= victim_no_f,
-        "victims must not lose bandwidth to QOS on a failing fabric"
-    );
+    assert!(migration.conserved, "request conservation must hold");
+    assert_eq!(migration.old_site_in_flight, 0, "old site must drain");
+    assert!(migration.old_site_round_trips > 0 && migration.new_site_round_trips > 0);
     Ok(())
 }
