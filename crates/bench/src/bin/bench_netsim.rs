@@ -389,18 +389,31 @@ fn run_engine(
     // Median-of-N sampling: single-shot wall times vary by +-20% run-to-run
     // on a shared machine; the median is the stable figure (the min is also
     // recorded as the optimistic bound). Every repeat simulates the
-    // identical run (same seed), so the statistics of the last repeat stand
-    // for all of them.
+    // identical run (same seed), so one repeat's statistics stand for all of
+    // them — a claim the loop *verifies* instead of assuming: a repeat whose
+    // statistics diverge from the first means the simulator is
+    // nondeterministic (or shares state across runs), and every figure in
+    // the report would be suspect.
     let mut walls = Vec::with_capacity(repeat.max(1) as usize);
-    let mut stats = None;
-    for _ in 0..repeat.max(1) {
+    let mut stats: Option<NetStats> = None;
+    for repeat_idx in 0..repeat.max(1) {
         // Timed runs always measure the production configuration: telemetry
         // off, hot loop allocation- and branch-free.
         let mut network = case.build(engine, rate, TelemetryConfig::off(), cycles);
         let start = Instant::now();
         network.run_for(cycles);
         walls.push(start.elapsed().as_secs_f64());
-        stats = Some(network.into_stats());
+        let run_stats = network.into_stats();
+        match &stats {
+            None => stats = Some(run_stats),
+            Some(first) => assert_eq!(
+                first,
+                &run_stats,
+                "{} ({engine:?}) repeat {repeat_idx} diverged from repeat 0: \
+                 identical seeds must produce identical statistics",
+                case.name()
+            ),
+        }
     }
     walls.sort_by(f64::total_cmp);
     let median = if walls.len() % 2 == 1 {
@@ -577,6 +590,28 @@ fn main() {
                 result.optimized.stats.delivered_packets > 0,
                 "{} delivered no packets — the workload is wired wrong",
                 result.case.name()
+            );
+        }
+        // Row-locality oracle for the DRAM-backed cases: each requester
+        // streams its private region in row-major line order, so the open
+        // rows must see substantial reuse. A near-zero hit rate means the
+        // address mapping is scattering the stream again (the regression
+        // this guard was added for reported 0 hits in 266k services while
+        // the baseline claimed double-digit rates).
+        if result.case.dram_config().is_some() {
+            let ds = &result.optimized.stats.dram;
+            assert!(
+                ds.serviced_requests > 0,
+                "{} serviced no DRAM requests — the workload is wired wrong",
+                result.case.name()
+            );
+            let hit_rate = ds.row_hits as f64 / ds.serviced_requests as f64;
+            assert!(
+                hit_rate >= 0.05,
+                "{} DRAM row-hit rate {:.1}% is degenerate (< 5%): \
+                 row locality is broken in the address mapping or scheduler",
+                result.case.name(),
+                100.0 * hit_rate
             );
         }
     }

@@ -275,10 +275,15 @@ pub fn queue_storm(config: &AttackConfig) -> AttackReport {
     let mc = Coord::new(base.coord(base.memory_controller_for(victim)).x, row);
     let plan = incast_plan(&base, mc, 6, victim, 1);
     // A shallow queue in front of slow banks keeps admission — not bank
-    // throughput or the fabric — the binding constraint.
+    // throughput or the fabric — the binding constraint. Single-line rows
+    // (a fully line-interleaved map) spread every window across all banks
+    // with no locality to harvest; under the row-major default map the
+    // mob's windows stream row-locally and the queue drains too fast at the
+    // hit latency to storm.
     let dram = DramConfig::paper()
         .with_queue_depth(3)
         .with_latencies(30, 90)
+        .with_lines_per_row(1)
         .with_backpressure(DramBackpressure::Nack);
     let unprotected_sim = base
         .clone()
@@ -430,7 +435,16 @@ pub fn weighted_vm_experiment(config: &WeightedVmConfig) -> WeightedVmResult {
         .collect();
     let rates = hv.program_node_rates();
     let sim = ChipSim::new(hv.chip().clone());
-    let dram = sim.topology_dram(DramConfig::paper().with_scheduler(DramScheduler::FrFcfs));
+    // Single-line rows (a fully line-interleaved map) deny the windows any
+    // row locality, keeping the shared controller — not the fabric — the
+    // binding constraint the programmed weights are enforced at; under the
+    // row-major default map the streams hit their open rows and the
+    // controller drains faster than the incast can fill it.
+    let dram = sim.topology_dram(
+        DramConfig::paper()
+            .with_scheduler(DramScheduler::FrFcfs)
+            .with_lines_per_row(1),
+    );
     let sim = sim.with_dram(dram);
     let mc = Coord::new(
         sim.coord(sim.memory_controller_for(Coord::new(0, 0))).x,

@@ -243,14 +243,21 @@ impl DramConfig {
         self
     }
 
-    /// Bank a cache line maps to (line-address interleaving).
+    /// Bank a cache line maps to (row-major interleaving: a run of
+    /// `lines_per_row` consecutive lines shares one bank and one row, then
+    /// the next run moves to the next bank). Fine-grained `line % banks`
+    /// interleaving is a trap for this workload shape: it spreads an MLP-4
+    /// window across four different banks, so a flow revisits a bank only
+    /// every `banks` requests — never within its outstanding window — and
+    /// the other flows sharing the controller thrash the open row in
+    /// between, making row hits structurally impossible.
     pub fn bank_of(&self, line: u64) -> usize {
-        (line % self.banks as u64) as usize
+        ((line / self.lines_per_row) % self.banks as u64) as usize
     }
 
     /// Row (within its bank) a cache line maps to.
     pub fn row_of(&self, line: u64) -> u64 {
-        line / self.banks as u64 / self.lines_per_row
+        line / self.lines_per_row / self.banks as u64
     }
 
     /// Service latency of a request against the bank's currently open row,
@@ -336,13 +343,15 @@ impl DramConfig {
 /// Region stride between the private line-address streams of two requester
 /// flows. Large enough that no two flows ever share a row, so row-buffer
 /// interference between flows is purely a bank-conflict effect; the extra
-/// `+1` staggers the starting bank of consecutive flows.
-pub const DRAM_REGION_LINES: u64 = (1 << 32) + 1;
+/// `+128` (one default row of lines) staggers the starting bank of
+/// consecutive flows under the row-major mapping of
+/// [`DramConfig::bank_of`].
+pub const DRAM_REGION_LINES: u64 = (1 << 32) + 128;
 
 /// Cache line read by the `issued`-th request of `flow`: each requester
-/// streams linearly through a private region, so consecutive requests
-/// interleave across the controller's banks and revisit a row
-/// [`DramConfig::lines_per_row`] times before opening the next one.
+/// streams linearly through a private region, so consecutive requests dwell
+/// on one `(bank, row)` pair for [`DramConfig::lines_per_row`] lines —
+/// row hits within the MLP window — before moving to the next bank.
 pub fn requester_line(flow: FlowId, issued: u64) -> u64 {
     flow.index() as u64 * DRAM_REGION_LINES + issued
 }
@@ -788,6 +797,7 @@ impl RequesterState {
     }
 
     /// Whether the requester may issue another request this cycle.
+    // taqos-lint: hot
     pub(crate) fn can_issue(&self) -> bool {
         self.outstanding < self.effective_mlp && self.spec.total.is_none_or(|t| self.issued < t)
     }
@@ -808,6 +818,7 @@ impl RequesterState {
 
     /// Removes and returns the first deferred retry whose backoff has
     /// elapsed by `now`.
+    // taqos-lint: hot
     pub(crate) fn pop_ready_retry(&mut self, now: Cycle) -> Option<DeferredRetry> {
         let idx = self.deferred.iter().position(|d| d.ready <= now)?;
         self.deferred.remove(idx)
@@ -924,6 +935,7 @@ impl McState {
     /// Charges `flow`'s virtual clock for `latency` cycles of bank time,
     /// scaled by its rate weight (the priority-aware schedulers call this
     /// at every service start).
+    // taqos-lint: hot
     pub(crate) fn charge(&mut self, flow: FlowId, latency: Cycle, weight: u64) {
         self.vclock[flow.index()] += latency * VCLOCK_SCALE / weight.max(1);
     }
@@ -934,6 +946,7 @@ impl McState {
     /// seniority is preserved — provided the arrival **strictly** outranks
     /// it. `None` when no queued request ranks strictly below the arrival
     /// (the arrival is then bounced as a plain overflow).
+    // taqos-lint: hot
     pub(crate) fn eviction_victim(&self, arrival_flow: FlowId) -> Option<usize> {
         let arrival_clock = self.vclock[arrival_flow.index()];
         let mut worst: Option<(usize, u64)> = None;
@@ -951,6 +964,7 @@ impl McState {
     /// any, else the best open-row hit, else the best remaining request —
     /// "best" ordering by (virtual clock, arrival cycle, queue position).
     /// `None` when no queued request maps to `bank`.
+    // taqos-lint: hot
     pub(crate) fn frfcfs_pick(
         &self,
         dram: &DramConfig,
@@ -1103,6 +1117,7 @@ impl ClosedLoopState {
     /// Picks the pending reply at `source` whose flow has the best (lowest)
     /// priority under `priority`, breaking ties by arrival order, and removes
     /// it from the pending set.
+    // taqos-lint: hot
     pub(crate) fn pop_best_reply(
         &mut self,
         source: usize,
@@ -1120,6 +1135,7 @@ impl ClosedLoopState {
     }
 
     /// Whether any reply is waiting at `source`.
+    // taqos-lint: hot
     pub(crate) fn has_pending_replies(&self, source: usize) -> bool {
         !self.pending_replies[source].is_empty()
     }
@@ -1177,16 +1193,17 @@ mod tests {
     #[test]
     fn dram_address_mapping_interleaves_banks_and_rows() {
         let dram = DramConfig::paper().with_banks(4).with_lines_per_row(2);
-        // Consecutive lines round-robin the banks.
+        // Row-major mapping: each run of `lines_per_row` consecutive lines
+        // shares a bank, and the runs round-robin the banks.
         for line in 0..16u64 {
-            assert_eq!(dram.bank_of(line), (line % 4) as usize);
+            assert_eq!(dram.bank_of(line), ((line / 2) % 4) as usize);
         }
-        // A bank sees a new row every `lines_per_row` visits: lines 0,4 are
-        // row 0 of bank 0; lines 8,12 are row 1.
+        // A bank opens a new row after every full sweep of the banks:
+        // lines 0,1 are row 0 of bank 0; lines 8,9 are row 1.
         assert_eq!(dram.row_of(0), 0);
-        assert_eq!(dram.row_of(4), 0);
+        assert_eq!(dram.row_of(1), 0);
         assert_eq!(dram.row_of(8), 1);
-        assert_eq!(dram.row_of(12), 1);
+        assert_eq!(dram.row_of(9), 1);
         // Hit/miss classification against the open row.
         assert_eq!(dram.service_latency(None, 0), dram.row_miss_latency);
         assert_eq!(dram.service_latency(Some(0), 0), dram.row_hit_latency);

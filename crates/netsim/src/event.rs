@@ -5,10 +5,12 @@
 //! delays, credit return latency, ACK network latency), so the default queue
 //! is a fixed-horizon **timing wheel**: scheduling and draining an event is a
 //! vector push/take on the slot for its due cycle, with no per-event
-//! comparisons. Events beyond the wheel horizon — rare long ACK delays on
-//! very tall networks — spill into a binary-heap overflow lane and are merged
-//! back in due/sequence order when they mature, so ordering is exactly that
-//! of a single heap keyed by `(due, seq)`: deterministic FIFO per cycle.
+//! comparisons. Events due at the very next drain — the dominant case — take
+//! a flat fast lane that reuses one contiguous buffer every cycle. Events
+//! beyond the wheel horizon — rare long ACK delays on very tall networks —
+//! spill into a binary-heap overflow lane and are merged back when they
+//! mature, so ordering is exactly that of a single heap keyed by
+//! `(due, seq)`: deterministic FIFO per cycle.
 //!
 //! Constructing the queue with a zero horizon ([`EventQueue::with_horizon`])
 //! degenerates to the original pure binary-heap implementation, which the
@@ -155,20 +157,37 @@ impl PartialOrd for TimedEvent {
 /// heap, which is correct but slower.
 const DEFAULT_HORIZON: usize = 256;
 
-/// Deterministic future-event queue: timing wheel plus heap overflow lane.
+/// Deterministic future-event queue: timing wheel plus heap overflow lane,
+/// with a flat fast lane for next-cycle events.
+///
+/// Wheel slots store bare events, not `(seq, event)` pairs: the sequence
+/// number is only needed where entries of *different* stores can collide on
+/// one due cycle, and the stores are totally ordered there by construction.
+/// An overflow entry due at cycle `c` was scheduled while
+/// `floor <= c - horizon`; a wheel entry due at `c` while
+/// `c - horizon < floor < c`; a lane entry while `floor == c`. The floor is
+/// monotone and the sequence counter increases with every call, so for any
+/// shared due cycle every overflow entry precedes every wheel entry, which
+/// precedes every lane entry — the drain below replays exactly the
+/// `(due, seq)` order of a single heap without storing `seq` outside the
+/// overflow heap.
 #[derive(Debug)]
 pub struct EventQueue {
     /// Wheel horizon (power of two), or 0 for the pure-heap reference queue.
     horizon: usize,
-    /// One slot per cycle in the window `[floor, floor + horizon)`; each slot
-    /// holds `(seq, event)` pairs in scheduling order. All entries of the
-    /// slot for cycle `c` are due exactly at `c`.
-    wheel: Vec<Vec<(u64, Event)>>,
+    /// One slot per cycle in the window `(floor, floor + horizon)`; each slot
+    /// holds events in scheduling order, all due exactly at that cycle.
+    wheel: Vec<Vec<Event>>,
+    /// Events due at exactly `floor`, i.e. at the very next drain — the
+    /// dominant case (unit wire delays, credit returns, probes). One reused
+    /// contiguous buffer that stays cache-hot instead of ring-walking a
+    /// different wheel slot every cycle.
+    lane: Vec<Event>,
     /// Events scheduled beyond the wheel horizon, ordered by `(due, seq)`.
     overflow: BinaryHeap<TimedEvent>,
-    /// Next scheduling sequence number (global FIFO tie-breaker).
+    /// Next scheduling sequence number (FIFO tie-breaker in the overflow).
     seq: u64,
-    /// Total events currently scheduled (wheel + overflow).
+    /// Total events currently scheduled (wheel + lane + overflow).
     pending: usize,
     /// Events currently in wheel slots (subset of `pending`).
     wheel_pending: usize,
@@ -203,6 +222,7 @@ impl EventQueue {
         EventQueue {
             horizon,
             wheel: (0..horizon).map(|_| Vec::new()).collect(),
+            lane: Vec::new(),
             overflow: BinaryHeap::new(),
             seq: 0,
             pending: 0,
@@ -229,8 +249,12 @@ impl EventQueue {
         self.seq += 1;
         self.pending += 1;
         let due = due.max(self.floor);
-        if self.horizon != 0 && due < self.floor + self.horizon as Cycle {
-            self.wheel[(due as usize) & (self.horizon - 1)].push((seq, event));
+        if self.horizon == 0 {
+            self.overflow.push(TimedEvent { due, seq, event });
+        } else if due == self.floor {
+            self.lane.push(event);
+        } else if due < self.floor + self.horizon as Cycle {
+            self.wheel[(due as usize) & (self.horizon - 1)].push(event);
             self.wheel_pending += 1;
         } else {
             self.overflow.push(TimedEvent { due, seq, event });
@@ -261,49 +285,53 @@ impl EventQueue {
             self.floor = now + 1;
             return;
         }
+        // Hot path: every pending event sits in the flat lane, due exactly at
+        // the current floor. Hand the whole buffer over without copying.
+        if self.wheel_pending == 0 && self.overflow.is_empty() {
+            self.pending -= self.lane.len();
+            if out.is_empty() {
+                std::mem::swap(out, &mut self.lane);
+            } else {
+                out.append(&mut self.lane);
+            }
+            self.floor = now + 1;
+            return;
+        }
         let mask = self.horizon - 1;
         // Wheel slots only cover cycles in `[floor, floor + horizon)`.
         let window_end = now.min(self.floor + self.horizon as Cycle - 1);
         let mut cycle = self.floor;
-        // Visit each undrained in-window cycle up to `now`, merging that
-        // cycle's wheel slot (entries in seq order, all due exactly at
-        // `cycle`) with any matured overflow events due the same cycle.
+        // Visit each undrained in-window cycle up to `now`. Per cycle the
+        // `(due, seq)` order is overflow entries, then the wheel slot, then
+        // (at the floor cycle) the flat lane — see the struct-level ordering
+        // argument.
         while cycle <= window_end {
-            if self.wheel_pending == 0 {
-                break;
+            while let Some(head) = self.overflow.peek() {
+                if head.due > cycle {
+                    break;
+                }
+                out.push(self.overflow.pop().expect("peeked event exists").event);
+                self.pending -= 1;
             }
             let slot_idx = (cycle as usize) & mask;
             let slot_len = self.wheel[slot_idx].len();
-            self.wheel_pending -= slot_len;
-            self.pending -= slot_len;
-            if self.overflow.peek().is_some_and(|head| head.due <= cycle) {
-                // Rare path: interleave slot and overflow entries by seq.
-                // Taking the slot costs its capacity, but overflow merges
-                // only happen for delays beyond the wheel horizon.
-                let slot = std::mem::take(&mut self.wheel[slot_idx]);
-                let mut slot_iter = slot.into_iter().peekable();
-                loop {
-                    let next_overflow_seq = match self.overflow.peek() {
-                        Some(head) if head.due <= cycle => Some(head.seq),
-                        _ => None,
-                    };
-                    match (slot_iter.peek(), next_overflow_seq) {
-                        (Some(&(slot_seq, _)), Some(ovf_seq)) if ovf_seq < slot_seq => {
-                            out.push(self.overflow.pop().expect("peeked").event);
-                            self.pending -= 1;
-                        }
-                        (Some(_), _) => out.push(slot_iter.next().expect("peeked").1),
-                        (None, Some(_)) => {
-                            out.push(self.overflow.pop().expect("peeked").event);
-                            self.pending -= 1;
-                        }
-                        (None, None) => break,
-                    }
-                }
-            } else {
-                // Hot path: drain in place so the slot keeps its capacity
-                // and steady-state scheduling never reallocates.
-                out.extend(self.wheel[slot_idx].drain(..).map(|(_, event)| event));
+            if slot_len > 0 {
+                self.wheel_pending -= slot_len;
+                self.pending -= slot_len;
+                // Drain in place so the slot keeps its capacity and
+                // steady-state scheduling never reallocates; `append` would
+                // move the slot's buffer out and leave an empty Vec behind.
+                #[allow(clippy::extend_with_drain)]
+                out.extend(self.wheel[slot_idx].drain(..));
+            }
+            if cycle == self.floor && !self.lane.is_empty() {
+                // Next-cycle events of the previous step: due at the old
+                // floor, scheduled after every wheel entry of that cycle.
+                self.pending -= self.lane.len();
+                out.append(&mut self.lane);
+            }
+            if self.wheel_pending == 0 {
+                break;
             }
             cycle += 1;
         }
@@ -342,6 +370,10 @@ impl EventQueue {
     pub fn next_due(&self) -> Option<Cycle> {
         let mut earliest: Option<Cycle> = self.overflow.peek().map(|e| e.due);
         if self.horizon != 0 {
+            if !self.lane.is_empty() {
+                let floor = self.floor;
+                earliest = Some(earliest.map_or(floor, |e| e.min(floor)));
+            }
             let mask = self.horizon - 1;
             for cycle in self.floor..self.floor + self.horizon as Cycle {
                 if !self.wheel[(cycle as usize) & mask].is_empty() {
@@ -464,6 +496,20 @@ mod tests {
     }
 
     #[test]
+    fn next_cycle_lane_fires_after_earlier_wheel_entries() {
+        let mut q = EventQueue::with_horizon(8);
+        // seq 0: scheduled two cycles ahead, lands in the wheel slot for 2.
+        q.schedule(2, ack(0));
+        q.drain_due(1); // floor is now 2
+                        // seq 1: due at the floor, takes the flat lane.
+        q.schedule(2, ack(1));
+        // Wheel entry first (scheduled earlier), lane entry second.
+        assert_eq!(q.next_due(), Some(2));
+        assert_eq!(q.drain_due(2), vec![ack(0), ack(1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn stale_due_cycles_fire_at_next_drain() {
         let mut q = EventQueue::new();
         q.drain_due(50);
@@ -483,7 +529,14 @@ mod tests {
             buf.clear();
             q.drain_due_into(round + 1, &mut buf);
             assert_eq!(buf.len(), 8);
-            assert_eq!(buf.capacity(), 16, "steady-state drain must not grow");
+            // The fast lane hands its buffer to the caller by swap, so the
+            // capacity may alternate between the two warmed buffers — but
+            // steady-state draining must never allocate a bigger one.
+            assert!(
+                buf.capacity() <= 16,
+                "steady-state drain must not grow: capacity {}",
+                buf.capacity()
+            );
         }
         assert!(q.is_empty());
     }

@@ -105,6 +105,7 @@ fn release_sink_credit(
 /// delivered and its ACK dispatched now, not at controller admission).
 /// Shared by every scheduler flavour so the bank-timeline semantics cannot
 /// drift between them.
+// taqos-lint: hot
 #[allow(clippy::too_many_arguments)]
 fn start_dram_service(
     mc: &mut crate::closed_loop::McState,
@@ -178,14 +179,44 @@ fn start_dram_service(
 /// Returns `qos.priority(flow)`, memoised in the router's priority cache
 /// (valid within the router's current priority epoch).
 fn cached_priority(router: &mut RouterState, qos: &dyn RouterQos, flow: FlowId) -> u64 {
-    let f = flow.index();
-    if router.priority_cache_epoch[f] == router.priority_epoch {
-        router.priority_cache[f]
+    let epoch = router.priority_epoch;
+    // taqos-lint: allow(panic-index) -- the cache is sized to num_flows at construction and flow ids are validated against it
+    let memo = &mut router.priority_cache[flow.index()];
+    if memo.epoch == epoch {
+        memo.value
     } else {
-        let p = qos.priority(flow);
-        router.priority_cache_epoch[f] = router.priority_epoch;
-        router.priority_cache[f] = p;
-        p
+        let value = qos.priority(flow);
+        *memo = crate::router::PriorityMemo { value, epoch };
+        value
+    }
+}
+
+/// Sets router `ri`'s bit in a phase activity mask (see
+/// [`Network::routing_work`] for the eager-set / lazy-clear discipline).
+#[inline]
+fn mark_router(mask: &mut [u64], ri: usize) {
+    // taqos-lint: allow(panic-index) -- masks are sized to ceil(routers/64) words and ri is a live router index
+    mask[ri >> 6] |= 1 << (ri & 63);
+}
+
+/// Clears router `ri`'s bit in a phase activity mask.
+#[inline]
+fn unmark_router(mask: &mut [u64], ri: usize) {
+    // taqos-lint: allow(panic-index) -- masks are sized to ceil(routers/64) words and ri is a live router index
+    mask[ri >> 6] &= !(1 << (ri & 63));
+}
+
+/// Collects the set-bit router indices of an activity mask into `out`
+/// (ascending, the order the unmasked scans visit routers in).
+#[inline]
+fn scan_routers(mask: &[u64], out: &mut Vec<u32>) {
+    out.clear();
+    for (block, &word) in mask.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            out.push(((block as u32) << 6) | bits.trailing_zeros());
+            bits &= bits - 1;
+        }
     }
 }
 
@@ -209,6 +240,23 @@ pub struct Network {
     now: Cycle,
     /// Reusable buffer for events drained each cycle.
     event_scratch: Vec<Event>,
+    /// Per-phase router activity masks (optimized engine; one bit per
+    /// router, 64-router blocks). A bit is set *eagerly* wherever a router
+    /// gains the corresponding work — a head flit arrives (`routing_work`,
+    /// `alloc_work`) or a transfer is granted (`launch_work`) — and cleared
+    /// *lazily* by the owning phase when it visits a router and finds it
+    /// idle. Stale-set bits therefore self-heal and no decrement site needs
+    /// mask bookkeeping, while each phase scans a handful of contiguous
+    /// words instead of touching every `RouterState` to read its activity
+    /// counters.
+    routing_work: Vec<u64>,
+    /// Routers with occupied input VCs (allocation candidates); see
+    /// [`Self::routing_work`].
+    alloc_work: Vec<u64>,
+    /// Routers holding granted transfers; see [`Self::routing_work`].
+    launch_work: Vec<u64>,
+    /// Reusable buffer of candidate router indices for the masked scans.
+    router_scan: Vec<u32>,
     /// Reusable buffer for preemption victim candidates.
     probe_scratch: Vec<(PacketId, FlowId, bool)>,
     /// Reusable buffer for candidates annotated with cached priorities.
@@ -365,6 +413,7 @@ impl Network {
             )
         });
         let frame_len = policy.frame_len();
+        let num_router_blocks = spec.routers.len().div_ceil(64);
 
         Ok(Network {
             spec,
@@ -382,6 +431,10 @@ impl Network {
             frame_len,
             now: 0,
             event_scratch: Vec::new(),
+            routing_work: vec![0; num_router_blocks],
+            alloc_work: vec![0; num_router_blocks],
+            launch_work: vec![0; num_router_blocks],
+            router_scan: Vec::new(),
             probe_scratch: Vec::new(),
             probe_prioritized_scratch: Vec::new(),
             unlimited,
@@ -810,6 +863,8 @@ impl Network {
                 port.unrouted += 1;
                 router_state.active_vcs += 1;
                 router_state.unrouted_vcs += 1;
+                mark_router(&mut self.routing_work, router);
+                mark_router(&mut self.alloc_work, router);
                 self.stats.energy.buffer_writes += 1;
             }
             Event::BodyToRouter {
@@ -1173,6 +1228,7 @@ impl Network {
     /// completes); a reply arriving back at the requester credits the MLP
     /// window and records the round trip.
     #[allow(clippy::too_many_arguments)]
+    // taqos-lint: hot
     fn on_closed_loop_delivery(
         &mut self,
         sink: usize,
@@ -1346,6 +1402,7 @@ impl Network {
     /// accounting) but is injected and retransmitted by the controller's
     /// source; it carries the request's birth so the round trip can be
     /// measured at delivery.
+    // taqos-lint: hot
     #[allow(clippy::too_many_arguments)]
     fn release_reply(
         &mut self,
@@ -1556,6 +1613,8 @@ impl Network {
             closed_loop,
             last_progress,
             trace,
+            routing_work,
+            alloc_work,
             ..
         } = self;
         for (si, source) in sources.iter_mut().enumerate() {
@@ -1727,29 +1786,32 @@ impl Network {
                 // taqos-lint: allow(panic-path) -- can_start_injection checked a free VC is available
                 let vc = source.free_vcs.pop().expect("credit checked available");
                 let quota = policy.reserved_quota(source.flow);
-                let packet = packets
-                    .get_mut(packet_id)
-                    // taqos-lint: allow(panic-path) -- queued ids are removed before their packets are freed
-                    .expect("queued packet must be live");
-                if packet.injected_at.is_none() {
-                    packet.injected_at = Some(now);
-                    source.injected_packets += 1;
-                    let (flow, node) = (packet.flow, source.node);
-                    trace.emit(|| TraceEvent::Inject {
-                        cycle: now,
-                        flow: u64::from(flow.0),
-                        packet: packet_id.0,
-                        node: u64::from(node.0),
-                    });
-                }
-                let len = packet.len_flits;
-                packet.reserved = match quota {
+                let len = {
+                    let packet = packets
+                        .get_mut(packet_id)
+                        // taqos-lint: allow(panic-path) -- queued ids are removed before their packets are freed
+                        .expect("queued packet must be live");
+                    if packet.injected_at.is_none() {
+                        packet.injected_at = Some(now);
+                        source.injected_packets += 1;
+                        let (flow, node) = (packet.flow, source.node);
+                        trace.emit(|| TraceEvent::Inject {
+                            cycle: now,
+                            flow: u64::from(flow.0),
+                            packet: packet_id.0,
+                            node: u64::from(node.0),
+                        });
+                    }
+                    packet.len_flits
+                };
+                let reserved = match quota {
                     Some(q) if source.reserved_used_this_frame + u64::from(len) <= q => {
                         source.reserved_used_this_frame += u64::from(len);
                         true
                     }
                     _ => false,
                 };
+                packets.set_reserved(packet_id, reserved);
                 source.window.insert(packet_id);
                 source.active = Some(InjectionTransfer {
                     packet: packet_id,
@@ -1770,6 +1832,8 @@ impl Network {
                     port.unrouted += 1;
                     router.active_vcs += 1;
                     router.unrouted_vcs += 1;
+                    mark_router(routing_work, source.router);
+                    mark_router(alloc_work, source.router);
                 } else {
                     vc_state.accept_body(transfer.packet);
                 }
@@ -1785,11 +1849,24 @@ impl Network {
     // taqos-lint: hot
     fn phase_routing(&mut self) {
         let skip_idle = !self.config.engine.is_reference();
-        for (ri, router) in self.routers.iter_mut().enumerate() {
-            // Active-set fast path: route computation only concerns heads
-            // that arrived since the last routing pass, so routers (and
-            // ports) without an unrouted occupant need no scan at all.
+        // Active-set fast path: route computation only concerns heads that
+        // arrived since the last routing pass, and routers holding one are
+        // tracked in the contiguous `routing_work` mask — scanning it costs
+        // a few word loads instead of touching every `RouterState`.
+        let mut scan = std::mem::take(&mut self.router_scan);
+        if skip_idle {
+            scan_routers(&self.routing_work, &mut scan);
+        } else {
+            scan.clear();
+            scan.extend(0..self.routers.len() as u32);
+        }
+        for &ri in &scan {
+            let ri = ri as usize;
+            let router = &mut self.routers[ri];
             if skip_idle && router.unrouted_vcs == 0 {
+                // Stale-set bit (the head was routed or preempted since):
+                // reconcile the mask and move on.
+                unmark_router(&mut self.routing_work, ri);
                 continue;
             }
             let rspec = &self.spec.routers[ri];
@@ -1799,13 +1876,13 @@ impl Network {
                 }
                 let pspec = &rspec.inputs[pi];
                 for (vi, vc) in port.vcs.iter_mut().enumerate() {
-                    if let (Some(packet_id), None) = (vc.packet, vc.route) {
+                    if let (Some(packet_id), None) = (vc.packet(), vc.route()) {
                         if vc.flits_arrived == 0 {
                             continue;
                         }
                         let packet = self
                             .packets
-                            .get(packet_id)
+                            .hot(packet_id)
                             // taqos-lint: allow(panic-path) -- VC occupancy and packet lifetime are updated together
                             .expect("buffered packet must be live");
                         let out = if !skip_idle {
@@ -1834,7 +1911,7 @@ impl Network {
                                 &mut router.route_rr_cursor,
                             )
                         };
-                        vc.route = Some(out);
+                        vc.set_route(out);
                         port.unrouted -= 1;
                         router.unrouted_vcs -= 1;
                         if skip_idle {
@@ -1869,17 +1946,33 @@ impl Network {
                     }
                 }
             }
+            // taqos-lint: allow(panic-index) -- scan holds indices of routers whose mask bit was set, all in bounds
+            if skip_idle && self.routers[ri].unrouted_vcs == 0 {
+                unmark_router(&mut self.routing_work, ri);
+            }
         }
+        self.router_scan = scan;
     }
 
     // taqos-lint: hot
     fn phase_allocation(&mut self) {
         let preemption = self.policy.preemption_enabled();
         let reference = self.config.engine.is_reference();
-        for ri in 0..self.routers.len() {
-            // Active-set fast path: allocation requests come from buffered
-            // packets only.
+        // Active-set fast path: allocation requests come from buffered
+        // packets only, and routers holding one are tracked in the
+        // contiguous `alloc_work` mask.
+        let mut scan = std::mem::take(&mut self.router_scan);
+        if reference {
+            scan.clear();
+            scan.extend(0..self.routers.len() as u32);
+        } else {
+            scan_routers(&self.alloc_work, &mut scan);
+        }
+        for &ri in &scan {
+            let ri = ri as usize;
             if !reference && self.routers[ri].active_vcs == 0 {
+                // Stale-set bit (the last occupant drained since).
+                unmark_router(&mut self.alloc_work, ri);
                 continue;
             }
             let rspec = &self.spec.routers[ri];
@@ -1918,12 +2011,13 @@ impl Network {
                     for (pi, port) in router.inputs.iter().enumerate() {
                         let pspec = &rspec.inputs[pi];
                         for (vi, vc) in port.vcs.iter().enumerate() {
-                            if !vc.wants_allocation() || vc.route != Some(crate::ids::OutPortId(oi))
+                            if !vc.wants_allocation()
+                                || vc.route() != Some(crate::ids::OutPortId(oi))
                             {
                                 continue;
                             }
                             // taqos-lint: allow(panic-path) -- wants_allocation implies an occupant
-                            let packet_id = vc.packet.expect("allocating VC holds a packet");
+                            let packet_id = vc.packet().expect("allocating VC holds a packet");
                             let packet = self
                                 .packets
                                 .get(packet_id)
@@ -2068,7 +2162,9 @@ impl Network {
                     if let Some(mask) = router.granted_mask.as_mut() {
                         *mask |= 1 << oi;
                     }
-                    router.inputs[req.in_port as usize].vcs[req.vc as usize].granted = true;
+                    mark_router(&mut self.launch_work, ri);
+                    // taqos-lint: allow(panic-index) -- request coordinates were recorded from an enumeration of these vectors
+                    router.inputs[req.in_port as usize].vcs[req.vc as usize].set_granted();
                     // Flow-state bookkeeping. Pass-through hops skip the
                     // energy cost of the query/update but still account the
                     // bandwidth so preemption decisions stay meaningful.
@@ -2076,9 +2172,11 @@ impl Network {
                     if !reference {
                         // A grant moves only this flow's priority; refresh
                         // its cache entry and leave the rest valid.
-                        let f = req.flow.index();
-                        router.priority_cache[f] = qos.priority(req.flow);
-                        router.priority_cache_epoch[f] = router.priority_epoch;
+                        // taqos-lint: allow(panic-index) -- the cache is sized to num_flows at construction and flow ids are validated against it
+                        router.priority_cache[req.flow.index()] = crate::router::PriorityMemo {
+                            value: qos.priority(req.flow),
+                            epoch: router.priority_epoch,
+                        };
                     }
                     if !req.passthrough {
                         self.stats.energy.flow_table_queries += 1;
@@ -2086,12 +2184,26 @@ impl Network {
                     }
                     if !reference {
                         // The packet holds a grant now; retire its entry from
-                        // the persistent request list, and invalidate every
-                        // output of this router — the forwarded flow's
-                        // priority moved.
+                        // the persistent request list. A grant invalidates
+                        // exactly this output (its credits were claimed, its
+                        // grant queue grew, its cursor moved) plus every
+                        // output holding a request of the forwarded flow —
+                        // `on_packet_forwarded` moves only that flow's
+                        // priority (the `RouterQos` contract), so the other
+                        // outputs' blocked verdicts still stand.
+                        // taqos-lint: allow(panic-index) -- widx is the winner's position found by the scan over this list
+                        let granted_flow = requests[widx].flow;
                         requests.remove(widx);
-                        if let Some(mask) = router.alloc_dirty.as_mut() {
-                            *mask = u64::MAX;
+                        if router.alloc_dirty.is_some() {
+                            let mut dirty = 1u64 << oi;
+                            for (oj, bucket) in router.alloc_buckets.iter().enumerate() {
+                                if bucket.iter().any(|r| r.flow == granted_flow) {
+                                    dirty |= 1 << oj;
+                                }
+                            }
+                            if let Some(mask) = router.alloc_dirty.as_mut() {
+                                *mask |= dirty;
+                            }
                         }
                     }
                 } else {
@@ -2130,28 +2242,45 @@ impl Network {
                 }
             }
         }
+        self.router_scan = scan;
     }
 
     // taqos-lint: hot
     fn phase_launch(&mut self) {
         let now = self.now;
         let skip_idle = !self.config.engine.is_reference();
-        for ri in 0..self.routers.len() {
-            // Active-set fast path: only output ports holding granted
-            // transfers can launch, and those are tracked in `granted_mask`
-            // (falling back to the occupied-VC check for >64-output routers).
+        // Whether any fault plan is live this cycle, hoisted so the
+        // per-launch fault interception block is only entered when one is.
+        let faults_on = self.fault.as_ref().is_some_and(|f| f.any_active());
+        // Active-set fast path: only routers holding granted transfers can
+        // launch, and those are tracked in the contiguous `launch_work`
+        // mask (within a router, `granted_mask` then walks the granted
+        // outputs, falling back to the occupied-VC check for >64-output
+        // routers).
+        let mut scan = std::mem::take(&mut self.router_scan);
+        if skip_idle {
+            scan_routers(&self.launch_work, &mut scan);
+        } else {
+            scan.clear();
+            scan.extend(0..self.routers.len() as u32);
+        }
+        for &ri in &scan {
+            let ri = ri as usize;
             if skip_idle {
-                match self.routers[ri].granted_mask {
-                    Some(0) => continue,
-                    Some(_) => {}
-                    None => {
-                        if self.routers[ri].active_vcs == 0 {
-                            continue;
-                        }
-                    }
+                // taqos-lint: allow(panic-index) -- scan holds indices of routers whose mask bit was set, all in bounds
+                let idle = match self.routers[ri].granted_mask {
+                    Some(0) => true,
+                    Some(_) => false,
+                    // taqos-lint: allow(panic-index) -- same bound as the granted_mask read above
+                    None => self.routers[ri].active_vcs == 0,
+                };
+                if idle {
+                    // Stale-set bit (the last transfer completed since).
+                    unmark_router(&mut self.launch_work, ri);
+                    continue;
                 }
             }
-            let rspec = &self.spec.routers[ri];
+            // taqos-lint: allow(panic-index) -- scan holds indices of routers whose mask bit was set, all in bounds
             let router = &mut self.routers[ri];
             // Crossbar input groups already used this cycle (bitmask).
             let mut xbar_used: u64 = 0;
@@ -2186,7 +2315,8 @@ impl Network {
                 let from_port = transfer.from_port.0;
                 let from_vc = transfer.from_vc.index();
                 let passthrough = transfer.passthrough;
-                let group = rspec.inputs[from_port].xbar_group;
+                // taqos-lint: allow(panic-index) -- xbar_groups is built 1:1 with the router's input ports
+                let group = router.xbar_groups[from_port];
                 if !passthrough && (xbar_used >> group) & 1 == 1 {
                     continue;
                 }
@@ -2206,7 +2336,7 @@ impl Network {
                 // resources are released exactly as a completed transfer's
                 // would be, and the packet is NACKed back to its source —
                 // or abandoned once the fault retransmit budget is spent.
-                if let Some(fault) = self.fault.as_ref().filter(|f| f.any_active()) {
+                if let Some(fault) = self.fault.as_ref().filter(|_| faults_on) {
                     let transfer = &out_state.granted[0];
                     if transfer.flits_launched == 0 {
                         let dest_router_dead = match transfer.endpoint {
@@ -2246,7 +2376,7 @@ impl Network {
                             }
                             let port = &mut router.inputs[from_port];
                             let vc_state = &mut port.vcs[from_vc];
-                            let was_reserved_vc = vc_state.reserved_vc;
+                            let was_reserved_vc = vc_state.reserved_vc();
                             vc_state.release();
                             port.occupied -= 1;
                             router.active_vcs -= 1;
@@ -2393,7 +2523,7 @@ impl Network {
                     }
                     let port = &mut router.inputs[from_port];
                     let vc_state = &mut port.vcs[from_vc];
-                    let was_reserved_vc = vc_state.reserved_vc;
+                    let was_reserved_vc = vc_state.reserved_vc();
                     vc_state.release();
                     port.occupied -= 1;
                     router.active_vcs -= 1;
@@ -2428,6 +2558,7 @@ impl Network {
                 }
             }
         }
+        self.router_scan = scan;
     }
 
     // taqos-lint: hot
@@ -2447,8 +2578,8 @@ impl Network {
         for vc in &self.routers[router].inputs[in_port].vcs {
             if vc.is_resident_idle() {
                 // taqos-lint: allow(panic-path) -- is_resident_idle implies an occupant
-                let pid = vc.packet.expect("resident VC has a packet");
-                if let Some(packet) = self.packets.get(pid) {
+                let pid = vc.packet().expect("resident VC has a packet");
+                if let Some(packet) = self.packets.hot(pid) {
                     candidates.push((pid, packet.flow, packet.reserved));
                 }
             }
@@ -2487,15 +2618,17 @@ impl Network {
         let Some(vc_idx) = port
             .vcs
             .iter()
-            .position(|vc| vc.packet == Some(victim_id) && vc.is_resident_idle())
+            .position(|vc| vc.packet() == Some(victim_id) && vc.is_resident_idle())
         else {
             return;
         };
-        let was_reserved_vc = port.vcs[vc_idx].reserved_vc;
+        // taqos-lint: allow(panic-index) -- vc_idx was just produced by position() over this vector
+        let was_reserved_vc = port.vcs[vc_idx].reserved_vc();
         // A victim can be flushed in the event phase of the same cycle its
         // head arrived, i.e. before the routing phase ran; keep the
         // unrouted bookkeeping exact in that case.
-        let victim_route = port.vcs[vc_idx].route;
+        // taqos-lint: allow(panic-index) -- vc_idx was just produced by position() over this vector
+        let victim_route = port.vcs[vc_idx].route();
         port.vcs[vc_idx].release();
         port.occupied -= 1;
         if victim_route.is_none() {

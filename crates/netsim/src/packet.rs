@@ -229,6 +229,13 @@ pub struct PacketStore {
 enum Backend {
     Slab {
         slots: Vec<Slot>,
+        /// Dense mirror of the hot packet fields, parallel to `slots` (see
+        /// [`HotPacket`]). The routing and arbitration passes read only
+        /// destination, flow, length and reserved status per buffered head;
+        /// mirroring them into 12-byte records means those scans touch a
+        /// fifth of a cache line per packet instead of the full `Packet`
+        /// (which spans more than two lines).
+        hot: Vec<HotRec>,
         /// Free slot indices, recycled LIFO.
         free: Vec<u32>,
         live: usize,
@@ -241,6 +248,69 @@ enum Backend {
         packets: HashMap<PacketId, Packet>,
         next_id: u64,
     },
+}
+
+/// Hot fields of a live packet, read on the per-cycle routing/arbitration
+/// paths. Returned by value from [`PacketStore::hot`]; the full [`Packet`]
+/// stays authoritative for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotPacket {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Packet length in flits.
+    pub len_flits: u8,
+    /// Whether the packet was sent within its flow's reserved quota.
+    pub reserved: bool,
+}
+
+/// Packed storage of one [`HotPacket`] plus the slot generation that
+/// validates it (stale or freed slots carry [`HOT_FREE`]).
+#[derive(Debug, Clone, Copy)]
+struct HotRec {
+    /// Generation (high identifier bits) of the occupant, [`HOT_FREE`] when
+    /// the slot is empty.
+    seq: u32,
+    dst: u16,
+    flow: u16,
+    len_flits: u8,
+    reserved: u8,
+}
+
+/// `seq` sentinel of an empty hot record. The allocation path refuses to
+/// hand out this generation (one allocation before the sequence-exhaustion
+/// panic it would hit anyway), so the sentinel never collides with a live
+/// identifier.
+const HOT_FREE: u32 = u32::MAX;
+
+const HOT_EMPTY: HotRec = HotRec {
+    seq: HOT_FREE,
+    dst: 0,
+    flow: 0,
+    len_flits: 0,
+    reserved: 0,
+};
+
+impl HotRec {
+    fn of(seq: u32, packet: &Packet) -> Self {
+        HotRec {
+            seq,
+            dst: packet.dst.0,
+            flow: packet.flow.0,
+            len_flits: packet.len_flits,
+            reserved: u8::from(packet.reserved),
+        }
+    }
+
+    fn view(&self) -> HotPacket {
+        HotPacket {
+            dst: NodeId(self.dst),
+            flow: FlowId(self.flow),
+            len_flits: self.len_flits,
+            reserved: self.reserved != 0,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -274,6 +344,7 @@ impl PacketStore {
         PacketStore {
             backend: Backend::Slab {
                 slots: Vec::new(),
+                hot: Vec::new(),
                 free: Vec::new(),
                 live: 0,
                 next_seq: 0,
@@ -308,12 +379,17 @@ impl PacketStore {
         match &mut self.backend {
             Backend::Slab {
                 slots,
+                hot,
                 free,
                 live,
                 next_seq,
             } => {
                 *live += 1;
                 let seq = *next_seq;
+                assert!(
+                    seq != HOT_FREE,
+                    "packet allocation sequence exhausted (2^32 packets)"
+                );
                 *next_seq = next_seq
                     .checked_add(1)
                     .expect("packet allocation sequence exhausted (2^32 packets)");
@@ -322,14 +398,19 @@ impl PacketStore {
                     let id = slab_id(slot_idx, seq);
                     debug_assert!(slot.packet.is_none(), "free list held an occupied slot");
                     slot.current = id;
-                    slot.packet = Some(build(id));
+                    let packet = build(id);
+                    // taqos-lint: allow(panic-index) -- the free list only holds indices of existing slots and hot mirrors slots 1:1
+                    hot[slot_idx as usize] = HotRec::of(seq, &packet);
+                    slot.packet = Some(packet);
                     id
                 } else {
                     let slot_idx = u32::try_from(slots.len()).expect("slab exceeds 2^32 slots");
                     let id = slab_id(slot_idx, seq);
+                    let packet = build(id);
+                    hot.push(HotRec::of(seq, &packet));
                     slots.push(Slot {
                         current: id,
-                        packet: Some(build(id)),
+                        packet: Some(packet),
                     });
                     id
                 }
@@ -360,7 +441,86 @@ impl PacketStore {
         }
     }
 
+    /// Looks up the hot fields of a live packet (destination, flow, length,
+    /// reserved status) by identifier. On the slab backend this reads the
+    /// dense 12-byte mirror instead of the full packet — the routing,
+    /// arbitration and preemption scans use it so their per-head lookups
+    /// stay within a fraction of a cache line.
+    ///
+    /// The mirror is maintained by `insert_with`/`remove`/[`set_reserved`]
+    /// (`dst`, `flow` and `len_flits` are immutable after creation;
+    /// `reserved` may only be changed through [`set_reserved`]).
+    ///
+    /// [`set_reserved`]: PacketStore::set_reserved
+    #[inline]
+    pub fn hot(&self, id: PacketId) -> Option<HotPacket> {
+        match &self.backend {
+            Backend::Slab { hot, .. } => {
+                let rec = hot.get(slab_slot(id))?;
+                if rec.seq != (id.0 >> SLOT_BITS) as u32 {
+                    return None;
+                }
+                debug_assert_eq!(
+                    Some(rec.view()),
+                    self.get(id).map(|p| HotPacket {
+                        dst: p.dst,
+                        flow: p.flow,
+                        len_flits: p.len_flits,
+                        reserved: p.reserved,
+                    }),
+                    "hot mirror out of sync with packet {id:?}"
+                );
+                Some(rec.view())
+            }
+            Backend::Map { packets, .. } => packets.get(&id).map(|p| HotPacket {
+                dst: p.dst,
+                flow: p.flow,
+                len_flits: p.len_flits,
+                reserved: p.reserved,
+            }),
+        }
+    }
+
+    /// Sets a live packet's reserved (rate-compliant) status, keeping the
+    /// hot mirror in sync. The only hot field that changes after creation;
+    /// callers must use this instead of writing through [`get_mut`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not live.
+    ///
+    /// [`get_mut`]: PacketStore::get_mut
+    pub fn set_reserved(&mut self, id: PacketId, reserved: bool) {
+        match &mut self.backend {
+            Backend::Slab { slots, hot, .. } => {
+                let slot_idx = slab_slot(id);
+                let packet = slots
+                    .get_mut(slot_idx)
+                    .filter(|slot| slot.current == id)
+                    .and_then(|slot| slot.packet.as_mut())
+                    // taqos-lint: allow(panic-path) -- reserved status is only stamped on live queued packets
+                    .expect("reserved status set on a dead packet");
+                packet.reserved = reserved;
+                // taqos-lint: allow(panic-index) -- slot_idx was bounds-checked against slots above and hot mirrors slots 1:1
+                hot[slot_idx].reserved = u8::from(reserved);
+            }
+            Backend::Map { packets, .. } => {
+                packets
+                    .get_mut(&id)
+                    // taqos-lint: allow(panic-path) -- reserved status is only stamped on live queued packets
+                    .expect("reserved status set on a dead packet")
+                    .reserved = reserved;
+            }
+        }
+    }
+
     /// Looks up a packet mutably by identifier.
+    ///
+    /// The hot fields (`dst`, `flow`, `len_flits`, `reserved`) must not be
+    /// mutated through the returned reference — the slab backend mirrors
+    /// them into a dense side array (see [`PacketStore::hot`]); `reserved`
+    /// changes go through [`PacketStore::set_reserved`], the rest are
+    /// immutable after creation.
     pub fn get_mut(&mut self, id: PacketId) -> Option<&mut Packet> {
         match &mut self.backend {
             Backend::Slab { slots, .. } => {
@@ -378,7 +538,11 @@ impl PacketStore {
     pub fn remove(&mut self, id: PacketId) -> Option<Packet> {
         match &mut self.backend {
             Backend::Slab {
-                slots, free, live, ..
+                slots,
+                hot,
+                free,
+                live,
+                ..
             } => {
                 let slot_idx = slab_slot(id);
                 let slot = slots.get_mut(slot_idx)?;
@@ -386,6 +550,8 @@ impl PacketStore {
                     return None;
                 }
                 let packet = slot.packet.take()?;
+                // taqos-lint: allow(panic-index) -- slot_idx was bounds-checked against slots above and hot mirrors slots 1:1
+                hot[slot_idx] = HOT_EMPTY;
                 free.push(slot_idx as u32);
                 *live -= 1;
                 Some(packet)
@@ -537,6 +703,46 @@ mod tests {
         let c = store.insert_with(packet_for);
         assert!(a < b, "recycled slot must yield a newer id");
         assert!(b < c, "ids must be monotone in allocation order");
+    }
+
+    #[test]
+    fn hot_records_stay_packed() {
+        assert!(
+            std::mem::size_of::<HotRec>() <= 12,
+            "HotRec grew past 12 bytes: {}",
+            std::mem::size_of::<HotRec>()
+        );
+    }
+
+    #[test]
+    fn hot_view_tracks_packet_lifetime() {
+        for mut store in [PacketStore::new(), PacketStore::new_reference()] {
+            let id = store.insert_with(packet_for);
+            let hot = store.hot(id).unwrap();
+            assert_eq!(hot.dst, NodeId(5));
+            assert_eq!(hot.flow, FlowId(1));
+            assert_eq!(hot.len_flits, 4);
+            assert!(!hot.reserved);
+            store.set_reserved(id, true);
+            assert!(store.hot(id).unwrap().reserved);
+            assert!(store.get(id).unwrap().reserved, "full packet must agree");
+            store.remove(id).unwrap();
+            assert!(store.hot(id).is_none(), "dead ids must not alias hot data");
+        }
+    }
+
+    #[test]
+    fn hot_view_rejects_stale_generations() {
+        let mut store = PacketStore::new();
+        let a = store.insert_with(packet_for);
+        store.set_reserved(a, true);
+        store.remove(a).unwrap();
+        let b = store.insert_with(packet_for); // recycles a's slot
+        assert!(store.hot(a).is_none());
+        assert!(
+            !store.hot(b).unwrap().reserved,
+            "recycled slot must not inherit the old occupant's hot fields"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl InputPortState {
             .iter()
             .enumerate()
             .filter(|(_, vc)| vc.is_resident_idle())
-            .filter_map(|(i, vc)| vc.packet.map(|p| (VcId(i as u16), p)))
+            .filter_map(|(i, vc)| vc.packet().map(|p| (VcId(i as u16), p)))
             .collect()
     }
 
@@ -268,9 +268,9 @@ mod tests {
         );
         let state = InputPortState::from_spec(&spec);
         assert_eq!(state.vcs.len(), 4);
-        assert!(!state.vcs[0].reserved_vc);
-        assert!(!state.vcs[2].reserved_vc);
-        assert!(state.vcs[3].reserved_vc);
+        assert!(!state.vcs[0].reserved_vc());
+        assert!(!state.vcs[2].reserved_vc());
+        assert!(state.vcs[3].reserved_vc());
         assert_eq!(state.occupied_vcs(), 0);
     }
 

@@ -34,6 +34,19 @@ pub(crate) struct ArbRequest {
     pub has_credit: bool,
 }
 
+/// One entry of a router's per-flow priority memo: the cached priority and
+/// the epoch stamp it was computed under. Value and stamp travel in one
+/// 16-byte record so a cache probe touches a single array (one potential
+/// miss) instead of parallel value/epoch vectors.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PriorityMemo {
+    /// Cached `RouterQos::priority` value for the flow.
+    pub value: u64,
+    /// Epoch the value was computed in; stale when it differs from the
+    /// router's `priority_epoch`.
+    pub epoch: u64,
+}
+
 /// Runtime state of one router.
 #[derive(Debug)]
 pub struct RouterState {
@@ -87,6 +100,10 @@ pub struct RouterState {
     /// that the last full decision scheduled. Valid only while the output's
     /// dirty bit is clear.
     pub(crate) cached_probe: Vec<Option<Event>>,
+    /// Crossbar group of each input port, copied out of the spec into a
+    /// dense byte array so the launch phase's per-flit conflict check does
+    /// not touch the (cold, large-stride) `InputPortSpec` records.
+    pub(crate) xbar_groups: Vec<u8>,
     /// Memoised per-flow priorities (optimized engine only). `priority()` is
     /// a virtual call with a floating-point division inside PVC; under
     /// saturation the same flow re-arbitrates at many outputs every cycle,
@@ -95,9 +112,7 @@ pub struct RouterState {
     /// the cache is maintained accordingly: a frame rollover bumps
     /// `priority_epoch` (invalidating every entry), while forwarding a
     /// packet refreshes just the forwarded flow's entry in place.
-    pub(crate) priority_cache: Vec<u64>,
-    /// Epoch stamp for each `priority_cache` entry.
-    pub(crate) priority_cache_epoch: Vec<u64>,
+    pub(crate) priority_cache: Vec<PriorityMemo>,
     /// Current priority epoch; entries with a different stamp are stale.
     pub(crate) priority_epoch: u64,
 }
@@ -129,10 +144,10 @@ impl RouterState {
             granted_mask: (spec.outputs.len() <= 64).then_some(0),
             alloc_dirty: (spec.outputs.len() <= 64).then_some(u64::MAX),
             cached_probe: vec![None; spec.outputs.len()],
+            xbar_groups: spec.inputs.iter().map(|p| p.xbar_group).collect(),
             route_lut,
             alloc_buckets: (0..spec.outputs.len()).map(|_| Vec::new()).collect(),
             priority_cache: Vec::new(),
-            priority_cache_epoch: Vec::new(),
             priority_epoch: 1,
         }
     }
@@ -140,8 +155,7 @@ impl RouterState {
     /// Sizes the per-flow priority cache (called once by the network
     /// constructor, which knows the flow count).
     pub(crate) fn init_priority_cache(&mut self, num_flows: usize) {
-        self.priority_cache = vec![0; num_flows];
-        self.priority_cache_epoch = vec![0; num_flows];
+        self.priority_cache = vec![PriorityMemo { value: 0, epoch: 0 }; num_flows];
     }
 
     /// Marks one output's arbitration decision stale.

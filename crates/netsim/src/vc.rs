@@ -1,6 +1,15 @@
-//! Runtime state of a virtual channel.
+//! Runtime state of a virtual channel, packed into a 16-byte record.
 
 use crate::ids::{Cycle, OutPortId, PacketId};
+
+/// `packet` value of an unoccupied VC.
+const NO_PACKET: u64 = u64::MAX;
+/// `route` value of a VC whose occupant has no computed route.
+const NO_ROUTE: u16 = u16::MAX;
+/// Flag bit: the VC is reserved for rate-compliant traffic.
+const FLAG_RESERVED_VC: u8 = 1 << 0;
+/// Flag bit: the occupying packet owns a granted transfer out of this VC.
+const FLAG_GRANTED: u8 = 1 << 1;
 
 /// Runtime state of one virtual channel of an input port.
 ///
@@ -8,63 +17,106 @@ use crate::ids::{Cycle, OutPortId, PacketId};
 /// time; the VC is claimed by the upstream sender (through a credit), filled
 /// flit by flit as flits mature after the wire delay, and released once the
 /// packet has been completely forwarded onwards (or discarded by preemption).
+///
+/// The record is packed to 16 bytes (sentinel-encoded options, flag bits
+/// instead of `bool`s) so the routing, arbitration and launch passes scan
+/// dense cache lines: four VCs per line instead of one and a half with the
+/// naive `Option`-field layout.
 #[derive(Debug, Clone)]
 pub struct VcState {
-    /// Whether this VC is reserved for rate-compliant traffic.
-    pub reserved_vc: bool,
-    /// Packet currently occupying the VC (set when its head flit arrives).
-    pub packet: Option<PacketId>,
+    /// Packet currently occupying the VC ([`NO_PACKET`] when free).
+    packet: u64,
+    /// Output port selected for the occupant ([`NO_ROUTE`] before routing).
+    route: u16,
     /// Length in flits of the occupying packet.
     pub len: u8,
     /// Number of flits of the packet that have arrived (matured) in the VC.
     pub flits_arrived: u8,
     /// Number of flits already forwarded out of the VC.
     pub flits_sent: u8,
-    /// Output port selected for the occupying packet (route computation).
-    pub route: Option<OutPortId>,
-    /// Cycle at which the head flit matured (VA eligibility).
-    pub head_arrival: Option<Cycle>,
-    /// Whether the packet currently owns a granted transfer out of this VC.
-    pub granted: bool,
+    /// [`FLAG_RESERVED_VC`] | [`FLAG_GRANTED`].
+    flags: u8,
 }
 
 impl VcState {
     /// Creates an empty VC.
     pub fn new(reserved_vc: bool) -> Self {
         VcState {
-            reserved_vc,
-            packet: None,
+            packet: NO_PACKET,
+            route: NO_ROUTE,
             len: 0,
             flits_arrived: 0,
             flits_sent: 0,
-            route: None,
-            head_arrival: None,
-            granted: false,
+            flags: if reserved_vc { FLAG_RESERVED_VC } else { 0 },
         }
     }
 
+    /// Packet currently occupying the VC (set when its head flit arrives).
+    #[inline]
+    pub fn packet(&self) -> Option<PacketId> {
+        (self.packet != NO_PACKET).then_some(PacketId(self.packet))
+    }
+
+    /// Output port selected for the occupying packet (route computation).
+    #[inline]
+    pub fn route(&self) -> Option<OutPortId> {
+        (self.route != NO_ROUTE).then_some(OutPortId(self.route as usize))
+    }
+
+    /// Records the computed route of the occupying packet.
+    #[inline]
+    pub fn set_route(&mut self, out: OutPortId) {
+        debug_assert!(
+            out.0 < NO_ROUTE as usize,
+            "output port index overflows the packed route"
+        );
+        self.route = out.0 as u16;
+    }
+
+    /// Whether this VC is reserved for rate-compliant traffic.
+    #[inline]
+    pub fn reserved_vc(&self) -> bool {
+        self.flags & FLAG_RESERVED_VC != 0
+    }
+
+    /// Whether the packet currently owns a granted transfer out of this VC.
+    #[inline]
+    pub fn granted(&self) -> bool {
+        self.flags & FLAG_GRANTED != 0
+    }
+
+    /// Marks the occupying packet as holding a granted transfer.
+    #[inline]
+    pub fn set_granted(&mut self) {
+        self.flags |= FLAG_GRANTED;
+    }
+
     /// Whether the VC currently holds no packet.
+    #[inline]
     pub fn is_free(&self) -> bool {
-        self.packet.is_none()
+        self.packet == NO_PACKET
     }
 
     /// Whether the complete packet has arrived and nothing has been forwarded
     /// or granted yet — the state in which a packet is eligible as a
     /// preemption victim.
+    #[inline]
     pub fn is_resident_idle(&self) -> bool {
-        self.packet.is_some()
+        self.packet != NO_PACKET
             && self.flits_arrived == self.len
             && self.flits_sent == 0
-            && !self.granted
+            && !self.granted()
     }
 
     /// Whether the head flit has matured and the packet has not yet been
     /// granted an output (the state in which it requests VC allocation).
+    #[inline]
     pub fn wants_allocation(&self) -> bool {
-        self.packet.is_some() && self.flits_arrived > 0 && !self.granted
+        self.packet != NO_PACKET && self.flits_arrived > 0 && !self.granted()
     }
 
     /// Number of matured flits not yet forwarded.
+    #[inline]
     pub fn sendable_flits(&self) -> u8 {
         self.flits_arrived.saturating_sub(self.flits_sent)
     }
@@ -74,18 +126,21 @@ impl VcState {
     /// # Panics
     ///
     /// Panics if the VC is already occupied by a different packet.
-    pub fn accept_head(&mut self, packet: PacketId, len: u8, now: Cycle) {
+    pub fn accept_head(&mut self, packet: PacketId, len: u8, _now: Cycle) {
         assert!(
-            self.packet.is_none(),
+            self.packet == NO_PACKET,
             "VC accepting a head flit while occupied"
         );
-        self.packet = Some(packet);
+        debug_assert_ne!(
+            packet.0, NO_PACKET,
+            "packet id collides with the free sentinel"
+        );
+        self.packet = packet.0;
         self.len = len;
         self.flits_arrived = 1;
         self.flits_sent = 0;
-        self.route = None;
-        self.head_arrival = Some(now);
-        self.granted = false;
+        self.route = NO_ROUTE;
+        self.flags &= FLAG_RESERVED_VC;
     }
 
     /// Registers the arrival of a non-head flit.
@@ -95,7 +150,7 @@ impl VcState {
     /// Panics if the flit does not belong to the occupying packet or would
     /// exceed the packet length.
     pub fn accept_body(&mut self, packet: PacketId) {
-        assert_eq!(self.packet, Some(packet), "body flit for wrong packet");
+        assert_eq!(self.packet, packet.0, "body flit for wrong packet");
         assert!(
             self.flits_arrived < self.len,
             "more flits arrived than packet length"
@@ -105,13 +160,13 @@ impl VcState {
 
     /// Resets the VC to the free state and returns the packet it held.
     pub fn release(&mut self) -> Option<PacketId> {
-        let packet = self.packet.take();
+        let packet = self.packet();
+        self.packet = NO_PACKET;
         self.len = 0;
         self.flits_arrived = 0;
         self.flits_sent = 0;
-        self.route = None;
-        self.head_arrival = None;
-        self.granted = false;
+        self.route = NO_ROUTE;
+        self.flags &= FLAG_RESERVED_VC;
         packet
     }
 }
@@ -119,6 +174,15 @@ impl VcState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vc_records_are_packed() {
+        assert!(
+            std::mem::size_of::<VcState>() <= 16,
+            "VcState grew past 16 bytes: {}",
+            std::mem::size_of::<VcState>()
+        );
+    }
 
     #[test]
     fn lifecycle_of_a_packet_through_a_vc() {
@@ -131,12 +195,17 @@ mod tests {
         assert!(vc.wants_allocation());
         assert!(!vc.is_resident_idle());
         assert_eq!(vc.sendable_flits(), 1);
+        assert_eq!(vc.packet(), Some(PacketId(1)));
+        assert_eq!(vc.route(), None);
 
         vc.accept_body(PacketId(1));
         assert!(vc.is_resident_idle());
         assert_eq!(vc.sendable_flits(), 2);
 
-        vc.granted = true;
+        vc.set_route(OutPortId(3));
+        assert_eq!(vc.route(), Some(OutPortId(3)));
+
+        vc.set_granted();
         assert!(!vc.is_resident_idle());
         vc.flits_sent = 2;
         assert_eq!(vc.sendable_flits(), 0);
@@ -144,7 +213,8 @@ mod tests {
         let released = vc.release();
         assert_eq!(released, Some(PacketId(1)));
         assert!(vc.is_free());
-        assert!(!vc.granted);
+        assert!(!vc.granted());
+        assert_eq!(vc.route(), None);
     }
 
     #[test]
@@ -165,9 +235,13 @@ mod tests {
 
     #[test]
     fn reserved_flag_is_preserved() {
-        let vc = VcState::new(true);
-        assert!(vc.reserved_vc);
+        let mut vc = VcState::new(true);
+        assert!(vc.reserved_vc());
+        vc.accept_head(PacketId(7), 1, 0);
+        vc.set_granted();
+        vc.release();
+        assert!(vc.reserved_vc(), "release must keep the reserved flag");
         let vc = VcState::new(false);
-        assert!(!vc.reserved_vc);
+        assert!(!vc.reserved_vc());
     }
 }

@@ -13,7 +13,7 @@ use rand_chacha::ChaCha8Rng;
 use taqos::prelude::*;
 use taqos::traffic::workloads;
 use taqos_core::experiment::chip_scale::{
-    latency_under_load, mlp_mix_divergence, LatencyLoadConfig, MixPoint, MlpMixConfig,
+    latency_under_load, mlp_mix_divergence, LatencyLoadConfig, LoadPoint, MixPoint, MlpMixConfig,
 };
 use taqos_netsim::closed_loop::{DramBackpressure, DramConfig, DramScheduler, PagePolicy};
 
@@ -215,17 +215,58 @@ fn latency_under_load_is_monotone_with_a_saturation_knee() {
             "{scheduler:?}: saturation must show queueing delay"
         );
     }
-    // Row-hit-first scheduling recovers locality a saturated FCFS queue
-    // destroys: at the deepest window FR-FCFS sustains more accepted
-    // throughput with a higher hit rate, by reordering (evicting) work.
-    let deepest = |s: DramScheduler| {
-        points
+    // Under the row-major default map every requester streams privately
+    // inside its open row, so scheduler order barely matters at saturation:
+    // both flavours stay near-perfectly row-local and within a few percent
+    // of each other's bandwidth. (Before the row-locality fix, `line %
+    // banks` interleaving made FCFS thrash structurally and this comparison
+    // showed FR-FCFS "winning" — an artifact of the broken map.)
+    let deepest = |points: &[LoadPoint], s: DramScheduler| {
+        *points
             .iter()
             .rfind(|p| p.scheduler == s)
             .expect("sweep has points")
     };
-    let fcfs = deepest(DramScheduler::Fcfs);
-    let frfcfs = deepest(DramScheduler::FrFcfs);
+    let fcfs = deepest(&points, DramScheduler::Fcfs);
+    let frfcfs = deepest(&points, DramScheduler::FrFcfs);
+    assert!(
+        fcfs.row_hit_rate.expect("services happened") > 0.9,
+        "streaming windows should stay row-local under FCFS: {fcfs:?}"
+    );
+    assert!(
+        frfcfs.throughput > 0.9 * fcfs.throughput,
+        "FR-FCFS should saturate the same bank bandwidth: {frfcfs:?} vs {fcfs:?}"
+    );
+    assert_eq!(fcfs.evicted_requests, 0, "FCFS never evicts");
+    assert!(
+        frfcfs.evicted_requests > 0,
+        "a saturated FR-FCFS queue must exercise priority admission"
+    );
+}
+
+/// Row-hit-first scheduling earns its keep on a fine-grained-interleaved
+/// address map: shrinking the rows stripes every window across all banks,
+/// so different flows' rows collide at every bank and a saturated FCFS
+/// queue thrashes the row buffers, while FR-FCFS reorders the mixed queue
+/// back into row-hit runs — more accepted throughput at a higher hit rate.
+/// (The row-major default map makes streams private, so this regime needs
+/// to be provoked deliberately; it no longer happens by accident as it did
+/// under the pre-fix `line % banks` map.)
+#[test]
+fn frfcfs_recovers_row_locality_on_an_interleaved_map() {
+    let mut config = LatencyLoadConfig::quick();
+    config.dram = config.dram.with_lines_per_row(4);
+    config.mlps = vec![32];
+    let points = latency_under_load(&config);
+    assert_eq!(points.len(), 2);
+    let by = |s: DramScheduler| {
+        *points
+            .iter()
+            .find(|p| p.scheduler == s)
+            .expect("sweep has points")
+    };
+    let fcfs = by(DramScheduler::Fcfs);
+    let frfcfs = by(DramScheduler::FrFcfs);
     assert!(
         frfcfs.throughput > fcfs.throughput,
         "FR-FCFS should beat FCFS under saturation: {frfcfs:?} vs {fcfs:?}"
@@ -245,8 +286,8 @@ fn latency_under_load_is_monotone_with_a_saturation_knee() {
 /// DRAM-backed loop, for every scheduler flavour: as the hog deepens its
 /// window, the protected victim's round-trip slowdown stays bounded while
 /// the unprotected fabric diverges (an order of magnitude worse or starved
-/// outright) — and FR-FCFS with priority admission bounds the protected
-/// victim at least as tightly as FCFS at every hog window.
+/// outright) — and FR-FCFS with priority admission keeps the protected
+/// victim's bound within a small overhead of FCFS's at every hog window.
 #[test]
 fn protected_victim_stays_bounded_while_unprotected_diverges() {
     let config = MlpMixConfig::quick();
@@ -308,10 +349,15 @@ fn protected_victim_stays_bounded_while_unprotected_diverges() {
             }
         }
     }
-    // The acceptance criterion of the scheduler extension: rate-scaled
-    // FR-FCFS with priority admission bounds the protected victim at least
-    // as tightly as FCFS at every hog MLP (2% tolerance for window-edge
-    // sampling; the observed margin is far larger).
+    // The scheduler extension must not cost the protected victim its bound:
+    // under the row-major map the victim's and hog's streams sit on mostly
+    // disjoint (bank, row) pairs, so FR-FCFS's age-cap/eviction machinery
+    // has no locality to win back here and shows up as bounded overhead —
+    // within 15% of FCFS's victim bound at every hog window. (Before the
+    // row-locality fix this assertion demanded FR-FCFS beat FCFS outright;
+    // that margin came from the broken `line % banks` map thrashing FCFS.
+    // The genuine FR-FCFS win lives in
+    // `frfcfs_recovers_row_locality_on_an_interleaved_map`.)
     for (fcfs, frfcfs) in by_scheduler(DramScheduler::Fcfs)
         .iter()
         .zip(by_scheduler(DramScheduler::FrFcfs))
@@ -322,8 +368,8 @@ fn protected_victim_stays_bounded_while_unprotected_diverges() {
             .protected_slowdown()
             .expect("FR-FCFS victim completes");
         assert!(
-            frfcfs_bound <= fcfs_bound * 1.02,
-            "FR-FCFS+priority admission must bound the victim at least as tightly as FCFS \
+            frfcfs_bound <= fcfs_bound * 1.15,
+            "FR-FCFS+priority admission may not cost the victim more than 15% over FCFS \
              at hog MLP {}: {frfcfs_bound:.2} vs {fcfs_bound:.2}",
             fcfs.hog_mlp
         );

@@ -167,6 +167,120 @@ fn faulted_chip_stats_match_reference_engine() {
     );
 }
 
+/// A tiny xorshift64* generator for the property sweep below: the test needs
+/// reproducible pseudo-random configuration picks, not statistical quality,
+/// and deriving them locally keeps the test free of external RNG crates.
+struct SweepRng(u64);
+
+impl SweepRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn flag(&mut self) -> bool {
+        self.pick(2) == 1
+    }
+}
+
+/// One randomly drawn closed-loop chip configuration of the property sweep:
+/// topology dimensions, MLP window, optional DRAM model (scheduler, page
+/// policy, backpressure, geometry all drawn), optional retry layer, optional
+/// fault plan, and a per-case cycle budget.
+fn sweep_case_stats(case_seed: u64, engine: EngineKind) -> NetStats {
+    use taqos_core::chip_sim::ChipSim;
+    use taqos_core::experiment::chip_scale::chip_fault_bench_plan;
+    use taqos_netsim::closed_loop::{
+        DramBackpressure, DramConfig, DramScheduler, PagePolicy, RetryPolicy,
+    };
+
+    let mut rng = SweepRng(case_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let (width, height, columns) =
+        [(6, 6, 1), (8, 8, 1), (10, 8, 2), (12, 12, 2)][rng.pick(4) as usize];
+    let faulted = (width, height, columns) == (8, 8, 1) && rng.flag();
+    let mlp = [1, 2, 4][rng.pick(3) as usize];
+    let with_dram = rng.flag();
+    let with_retry = rng.flag();
+
+    let mut sim = ChipSim::multi_column(width, height, columns)
+        .with_sim_config(SimConfig::default().with_engine(engine));
+    if with_dram {
+        let dram = DramConfig::paper()
+            .with_banks([2, 8][rng.pick(2) as usize])
+            .with_queue_depth([4, 16][rng.pick(2) as usize])
+            .with_lines_per_row([2, 64][rng.pick(2) as usize])
+            .with_scheduler(
+                [
+                    DramScheduler::Fcfs,
+                    DramScheduler::PriorityAdmission,
+                    DramScheduler::FrFcfs,
+                ][rng.pick(3) as usize],
+            )
+            .with_page_policy([PagePolicy::Open, PagePolicy::Closed][rng.pick(2) as usize])
+            .with_backpressure(
+                [DramBackpressure::Nack, DramBackpressure::Stall][rng.pick(2) as usize],
+            )
+            .with_age_cap([64, 256][rng.pick(2) as usize]);
+        let provisioned = sim.topology_dram(dram);
+        sim = sim.with_dram(provisioned);
+    }
+    if faulted {
+        let plan = chip_fault_bench_plan(&sim, rng.next());
+        sim = sim.with_fault_plan(plan);
+    }
+    let plan = sim.nearest_mc_mlp_plan(mlp);
+    let mut spec = workloads::mlp_closed_loop(&plan);
+    if with_retry {
+        spec = spec.with_retry(RetryPolicy::new(2_000, 4));
+    }
+    let mut network = sim
+        .build_closed_loop(sim.default_policy(), spec)
+        .expect("sweep chip builds");
+    network.run_for(3_000 + 500 * rng.pick(4));
+    network.into_stats()
+}
+
+/// Property sweep: across a seeded family of random chip configurations —
+/// topology dimensions and column counts, MLP windows, DRAM scheduler /
+/// page-policy / backpressure / geometry draws, retry layers and fault
+/// plans — the optimized engine stays bit-identical to the reference engine
+/// on the full `NetStats` value. This is the broad-spectrum guard behind the
+/// targeted tests above: a hot-path layout change that breaks any corner of
+/// the configuration space shows up here as a diverging case seed.
+#[test]
+fn seeded_property_sweep_matches_reference_engine() {
+    let mut delivered_total = 0u64;
+    let mut dram_cases = 0u32;
+    for case_seed in 0..12u64 {
+        let optimized = sweep_case_stats(case_seed, EngineKind::Optimized);
+        let reference = sweep_case_stats(case_seed, EngineKind::Reference);
+        assert_eq!(
+            optimized, reference,
+            "engines diverged on sweep case {case_seed}"
+        );
+        delivered_total += optimized.delivered_packets;
+        if optimized.dram.serviced_requests > 0 {
+            dram_cases += 1;
+        }
+    }
+    assert!(
+        delivered_total > 0,
+        "the sweep delivered nothing — every case degenerated"
+    );
+    assert!(
+        dram_cases >= 2,
+        "the sweep exercised {dram_cases} DRAM-backed cases — the draw is miswired"
+    );
+}
+
 /// Determinism: the same seed produces bit-identical statistics across two
 /// independent runs of the optimized engine (the timing wheel and active-set
 /// bookkeeping introduce no iteration-order dependence).
@@ -183,4 +297,65 @@ fn same_seed_runs_are_bit_identical() {
         let c = open_loop_stats(topology, EngineKind::Optimized, 1235);
         assert_ne!(a, c, "different seeds should differ on {topology}");
     }
+}
+
+/// Pinned row-locality regression: the DRAM-backed chip workload streams
+/// each requester's private region in row-major line order, so the row-hit
+/// rate must be substantial — the bug this test pins down (fine-grained
+/// `line % banks` interleaving) made row hits structurally impossible
+/// (8 hits in 266k services at the bench scale) while every unit test still
+/// passed. The exact [`DramStats`] counters are pinned on both engines so
+/// any future drift in the address mapping, bank scheduling or service
+/// accounting is caught, not just a wholesale collapse.
+#[test]
+fn dram_row_locality_stats_are_pinned_on_both_engines() {
+    use taqos_core::chip_sim::ChipSim;
+    use taqos_netsim::closed_loop::DramConfig;
+
+    let mut pinned = Vec::new();
+    for engine in [EngineKind::Optimized, EngineKind::Reference] {
+        let sim =
+            ChipSim::paper_default().with_sim_config(SimConfig::default().with_engine(engine));
+        let provisioned = sim.topology_dram(DramConfig::paper());
+        let sim = sim.with_dram(provisioned);
+        let plan = sim.nearest_mc_mlp_plan(4);
+        let mut network = sim
+            .build_closed_loop(sim.default_policy(), workloads::mlp_closed_loop(&plan))
+            .expect("DRAM-backed chip builds");
+        network.run_for(8_000);
+        let stats = network.into_stats();
+        assert_eq!(
+            stats.dram.serviced_requests, 16_064,
+            "{engine:?}: DRAM service volume drifted"
+        );
+        assert_eq!(
+            stats.dram.row_hits, 15_896,
+            "{engine:?}: row-hit count drifted — the row-major address \
+             mapping no longer keeps each stream on its open row"
+        );
+        assert_eq!(
+            stats.dram.row_misses, 168,
+            "{engine:?}: row-miss count drifted"
+        );
+        assert_eq!(
+            stats.dram.bank_busy_cycles, 294_192,
+            "{engine:?}: bank service time drifted"
+        );
+        assert_eq!(
+            (
+                stats.dram.rejected_requests,
+                stats.dram.evicted_requests,
+                stats.dram.stalled_requests,
+            ),
+            (0, 0, 0),
+            "{engine:?}: the pinned workload never overflows its queues"
+        );
+        assert_eq!(
+            (stats.dram.queue_wait_sum, stats.dram.max_queue_wait),
+            (40_328, 48),
+            "{engine:?}: queueing profile drifted"
+        );
+        pinned.push(stats.dram.clone());
+    }
+    assert_eq!(pinned[0], pinned[1], "engines diverged on DramStats");
 }
